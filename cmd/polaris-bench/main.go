@@ -1,0 +1,136 @@
+// Command polaris-bench regenerates the paper's evaluation artifacts on
+// the synthetic suite and the simulated machine:
+//
+//	polaris-bench -table1        Table 1 (codes, lines, serial time)
+//	polaris-bench -fig7 [-p 8]   Figure 7 (speedup: Polaris vs PFA)
+//	polaris-bench -fig6 [-p 8]   Figure 6 (TRACK: PD-test speedup and
+//	                             potential slowdown vs processors)
+//	polaris-bench -all           everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"polaris/internal/suite"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "regenerate Table 1")
+	fig7 := flag.Bool("fig7", false, "regenerate Figure 7")
+	fig6 := flag.Bool("fig6", false, "regenerate Figure 6")
+	ablation := flag.Bool("ablation", false, "run the technique ablation study")
+	all := flag.Bool("all", false, "regenerate everything")
+	procs := flag.Int("p", 8, "processors for Figure 7 / max processors for Figure 6")
+	flag.Parse()
+	if !*table1 && !*fig7 && !*fig6 && !*ablation && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *table1 || *all {
+		if err := printTable1(); err != nil {
+			fail(err)
+		}
+	}
+	if *fig7 || *all {
+		if err := printFigure7(*procs); err != nil {
+			fail(err)
+		}
+	}
+	if *fig6 || *all {
+		if err := printFigure6(*procs); err != nil {
+			fail(err)
+		}
+	}
+	if *ablation || *all {
+		if err := printAblation(*procs); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func printAblation(procs int) error {
+	rows, err := suite.Ablation(procs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Ablation: geometric-mean speedup over the suite (%d processors)\n", procs)
+	full := 0.0
+	if len(rows) > 0 {
+		full = rows[0].FullGeoMean
+	}
+	fmt.Printf("%-24s %8s   hurt programs (>20%% loss)\n", "removed technique", "geomean")
+	fmt.Printf("%-24s %8.2f\n", "(none: full pipeline)", full)
+	for _, r := range rows {
+		fmt.Printf("%-24s %8.2f   %s\n", r.Technique, r.GeoMean, strings.Join(r.HurtPrograms, " "))
+	}
+	fmt.Println()
+	return nil
+}
+
+func printTable1() error {
+	rows, err := suite.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1: Benchmark codes studied (synthetic suite, simulated machine)")
+	fmt.Printf("%-10s %-8s %6s %14s\n", "Program", "Origin", "Lines", "Ser. cycles")
+	for _, r := range rows {
+		fmt.Printf("%-10s %-8s %6d %14d\n", strings.ToUpper(r.Name), r.Origin, r.Lines, r.SerialCycles)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFigure7(procs int) error {
+	rows, err := suite.Figure7(procs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 7: Speedup on %d simulated processors — Polaris vs PFA baseline\n", procs)
+	fmt.Printf("%-10s %8s %8s   %s\n", "Program", "Polaris", "PFA", "")
+	for _, r := range rows {
+		fmt.Printf("%-10s %8.2f %8.2f   %s\n", strings.ToUpper(r.Name), r.Polaris, r.PFA, bars(r.Polaris, r.PFA))
+	}
+	fmt.Println()
+	return nil
+}
+
+func bars(polaris, pfa float64) string {
+	bar := func(v float64, ch string) string {
+		n := int(v*2 + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return strings.Repeat(ch, n)
+	}
+	return fmt.Sprintf("P|%s  F|%s", bar(polaris, "#"), bar(pfa, "-"))
+}
+
+func printFigure6(maxP int) error {
+	rows, err := suite.Figure6(maxP)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 6 (top): Speedup of loop TRACK/NLFILT vs processors (10% of")
+	fmt.Println("invocations fail the PD test and re-execute sequentially)")
+	fmt.Printf("%5s %8s %8s %10s\n", "Procs", "Speedup", "Passes", "Failures")
+	for _, r := range rows {
+		fmt.Printf("%5d %8.2f %8d %10d\n", r.Procs, r.Speedup, r.Passes, r.Failures)
+	}
+	fmt.Println()
+	fmt.Println("Figure 6 (bottom): Potential slowdown (Tseq + Tpdt)/Tseq vs processors")
+	fmt.Printf("%5s %9s\n", "Procs", "Slowdown")
+	for _, r := range rows {
+		fmt.Printf("%5d %9.3f\n", r.Procs, r.Slowdown)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "polaris-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command polaris-run compiles and executes a Fortran-subset program on
+// the simulated multiprocessor, reporting simulated cycles, speedup
+// over serial execution, and run-time (PD) test outcomes.
+//
+// Usage:
+//
+//	polaris-run [-p procs] [-baseline] [-serial] [-suite name] [file.f]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polaris"
+	"polaris/internal/suite"
+)
+
+func main() {
+	procs := flag.Int("p", 8, "simulated processors")
+	baseline := flag.Bool("baseline", false, "use the PFA-level baseline compiler")
+	serial := flag.Bool("serial", false, "execute serially (no parallel loops)")
+	suiteName := flag.String("suite", "", "run the named embedded benchmark")
+	redForm := flag.String("reductions", "private", "reduction form: private, blocked, expanded")
+	flag.Parse()
+
+	src, err := readSource(*suiteName, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	prog, err := polaris.Parse(src)
+	if err != nil {
+		fail(fmt.Errorf("parse: %w", err))
+	}
+
+	serialRun, err := polaris.ExecuteProgram(prog, polaris.ExecOptions{Serial: true})
+	if err != nil {
+		fail(fmt.Errorf("serial execution: %w", err))
+	}
+	fmt.Printf("serial:    %12d cycles\n", serialRun.Cycles)
+	if sum, ok := serialRun.Probe("OUT", "RESULT"); ok {
+		fmt.Printf("checksum:  %g\n", sum)
+	}
+	if *serial {
+		return
+	}
+
+	var res *polaris.Result
+	if *baseline {
+		res, err = polaris.ParallelizeBaseline(prog)
+	} else {
+		res, err = polaris.Parallelize(prog)
+	}
+	if err != nil {
+		fail(fmt.Errorf("compile: %w", err))
+	}
+	run, err := polaris.Execute(res, polaris.ExecOptions{Processors: *procs, ReductionForm: *redForm})
+	if err != nil {
+		fail(fmt.Errorf("parallel execution: %w", err))
+	}
+	fmt.Printf("parallel:  %12d cycles on %d processors\n", run.Cycles, *procs)
+	fmt.Printf("speedup:   %12.2f\n", float64(serialRun.Cycles)/float64(run.Cycles))
+	fmt.Printf("loops:     %d parallel of %d analyzed, %d DOALL executions\n",
+		res.ParallelLoops(), len(res.Loops), run.ParallelLoopExecs)
+	if run.PDTestPasses+run.PDTestFailures > 0 {
+		fmt.Printf("PD test:   %d passed, %d failed\n", run.PDTestPasses, run.PDTestFailures)
+	}
+	if sum, ok := run.Probe("OUT", "RESULT"); ok {
+		refSum, _ := serialRun.Probe("OUT", "RESULT")
+		status := "matches serial"
+		if sum != refSum {
+			status = fmt.Sprintf("MISMATCH (serial %g)", refSum)
+		}
+		fmt.Printf("checksum:  %g (%s)\n", sum, status)
+	}
+}
+
+func readSource(suiteName string, args []string) (string, error) {
+	if suiteName != "" {
+		p, ok := suite.ByName(suiteName)
+		if !ok {
+			return "", fmt.Errorf("unknown suite program %q", suiteName)
+		}
+		return p.Source, nil
+	}
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: polaris-run [-p procs] [-baseline] [-serial] [-suite name | file.f]")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "polaris-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command polaris compiles a Fortran-subset source file with the
+// Polaris pipeline (or the PFA-level baseline) and prints the
+// restructured, directive-annotated program.
+//
+// Usage:
+//
+//	polaris [-baseline] [-summary] [-suite name] [file.f]
+//
+// With -suite, the named embedded benchmark program is compiled
+// instead of reading a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polaris"
+	"polaris/internal/suite"
+)
+
+func main() {
+	baseline := flag.Bool("baseline", false, "use the 1996 vendor-compiler (PFA) technique level")
+	summary := flag.Bool("summary", false, "print only the per-loop report, not the program")
+	suiteName := flag.String("suite", "", "compile the named embedded benchmark (e.g. trfd, ocean, bdna)")
+	flag.Parse()
+
+	src, err := readSource(*suiteName, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	prog, err := polaris.Parse(src)
+	if err != nil {
+		fail(fmt.Errorf("parse: %w", err))
+	}
+	var res *polaris.Result
+	if *baseline {
+		res, err = polaris.ParallelizeBaseline(prog)
+	} else {
+		res, err = polaris.Parallelize(prog)
+	}
+	if err != nil {
+		fail(fmt.Errorf("compile: %w", err))
+	}
+	if *summary {
+		fmt.Print(res.Summary())
+		return
+	}
+	fmt.Print(res.AnnotatedSource())
+}
+
+func readSource(suiteName string, args []string) (string, error) {
+	if suiteName != "" {
+		p, ok := suite.ByName(suiteName)
+		if !ok {
+			return "", fmt.Errorf("unknown suite program %q", suiteName)
+		}
+		return p.Source, nil
+	}
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: polaris [-baseline] [-summary] [-suite name | file.f]")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "polaris:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// Ablation: measure, across the whole 16-program suite, how much each
+// Polaris technique contributes — remove one technique at a time from
+// the full pipeline and report the geometric-mean speedup on the
+// simulated 8-processor machine, plus the programs that lose more than
+// 20% of their full-pipeline speedup. (This regenerates the implicit
+// claim of the paper's Section 3: every technique family is necessary
+// for some of the codes.)
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"polaris/internal/suite"
+)
+
+func main() {
+	rows, err := suite.Ablation(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rows) == 0 {
+		log.Fatal("no ablation rows")
+	}
+	fmt.Printf("full pipeline geometric-mean speedup: %.2f\n\n", rows[0].FullGeoMean)
+	fmt.Printf("%-24s %8s   %s\n", "removed technique", "geomean", "programs losing > 20%")
+	for _, r := range rows {
+		fmt.Printf("%-24s %8.2f   %s\n", r.Technique, r.GeoMean, strings.Join(r.HurtPrograms, " "))
+	}
+}

@@ -1,0 +1,25 @@
+C saxpy.f — a tiny Fortran-subset source for the command-line tools:
+C
+C   go run ./cmd/polaris examples/fortran/saxpy.f
+C   go run ./cmd/polaris-run -p 8 examples/fortran/saxpy.f
+C
+      PROGRAM SAXPY
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER N
+      PARAMETER (N=4000)
+      REAL X(N), Y(N), S
+      INTEGER I, K
+      DO I = 1, N
+        X(I) = 0.001 * I
+        Y(I) = 2.0 - 0.0005 * I
+      END DO
+      K = 0
+      S = 0.0
+      DO I = 1, N
+        K = K + 1
+        Y(K) = Y(K) + 2.5 * X(K)
+        S = S + Y(K)
+      END DO
+      RESULT = S
+      END

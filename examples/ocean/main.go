@@ -1,0 +1,64 @@
+// OCEAN example — the paper's Figure 3 (FTRVMT/109). The loop nest
+// writes A(258*NX*J + 129*K + I + 1) and the same plus 129*NX: the
+// ranges of successive K iterations interleave, so the range test only
+// succeeds after permuting the loop visitation order (J outermost).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"polaris"
+	"polaris/internal/suite"
+)
+
+func main() {
+	p, _ := suite.ByName("ocean")
+	prog, err := polaris.Parse(p.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Without permutation the outer loop cannot be proven.
+	noPerm := polaris.FullTechniques()
+	noPerm.LoopPermutation = false
+	resNoPerm, err := polaris.ParallelizeWith(prog, noPerm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resFull, err := polaris.Parallelize(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== without loop permutation ===")
+	printMainNest(resNoPerm)
+	fmt.Println("\n=== with loop permutation (full Polaris) ===")
+	printMainNest(resFull)
+
+	serial, err := polaris.ExecuteProgram(prog, polaris.ExecOptions{Serial: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := polaris.Execute(resFull, polaris.ExecOptions{Processors: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspeedup on 8 processors: %.2f\n", float64(serial.Cycles)/float64(par.Cycles))
+}
+
+// printMainNest shows the verdicts for the triple nest (the loops with
+// depth > 0 or the K loop that contains them).
+func printMainNest(res *polaris.Result) {
+	for _, l := range res.Loops {
+		if l.Index != "K" && l.Index != "J" && l.Index != "I" || l.Depth == 0 && l.Index == "I" {
+			continue
+		}
+		status := "serial"
+		if l.Parallel {
+			status = "PARALLEL"
+		}
+		fmt.Printf("%sDO %s  %s  (%s)\n", strings.Repeat("  ", l.Depth), l.Index, status, l.Reason)
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: parse a small Fortran program, run the full Polaris
+// pipeline, print the restructured source, and measure the simulated
+// speedup on 8 processors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polaris"
+)
+
+const src = `
+      PROGRAM QUICK
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER N
+      PARAMETER (N=2000)
+      REAL A(N), B(N), S
+      INTEGER I, K
+      DO I = 1, N
+        B(I) = 0.5 * I
+      END DO
+      K = 0
+      S = 0.0
+      DO I = 1, N
+        K = K + 1
+        A(K) = B(K) * 2.0 + 1.0
+        S = S + A(K)
+      END DO
+      RESULT = S
+      END
+`
+
+func main() {
+	prog, err := polaris.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := polaris.Parallelize(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== restructured program ===")
+	fmt.Println(res.AnnotatedSource())
+
+	serial, err := polaris.ExecuteProgram(prog, polaris.ExecOptions{Serial: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := polaris.Execute(res, polaris.ExecOptions{Processors: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial:   %d cycles\n", serial.Cycles)
+	fmt.Printf("parallel: %d cycles on 8 processors\n", par.Cycles)
+	fmt.Printf("speedup:  %.2f\n", float64(serial.Cycles)/float64(par.Cycles))
+	if sum, ok := par.Probe("OUT", "RESULT"); ok {
+		ref, _ := serial.Probe("OUT", "RESULT")
+		fmt.Printf("checksum: %g (serial %g)\n", sum, ref)
+	}
+}

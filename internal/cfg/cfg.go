@@ -1,0 +1,283 @@
+// Package cfg builds control-flow graphs over Polaris IR program units.
+// The paper's IR maintains successor/predecessor flow links on every
+// statement and keeps them consistent automatically; here the graph is
+// (re)built on demand from the structured statement tree, which is
+// always consistent by construction — Build after any transformation
+// yields the current flow.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"polaris/internal/ir"
+)
+
+// Node is one vertex of the CFG. Entry and Exit nodes carry a nil Stmt.
+type Node struct {
+	ID    int
+	Stmt  ir.Stmt
+	Succs []*Node
+	Preds []*Node
+	// Kind distinguishes synthetic nodes.
+	Kind NodeKind
+}
+
+// NodeKind classifies nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindStmt NodeKind = iota
+	KindEntry
+	KindExit
+)
+
+// Graph is the CFG of one program unit.
+type Graph struct {
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+	// byStmt maps statements to their nodes.
+	byStmt map[ir.Stmt]*Node
+	// idom[n.ID] is the immediate dominator node (nil for entry).
+	idom []*Node
+}
+
+// Build constructs the CFG for a unit body. DO loops produce a back
+// edge from the loop body's end to the DO header and an exit edge from
+// the header past the loop; IFs fork and join; RETURN and STOP jump to
+// exit.
+func Build(u *ir.ProgramUnit) *Graph {
+	g := &Graph{byStmt: map[ir.Stmt]*Node{}}
+	g.Entry = g.newNode(nil, KindEntry)
+	g.Exit = g.newNode(nil, KindExit)
+	last := g.buildBlock(u.Body, []*Node{g.Entry})
+	for _, n := range last {
+		g.connect(n, g.Exit)
+	}
+	g.computeDominators()
+	return g
+}
+
+func (g *Graph) newNode(s ir.Stmt, kind NodeKind) *Node {
+	n := &Node{ID: len(g.Nodes), Stmt: s, Kind: kind}
+	g.Nodes = append(g.Nodes, n)
+	if s != nil {
+		g.byStmt[s] = n
+	}
+	return n
+}
+
+func (g *Graph) connect(from, to *Node) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// buildBlock threads the block's statements after the given incoming
+// nodes and returns the set of nodes that fall through its end.
+func (g *Graph) buildBlock(b *ir.Block, in []*Node) []*Node {
+	cur := in
+	for _, s := range b.Stmts {
+		cur = g.buildStmt(s, cur)
+		if len(cur) == 0 {
+			// Unreachable code after RETURN/STOP still gets nodes so
+			// analyses can see it, but with no incoming edges.
+		}
+	}
+	return cur
+}
+
+func (g *Graph) buildStmt(s ir.Stmt, in []*Node) []*Node {
+	switch x := s.(type) {
+	case *ir.DoStmt:
+		header := g.newNode(s, KindStmt)
+		for _, p := range in {
+			g.connect(p, header)
+		}
+		bodyEnd := g.buildBlock(x.Body, []*Node{header})
+		for _, e := range bodyEnd {
+			g.connect(e, header) // back edge
+		}
+		return []*Node{header} // loop exit falls out of the header
+	case *ir.IfStmt:
+		cond := g.newNode(s, KindStmt)
+		for _, p := range in {
+			g.connect(p, cond)
+		}
+		thenEnd := g.buildBlock(x.Then, []*Node{cond})
+		out := append([]*Node{}, thenEnd...)
+		if x.Else != nil {
+			elseEnd := g.buildBlock(x.Else, []*Node{cond})
+			out = append(out, elseEnd...)
+		} else {
+			out = append(out, cond)
+		}
+		return out
+	case *ir.ReturnStmt, *ir.StopStmt:
+		n := g.newNode(s, KindStmt)
+		for _, p := range in {
+			g.connect(p, n)
+		}
+		g.connect(n, g.Exit)
+		return nil
+	default:
+		n := g.newNode(s, KindStmt)
+		for _, p := range in {
+			g.connect(p, n)
+		}
+		return []*Node{n}
+	}
+}
+
+// NodeFor returns the CFG node of a statement, or nil.
+func (g *Graph) NodeFor(s ir.Stmt) *Node { return g.byStmt[s] }
+
+// computeDominators runs the iterative dominator algorithm
+// (Cooper/Harvey/Kennedy) over the graph in reverse postorder.
+func (g *Graph) computeDominators() {
+	order := g.reversePostorder()
+	rpoIndex := make([]int, len(g.Nodes))
+	for i, n := range order {
+		rpoIndex[n.ID] = i
+	}
+	g.idom = make([]*Node, len(g.Nodes))
+	g.idom[g.Entry.ID] = g.Entry
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range order {
+			if n == g.Entry {
+				continue
+			}
+			var newIdom *Node
+			for _, p := range n.Preds {
+				if g.idom[p.ID] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+					continue
+				}
+				newIdom = g.intersect(p, newIdom, rpoIndex)
+			}
+			if newIdom != nil && g.idom[n.ID] != newIdom {
+				g.idom[n.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (g *Graph) intersect(a, b *Node, rpo []int) *Node {
+	for a != b {
+		for rpo[a.ID] > rpo[b.ID] {
+			a = g.idom[a.ID]
+		}
+		for rpo[b.ID] > rpo[a.ID] {
+			b = g.idom[b.ID]
+		}
+	}
+	return a
+}
+
+func (g *Graph) reversePostorder() []*Node {
+	seen := make([]bool, len(g.Nodes))
+	var post []*Node
+	var dfs func(*Node)
+	dfs = func(n *Node) {
+		seen[n.ID] = true
+		for _, s := range n.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, n)
+	}
+	dfs(g.Entry)
+	out := make([]*Node, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	return out
+}
+
+// Idom returns the immediate dominator of n (nil for entry or
+// unreachable nodes).
+func (g *Graph) Idom(n *Node) *Node {
+	d := g.idom[n.ID]
+	if d == n {
+		return nil
+	}
+	return d
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (g *Graph) Dominates(a, b *Node) bool {
+	for n := b; n != nil; {
+		if n == a {
+			return true
+		}
+		d := g.idom[n.ID]
+		if d == nil || d == n {
+			return a == n
+		}
+		n = d
+	}
+	return false
+}
+
+// StmtDominates reports whether statement a dominates statement b.
+// Unknown statements never dominate.
+func (g *Graph) StmtDominates(a, b ir.Stmt) bool {
+	na, nb := g.byStmt[a], g.byStmt[b]
+	if na == nil || nb == nil {
+		return false
+	}
+	return g.Dominates(na, nb)
+}
+
+// String renders the graph for debugging and golden tests.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		label := "entry"
+		switch {
+		case n.Kind == KindExit:
+			label = "exit"
+		case n.Stmt != nil:
+			label = stmtLabel(n.Stmt)
+		}
+		ids := make([]string, len(n.Succs))
+		for i, s := range n.Succs {
+			ids[i] = fmt.Sprintf("%d", s.ID)
+		}
+		fmt.Fprintf(&b, "%d: %s -> [%s]\n", n.ID, label, strings.Join(ids, " "))
+	}
+	return b.String()
+}
+
+func stmtLabel(s ir.Stmt) string {
+	switch x := s.(type) {
+	case *ir.AssignStmt:
+		return fmt.Sprintf("%s = %s", x.LHS, x.RHS)
+	case *ir.DoStmt:
+		return "DO " + x.Index
+	case *ir.IfStmt:
+		return "IF " + x.Cond.String()
+	case *ir.CallStmt:
+		return "CALL " + x.Name
+	case *ir.ReturnStmt:
+		return "RETURN"
+	case *ir.StopStmt:
+		return "STOP"
+	case *ir.ContinueStmt:
+		return "CONTINUE"
+	}
+	return "?"
+}

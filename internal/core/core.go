@@ -1,0 +1,428 @@
+// Package core is the Polaris driver: it runs the paper's pass pipeline
+// — inline expansion, induction variable substitution, reduction
+// recognition, range propagation, scalar and array privatization,
+// symbolic dependence analysis with the range test, and run-time (LRPD)
+// candidate flagging — over a program, annotating every DO loop with a
+// parallelization verdict that the interpreter and code generator
+// consume.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"polaris/internal/deps"
+	"polaris/internal/induction"
+	"polaris/internal/inline"
+	"polaris/internal/interproc"
+	"polaris/internal/ir"
+	"polaris/internal/normalize"
+	"polaris/internal/priv"
+	"polaris/internal/reduction"
+	"polaris/internal/rng"
+	"polaris/internal/strength"
+)
+
+// Options selects the technique set. PolarisOptions enables everything
+// the paper describes; see package pfa for the vendor baseline.
+type Options struct {
+	Inline             bool
+	Induction          bool
+	SimpleInduction    bool // vendor-level induction when Induction is false
+	Reductions         bool
+	HistogramReduction bool
+	ArrayPrivatization bool
+	RangeTest          bool
+	Permutation        bool
+	LRPD               bool
+	// StrengthReduction re-introduces incremental accumulators for
+	// the expensive closed forms induction substitution creates — the
+	// code-expansion remedy of Section 3.2.
+	StrengthReduction bool
+	// Normalize rewrites constant-step loops to unit step (a Figure 3
+	// enabler; classic vendor compilers did this too).
+	Normalize bool
+	// InterprocConstants specializes subroutines on constant actual
+	// arguments without inlining (the paper's in-progress
+	// interprocedural framework; the other Figure 3 enabler).
+	InterprocConstants bool
+	// Stats, when non-nil, accumulates dependence-test counts.
+	Stats *deps.Stats
+}
+
+// PolarisOptions enables the full technique set of the paper.
+func PolarisOptions() Options {
+	return Options{
+		Inline:             true,
+		Induction:          true,
+		Reductions:         true,
+		HistogramReduction: true,
+		ArrayPrivatization: true,
+		RangeTest:          true,
+		Permutation:        true,
+		LRPD:               true,
+		StrengthReduction:  true,
+		Normalize:          true,
+		InterprocConstants: true,
+	}
+}
+
+// LoopReport records the verdict for one loop.
+type LoopReport struct {
+	Loop     *ir.DoStmt
+	Unit     string
+	Index    string
+	Depth    int
+	Parallel bool
+	LRPD     []string
+	Reason   string
+}
+
+// Result is the outcome of compilation.
+type Result struct {
+	Program *ir.Program
+	Unit    *ir.ProgramUnit
+	Loops   []LoopReport
+	// InlinedCalls counts expanded call sites; InlineSkipped maps
+	// callee to reason.
+	InlinedCalls  int
+	InlineSkipped map[string]string
+	// InductionVars lists substituted induction variables.
+	InductionVars []string
+	// StrengthReduced counts accumulators introduced by the
+	// post-analysis strength-reduction pass.
+	StrengthReduced int
+	// NormalizedLoops counts loops rewritten to unit step.
+	NormalizedLoops int
+	// InterprocConstants maps CALLEE.FORMAL to the propagated value.
+	InterprocConstants map[string]int64
+}
+
+// ParallelLoops counts loops marked DOALL.
+func (r *Result) ParallelLoops() int {
+	n := 0
+	for _, l := range r.Loops {
+		if l.Parallel {
+			n++
+		}
+	}
+	return n
+}
+
+// Compile runs the pipeline on a clone of prog (the input is not
+// modified) and returns the annotated program.
+func Compile(prog *ir.Program, opt Options) (*Result, error) {
+	if err := prog.Check(); err != nil {
+		return nil, fmt.Errorf("core: input program inconsistent: %w", err)
+	}
+	work := prog.Clone()
+	unit := work.Main()
+	if unit == nil {
+		return nil, fmt.Errorf("core: no main program unit")
+	}
+	res := &Result{Program: work, Unit: unit, InlineSkipped: map[string]string{}}
+
+	// 0. Interprocedural constant propagation (subroutine
+	// specialization; reaches callees the inliner skips).
+	if opt.InterprocConstants {
+		irep := interproc.Propagate(work)
+		res.InterprocConstants = irep.Propagated
+	}
+
+	// 1. Inline expansion.
+	if opt.Inline {
+		rep := inline.ExpandAll(work, unit, inline.DefaultOptions())
+		res.InlinedCalls = rep.Expanded
+		res.InlineSkipped = rep.Skipped
+	}
+
+	// 2+3. Induction substitution and per-loop analysis, for every
+	// unit: the main program (post-inlining) and any remaining
+	// subroutines, which are analyzed intraprocedurally exactly as a
+	// non-inlining compiler would see them.
+	for _, u := range work.Units {
+		ranges := rng.New(u)
+		if opt.Normalize {
+			nres := normalize.Run(u, ranges)
+			res.NormalizedLoops += nres.Normalized
+			if nres.Normalized > 0 {
+				ranges = rng.New(u)
+			}
+		}
+		if opt.Induction || opt.SimpleInduction {
+			iopt := induction.Options{SimpleOnly: !opt.Induction}
+			ires := induction.RunWith(u, ranges, iopt)
+			for _, s := range ires.Solved {
+				res.InductionVars = append(res.InductionVars, u.Name+"."+s.Name)
+			}
+			// Ranges depend on the rewritten text.
+			ranges = rng.New(u)
+		}
+		tester := deps.NewTester(u, ranges)
+		// Innermost-first, so a loop's LRPD decision can see whether
+		// its subtree is already parallel (speculation belongs at the
+		// level where static analysis fails, not above it).
+		loops := ir.Loops(u.Body)
+		var reports []LoopReport
+		for i := len(loops) - 1; i >= 0; i-- {
+			report := analyzeLoop(u, ranges, tester, loops[i], opt)
+			report.Unit = u.Name
+			reports = append(reports, report)
+		}
+		// Present outermost-first.
+		for i := len(reports) - 1; i >= 0; i-- {
+			res.Loops = append(res.Loops, reports[i])
+		}
+		// 4. Code-generation strength reduction (after the verdicts,
+		// which it consumes and updates).
+		if opt.StrengthReduction {
+			sres := strength.Run(u, rng.New(u))
+			res.StrengthReduced += sres.Reduced
+			if sres.Reduced > 0 {
+				// Refresh the demoted loops' report entries.
+				for i := range res.Loops {
+					lr := &res.Loops[i]
+					if lr.Unit == u.Name && lr.Loop.Par != nil {
+						lr.Parallel = lr.Loop.Par.Parallel
+						lr.Reason = lr.Loop.Par.Reason
+					}
+				}
+			}
+		}
+	}
+	if err := work.Check(); err != nil {
+		return nil, fmt.Errorf("core: pipeline produced inconsistent IR: %w", err)
+	}
+	return res, nil
+}
+
+// analyzeLoop runs reductions + privatization + dependence analysis on
+// one loop and writes its ParInfo annotation.
+func analyzeLoop(unit *ir.ProgramUnit, ranges *rng.Analyzer, tester *deps.Tester, loop *ir.DoStmt, opt Options) LoopReport {
+	depth := len(ir.EnclosingLoops(unit.Body, loop))
+	rep := LoopReport{Loop: loop, Index: loop.Index, Depth: depth}
+
+	// Reduction recognition (candidates; validated by the dependence
+	// pass masking them — the paper's flag-then-verify order).
+	var reds *reduction.Result
+	skip := map[ir.Stmt]bool{}
+	if opt.Reductions {
+		reds = reduction.Recognize(unit, loop)
+		if !opt.HistogramReduction {
+			var kept []reduction.Candidate
+			for _, c := range reds.Candidates {
+				if !c.Histogram {
+					kept = append(kept, c)
+				}
+			}
+			reds.Candidates = kept
+		}
+		skip = reds.SkipSet()
+	}
+
+	// Privatization.
+	pres := priv.Analyze(unit, ranges, loop)
+	privArrays := map[string]bool{}
+	usableArrays := pres.PrivateArrays
+	if !opt.ArrayPrivatization {
+		usableArrays = nil
+	}
+	for _, a := range usableArrays {
+		privArrays[a] = true
+	}
+
+	// Reduction targets trump privatization blocks.
+	blocked := map[string]string{}
+	for name, why := range pres.Blocked {
+		blocked[name] = why
+	}
+	if reds != nil {
+		for _, c := range reds.Candidates {
+			delete(blocked, c.Target)
+		}
+	}
+	// Arrays blocked by the privatizer are not fatal by themselves:
+	// the dependence test decides whether their accesses conflict
+	// across iterations. Scalars are: an unprivatizable assigned
+	// scalar serializes the loop.
+	for name, why := range blocked {
+		if sym := unit.Symbols.Lookup(name); sym != nil && sym.IsArray() {
+			continue
+		}
+		loop.Par = &ir.ParInfo{Parallel: false, Reason: fmt.Sprintf("scalar %s: %s", name, why)}
+		rep.Reason = loop.Par.Reason
+		return rep
+	}
+
+	// Dependence analysis.
+	cfg := deps.Config{
+		LinearOnly:    !opt.RangeTest,
+		Permutation:   opt.Permutation,
+		SkipStmts:     skip,
+		ExcludeArrays: privArrays,
+		Stats:         opt.Stats,
+	}
+	verdict := tester.AnalyzeLoop(loop, cfg)
+
+	par := &ir.ParInfo{
+		Private:       pres.PrivateScalars,
+		PrivateArrays: usableArrays,
+		LastValue:     pres.LastValue,
+	}
+	if reds != nil {
+		par.Reductions = reds.Reductions()
+	}
+	switch {
+	case verdict.Parallel:
+		par.Parallel = true
+		par.Reason = verdict.Reason
+		// The paper's flag removal: candidates whose update statements
+		// carry no dependence even unmasked (disjoint array updates
+		// like U(I) = U(I) + e) are ordinary independent writes — the
+		// reduction transform and its merge cost are unnecessary.
+		if reds != nil {
+			par.Reductions = dropProvenIndependent(tester, loop, reds, cfg, par.Reductions)
+		}
+	case opt.LRPD && len(verdict.Unanalyzable) > 0 && !subtreeParallel(loop):
+		// Retry with the unanalyzable arrays excluded (iterating as
+		// more unanalyzable arrays surface): if everything else is
+		// independent, the loop is a run-time test candidate over
+		// exactly those arrays. Speculation is only placed at the
+		// level where static analysis fails — a loop whose subtree is
+		// already parallel keeps that inner parallelism instead.
+		ex := map[string]bool{}
+		for a := range privArrays {
+			ex[a] = true
+		}
+		candidates := map[string]bool{}
+		for _, a := range verdict.Unanalyzable {
+			ex[a] = true
+			candidates[a] = true
+		}
+		cfg2 := cfg
+		cfg2.ExcludeArrays = ex
+		for tries := 0; tries < 4; tries++ {
+			retry := tester.AnalyzeLoop(loop, cfg2)
+			if retry.Parallel {
+				for a := range candidates {
+					par.LRPD = append(par.LRPD, a)
+				}
+				sort.Strings(par.LRPD)
+				par.Reason = fmt.Sprintf("speculative: PD test on %v", par.LRPD)
+				break
+			}
+			if len(retry.Unanalyzable) == 0 {
+				par.Reason = verdict.Reason
+				break
+			}
+			progress := false
+			for _, a := range retry.Unanalyzable {
+				if !ex[a] {
+					ex[a] = true
+					candidates[a] = true
+					progress = true
+				}
+			}
+			if !progress {
+				par.Reason = verdict.Reason
+				break
+			}
+		}
+		if par.Reason == "" {
+			par.Reason = verdict.Reason
+		}
+	default:
+		par.Reason = verdict.Reason
+	}
+	loop.Par = par
+	rep.Parallel = par.Parallel
+	rep.LRPD = par.LRPD
+	rep.Reason = par.Reason
+	return rep
+}
+
+// dropProvenIndependent re-tests each array-reduction candidate with
+// its own statements unmasked; when the loop is still dependence-free,
+// the flag is removed (Section 3.2: the dependence pass "removes the
+// flags for those statements which it can prove have no loop-carried
+// dependences"). Scalar reductions are always kept — scalar accesses
+// are outside the dependence pass and genuinely carry.
+func dropProvenIndependent(tester *deps.Tester, loop *ir.DoStmt, reds *reduction.Result, cfg deps.Config, anns []ir.Reduction) []ir.Reduction {
+	kept := anns[:0]
+	for _, ann := range anns {
+		cand := findCandidate(reds, ann.Target)
+		if cand == nil || !cand.IsArray() {
+			kept = append(kept, ann)
+			continue
+		}
+		skip := map[ir.Stmt]bool{}
+		for s := range cfg.SkipStmts {
+			skip[s] = true
+		}
+		for _, st := range cand.Stmts {
+			delete(skip, st)
+		}
+		cfg2 := cfg
+		cfg2.SkipStmts = skip
+		cfg2.Permutation = false // cheap re-check at this level only
+		if v := tester.AnalyzeLoop(loop, cfg2); !v.Parallel {
+			kept = append(kept, ann)
+		}
+	}
+	return kept
+}
+
+func findCandidate(reds *reduction.Result, target string) *reduction.Candidate {
+	for i := range reds.Candidates {
+		if reds.Candidates[i].Target == target {
+			return &reds.Candidates[i]
+		}
+	}
+	return nil
+}
+
+// subtreeParallel reports whether any loop nested inside this one is
+// already marked parallel or LRPD (annotations exist because loops are
+// analyzed innermost-first).
+func subtreeParallel(loop *ir.DoStmt) bool {
+	for _, d := range ir.Loops(loop.Body) {
+		if d.Par != nil && (d.Par.Parallel || len(d.Par.LRPD) > 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders a human-readable compilation report.
+func (r *Result) Summary() string {
+	out := fmt.Sprintf("unit %s: %d loops, %d parallel", r.Unit.Name, len(r.Loops), r.ParallelLoops())
+	if r.InlinedCalls > 0 {
+		out += fmt.Sprintf(", %d calls inlined", r.InlinedCalls)
+	}
+	if len(r.InductionVars) > 0 {
+		out += fmt.Sprintf(", induction vars %v", r.InductionVars)
+	}
+	if r.NormalizedLoops > 0 {
+		out += fmt.Sprintf(", %d loops normalized", r.NormalizedLoops)
+	}
+	if len(r.InterprocConstants) > 0 {
+		out += fmt.Sprintf(", %d interprocedural constants", len(r.InterprocConstants))
+	}
+	if r.StrengthReduced > 0 {
+		out += fmt.Sprintf(", %d strength reductions", r.StrengthReduced)
+	}
+	out += "\n"
+	for _, l := range r.Loops {
+		status := "serial  "
+		if l.Parallel {
+			status = "PARALLEL"
+		} else if len(l.LRPD) > 0 {
+			status = "LRPD    "
+		}
+		for i := 0; i < l.Depth; i++ {
+			out += "  "
+		}
+		out += fmt.Sprintf("DO %-4s %s  %s\n", l.Index, status, l.Reason)
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package deps
+
+import (
+	"fmt"
+	"sort"
+
+	"polaris/internal/ir"
+	"polaris/internal/symbolic"
+)
+
+// Config selects the capability level of the analysis.
+type Config struct {
+	// LinearOnly restricts the analysis to the classical GCD/Banerjee
+	// tests — the 1996 vendor-compiler (PFA) capability level. When
+	// false the range test runs on everything the linear tests cannot
+	// decide.
+	LinearOnly bool
+	// Permutation enables the whole-nest permuted range test of the
+	// paper's Section 3.3.1 (needed for OCEAN's FTRVMT loop).
+	Permutation bool
+	// SkipStmts masks statements (recognized reduction updates) from
+	// access collection.
+	SkipStmts map[ir.Stmt]bool
+	// ExcludeArrays drops accesses to privatized arrays.
+	ExcludeArrays map[string]bool
+	// Stats, when non-nil, accumulates test counts.
+	Stats *Stats
+}
+
+// Stats counts dependence-test work for the evaluation harness.
+type Stats struct {
+	PairsTested   int
+	LinearDecided int
+	RangeTests    int
+	Permutations  int
+}
+
+// Verdict is the analysis result for one loop.
+type Verdict struct {
+	Parallel bool
+	// Reason explains the outcome, naming the technique that decided
+	// it or the blocking construct.
+	Reason string
+	// Unanalyzable lists arrays whose subscripts could not be analyzed
+	// (subscripted subscripts, loop-variant scalars): the LRPD
+	// candidates of Section 3.5.
+	Unanalyzable []string
+	// HasCall reports an un-inlined CALL in the body.
+	HasCall bool
+}
+
+// AnalyzeLoop determines whether the loop carries any data dependence
+// on array accesses (scalar dependences are the privatizer's job). The
+// loop is analyzed as the root of its own nest; enclosing indices are
+// fixed symbols.
+func (t *Tester) AnalyzeLoop(loop *ir.DoStmt, cfg Config) Verdict {
+	if hasCall(loop, cfg.SkipStmts) {
+		return Verdict{Parallel: false, Reason: "CALL statement in loop body", HasCall: true}
+	}
+	accesses := CollectAccesses(loop, cfg.SkipStmts)
+	ranged := map[string]bool{}
+	for _, d := range ir.Loops(loop.Body) {
+		ranged[d.Index] = true
+	}
+	v := t.analyzeTarget(loop, loop, ranged, accesses, cfg)
+	if v.Parallel || !cfg.Permutation || len(v.Unanalyzable) > 0 {
+		return v
+	}
+	// Identity order failed: try the permuted whole-nest test over the
+	// perfect chain rooted here; success proves full independence.
+	if ok, perm := t.permutedNestTest(loop, accesses, cfg); ok {
+		return Verdict{Parallel: true, Reason: fmt.Sprintf("range test with permuted loop order %v", perm)}
+	}
+	return v
+}
+
+// analyzeTarget tests one target loop under a given inner-variable view.
+func (t *Tester) analyzeTarget(root, target *ir.DoStmt, ranged map[string]bool, accesses []Access, cfg Config) Verdict {
+	byArray := map[string][]Access{}
+	for _, a := range accesses {
+		if cfg.ExcludeArrays[a.Array] {
+			continue
+		}
+		byArray[a.Array] = append(byArray[a.Array], a)
+	}
+	names := make([]string, 0, len(byArray))
+	for n := range byArray {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	unanalyzable := map[string]bool{}
+	for _, name := range names {
+		accs := byArray[name]
+		hasWrite := false
+		for _, a := range accs {
+			if a.Write {
+				hasWrite = true
+			}
+		}
+		if !hasWrite {
+			continue
+		}
+		for i, a := range accs {
+			if !a.Write {
+				continue
+			}
+			for j, b := range accs {
+				if j < i && b.Write {
+					continue // (b,a) already tested as (a,b) with roles swapped
+				}
+				if i == j {
+					// A single access pairs with itself across
+					// iterations (write-write on the same subscript).
+					if !t.pairIndependent(root, target, ranged, a, a, cfg, unanalyzable) {
+						return t.failVerdict(name, unanalyzable)
+					}
+					continue
+				}
+				if !t.pairIndependent(root, target, ranged, a, b, cfg, unanalyzable) {
+					return t.failVerdict(name, unanalyzable)
+				}
+			}
+		}
+	}
+	reason := "no carried dependences (linear tests)"
+	if !cfg.LinearOnly {
+		reason = "no carried dependences (linear + range test)"
+	}
+	return Verdict{Parallel: true, Reason: reason}
+}
+
+func (t *Tester) failVerdict(array string, unanalyzable map[string]bool) Verdict {
+	var list []string
+	for n := range unanalyzable {
+		list = append(list, n)
+	}
+	sort.Strings(list)
+	reason := fmt.Sprintf("assumed dependence on %s", array)
+	if unanalyzable[array] {
+		reason = fmt.Sprintf("unanalyzable subscripts on %s (run-time test candidate)", array)
+	}
+	return Verdict{Parallel: false, Reason: reason, Unanalyzable: list}
+}
+
+// pairIndependent proves no dependence between a and b carried by
+// target. It records unanalyzable arrays as a side effect.
+func (t *Tester) pairIndependent(root, target *ir.DoStmt, ranged map[string]bool, a, b Access, cfg Config, unanalyzable map[string]bool) bool {
+	if cfg.Stats != nil {
+		cfg.Stats.PairsTested++
+	}
+	if len(a.Subs) != len(b.Subs) {
+		return false
+	}
+	// Try the linear tests dimension by dimension.
+	nestLoops := t.commonNest(target, ranged, a, b)
+	indices := make([]string, len(nestLoops))
+	for i, d := range nestLoops {
+		indices[i] = d.Index
+	}
+	anyAnalyzable := false
+	sawIndexArray := false
+	for d := range a.Subs {
+		ca, okA := t.convSubscript(root, a, a.Subs[d])
+		cb, okB := t.convSubscript(root, b, b.Subs[d])
+		if !okA || !okB {
+			continue
+		}
+		anyAnalyzable = true
+		if hasArrayAtom(ca.E) || hasArrayAtom(cb.E) {
+			sawIndexArray = true
+		}
+		fa, linA := ExtractLinear(ca.E, indices)
+		fb, linB := ExtractLinear(cb.E, indices)
+		if linA && linB && !ca.IntDivApprox && !cb.IntDivApprox {
+			if ind, app := t.LinearNoCarriedDep(fa, fb, nestLoops, 0); app && ind {
+				if cfg.Stats != nil {
+					cfg.Stats.LinearDecided++
+				}
+				return true
+			}
+		}
+	}
+	if !anyAnalyzable {
+		unanalyzable[a.Array] = true
+		return false
+	}
+	if cfg.LinearOnly {
+		return false
+	}
+	if cfg.Stats != nil {
+		cfg.Stats.RangeTests++
+	}
+	if t.RangeTestPair(root, target, ranged, a, b) {
+		return true
+	}
+	// Subscripted subscripts (IND(I) with a read-only index array) are
+	// statically intractable but run-time testable: flag the accessed
+	// array as a PD-test candidate (Section 3.5).
+	if sawIndexArray {
+		unanalyzable[a.Array] = true
+	}
+	return false
+}
+
+// hasArrayAtom reports whether the subscript contains an opaque
+// array-element atom (a subscripted subscript).
+func hasArrayAtom(e *symbolic.Expr) bool {
+	for _, atom := range e.OpaqueAtoms() {
+		if !atom.Call {
+			return true
+		}
+	}
+	return false
+}
+
+// commonNest returns the loop chain for the linear tests: the target
+// followed by every loop whose index is ranged (free to differ between
+// the two iterations under test) that encloses either access. In the
+// permuted view this includes loops textually enclosing the target;
+// omitting them would silently fix their indices and make the test
+// unsound.
+func (t *Tester) commonNest(target *ir.DoStmt, ranged map[string]bool, a, b Access) []*ir.DoStmt {
+	out := []*ir.DoStmt{target}
+	seen := map[*ir.DoStmt]bool{target: true}
+	for _, acc := range []Access{a, b} {
+		for _, d := range acc.Loops {
+			if !seen[d] && ranged[d.Index] {
+				out = append(out, d)
+				seen[d] = true
+			}
+		}
+	}
+	return out
+}
+
+// permutedNestTest tries permuted visitation orders of the perfect loop
+// chain rooted at root; if some order proves every level free of
+// carried dependences, the whole iteration space is independent and
+// every loop in the chain is parallel.
+func (t *Tester) permutedNestTest(root *ir.DoStmt, accesses []Access, cfg Config) (bool, []string) {
+	chain := perfectChain(root)
+	if len(chain) < 2 || len(chain) > 5 {
+		return false, nil
+	}
+	for _, perm := range permutations(len(chain)) {
+		if isIdentity(perm) {
+			continue
+		}
+		if cfg.Stats != nil {
+			cfg.Stats.Permutations++
+		}
+		ok := true
+		for p := 0; p < len(perm) && ok; p++ {
+			target := chain[perm[p]]
+			ranged := map[string]bool{}
+			for q := p + 1; q < len(perm); q++ {
+				ranged[chain[perm[q]].Index] = true
+			}
+			unanalyzable := map[string]bool{}
+			for i := 0; i < len(accesses) && ok; i++ {
+				a := accesses[i]
+				if cfg.ExcludeArrays[a.Array] || !a.Write {
+					continue
+				}
+				for j := 0; j < len(accesses) && ok; j++ {
+					b := accesses[j]
+					if cfg.ExcludeArrays[b.Array] || b.Array != a.Array {
+						continue
+					}
+					if b.Write && j < i {
+						continue
+					}
+					if !t.pairIndependent(root, target, ranged, a, b, cfg, unanalyzable) {
+						ok = false
+					}
+				}
+			}
+		}
+		if ok {
+			names := make([]string, len(perm))
+			for i, p := range perm {
+				names[i] = chain[p].Index
+			}
+			return true, names
+		}
+	}
+	return false, nil
+}
+
+// perfectChain returns the chain of singly-nested loops starting at
+// root (each level must contain exactly one inner loop to extend the
+// chain; trailing non-loop statements end it).
+func perfectChain(root *ir.DoStmt) []*ir.DoStmt {
+	chain := []*ir.DoStmt{root}
+	cur := root
+	for {
+		inner := ir.InnerLoops(cur)
+		if len(inner) != 1 {
+			return chain
+		}
+		chain = append(chain, inner[0])
+		cur = inner[0]
+	}
+}
+
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func isIdentity(p []int) bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+func hasCall(loop *ir.DoStmt, skip map[ir.Stmt]bool) bool {
+	found := false
+	ir.WalkStmts(loop.Body, func(s ir.Stmt) bool {
+		if skip[s] {
+			return false
+		}
+		if _, ok := s.(*ir.CallStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,481 @@
+package deps
+
+import (
+	"testing"
+
+	"polaris/internal/induction"
+	"polaris/internal/ir"
+	"polaris/internal/parser"
+	"polaris/internal/rng"
+)
+
+func prep(t *testing.T, src string) (*ir.ProgramUnit, *Tester) {
+	t.Helper()
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	u := prog.Main()
+	ra := rng.New(u)
+	return u, NewTester(u, ra)
+}
+
+func TestSimpleParallelLoop(t *testing.T) {
+	u, tester := prep(t, `
+      SUBROUTINE S(N, A, B)
+      INTEGER N, I
+      REAL A(N), B(N)
+      DO I = 1, N
+        A(I) = B(I) + 1.0
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{})
+	if !v.Parallel {
+		t.Errorf("A(I)=B(I)+1 not parallel: %s", v.Reason)
+	}
+}
+
+func TestFlowDependentLoop(t *testing.T) {
+	u, tester := prep(t, `
+      SUBROUTINE S(N, A)
+      INTEGER N, I
+      REAL A(N)
+      DO I = 2, N
+        A(I) = A(I-1) + 1.0
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{})
+	if v.Parallel {
+		t.Errorf("recurrence A(I)=A(I-1) wrongly parallel")
+	}
+}
+
+func TestStrideTwoWritesIndependent(t *testing.T) {
+	u, tester := prep(t, `
+      SUBROUTINE S(N, A)
+      INTEGER N, I
+      REAL A(2*N)
+      DO I = 1, N
+        A(2*I) = A(2*I-1) + 1.0
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{})
+	if !v.Parallel {
+		t.Errorf("even/odd split not parallel: %s", v.Reason)
+	}
+}
+
+func TestGCDCatchesStrideMismatch(t *testing.T) {
+	// A(2I) written, A(2I+1) read: GCD test refutes (2i - 2i' = 1 has
+	// no integer solution). Constant bounds so Banerjee applies too.
+	u, tester := prep(t, `
+      PROGRAM P
+      INTEGER I
+      REAL A(200)
+      DO I = 1, 99
+        A(2*I) = A(2*I+1) + 1.0
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{LinearOnly: true})
+	if !v.Parallel {
+		t.Errorf("GCD-refutable pair not parallel under linear-only: %s", v.Reason)
+	}
+}
+
+func TestBanerjeeRefutesDistantAccess(t *testing.T) {
+	// A(I) = A(I+100): within bounds [1,50] the offset exceeds the
+	// iteration distance range, so Banerjee refutes carried deps.
+	u, tester := prep(t, `
+      PROGRAM P
+      INTEGER I
+      REAL A(200)
+      DO I = 1, 50
+        A(I) = A(I+100) + 1.0
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{LinearOnly: true})
+	if !v.Parallel {
+		t.Errorf("distant access not refuted by Banerjee: %s", v.Reason)
+	}
+}
+
+func TestBanerjeeFindsCloseDependence(t *testing.T) {
+	u, tester := prep(t, `
+      PROGRAM P
+      INTEGER I
+      REAL A(200)
+      DO I = 1, 50
+        A(I) = A(I+10) + 1.0
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{LinearOnly: true})
+	if v.Parallel {
+		t.Errorf("close anti-dependence missed")
+	}
+}
+
+// Figure 2 of the paper: the TRFD OLDA loop after induction
+// substitution has the nonlinear subscript (I*(N**2+N)+J**2-J)/2+K+1.
+// The linear tests fail; the range test proves all three loops
+// parallel.
+func TestFigure2RangeTest(t *testing.T) {
+	src := `
+      SUBROUTINE OLDA(M, N, A)
+      INTEGER M, N, I, J, K, X, X0
+      REAL A(M*N*N)
+      IF (N .GE. 1 .AND. M .GE. 1) THEN
+        X0 = 0
+        DO I = 0, M-1
+          X = X0
+          DO J = 0, N-1
+            DO K = 0, J-1
+              X = X + 1
+              A(X) = 0.25
+            END DO
+          END DO
+          X0 = X0 + (N**2+N)/2
+        END DO
+      END IF
+      END
+`
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	u := prog.Main()
+	ra := rng.New(u)
+	induction.Run(u, ra)
+	tester := NewTester(u, ra)
+	loops := ir.Loops(u.Body)
+	if len(loops) != 3 {
+		t.Fatalf("want 3 loops, got %d\n%s", len(loops), u.Fortran())
+	}
+	for i, loop := range loops {
+		v := tester.AnalyzeLoop(loop, Config{})
+		if !v.Parallel {
+			t.Errorf("TRFD loop %d (%s) not parallel: %s\n%s", i, loop.Index, v.Reason, u.Fortran())
+		}
+	}
+	// The PFA capability level (linear only) must FAIL on the outer
+	// loop — that is the paper's point.
+	vLin := tester.AnalyzeLoop(loops[0], Config{LinearOnly: true})
+	if vLin.Parallel {
+		t.Errorf("linear-only analysis wrongly parallelized nonlinear TRFD loop")
+	}
+}
+
+// Figure 3 of the paper: OCEAN FTRVMT/109. Two writes with nonlinear
+// subscripts 258*X*J+129*K+I+1 and +129*X more; the range test needs
+// the permuted loop order (swap K and J) to prove all three loops
+// parallel.
+func TestFigure3OceanPermutation(t *testing.T) {
+	src := `
+      SUBROUTINE FTRVMT(X, Z, A)
+      INTEGER X, Z(X), K, J, I
+      REAL A(100000)
+      IF (X .GE. 1) THEN
+        DO K = 0, X-1
+          DO J = 0, Z(K+1)
+            DO I = 0, 128
+              A(258*X*J + 129*K + I + 1) = 0.5
+              A(258*X*J + 129*K + I + 1 + 129*X) = 1.5
+            END DO
+          END DO
+        END DO
+      END IF
+      END
+`
+	u, tester := prep(t, src)
+	loops := ir.Loops(u.Body)
+	// Without permutation the outermost loop fails (interleaved
+	// ranges, and J's bound is the subscripted Z(K+1)).
+	v0 := tester.AnalyzeLoop(loops[0], Config{Permutation: false})
+	if v0.Parallel {
+		t.Logf("note: outer loop proved parallel without permutation: %s", v0.Reason)
+	}
+	// With permutation all three loops are provable.
+	for i, loop := range loops {
+		v := tester.AnalyzeLoop(loop, Config{Permutation: true})
+		if !v.Parallel {
+			t.Errorf("OCEAN loop %d (%s) not parallel with permutation: %s", i, loop.Index, v.Reason)
+		}
+	}
+}
+
+func TestSubscriptedSubscriptUnanalyzable(t *testing.T) {
+	u, tester := prep(t, `
+      SUBROUTINE S(N, A, IND)
+      INTEGER N, I, IND(N)
+      REAL A(N)
+      DO I = 1, N
+        A(IND(I)) = A(IND(I)) + 1.0
+        IND(I) = IND(I) + 1
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{})
+	if v.Parallel {
+		t.Fatalf("subscripted subscript (modified index array) wrongly parallel")
+	}
+	found := false
+	for _, n := range v.Unanalyzable {
+		if n == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("A not flagged as LRPD candidate: %+v", v)
+	}
+}
+
+func TestPureIndexArrayIsOpaqueButFixed(t *testing.T) {
+	// IND not written in the loop: accesses A(IND(I)) vs A(IND(I)) are
+	// the same element per iteration; write-write self-pair across
+	// iterations cannot be refuted (IND may repeat values), so the loop
+	// must NOT be parallel, but A should be an LRPD candidate... the
+	// subscript is analyzable-opaque, and the range test fails: the
+	// verdict is an assumed dependence.
+	u, tester := prep(t, `
+      SUBROUTINE S(N, A, IND)
+      INTEGER N, I, IND(N)
+      REAL A(N)
+      DO I = 1, N
+        A(IND(I)) = A(IND(I)) + 1.0
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{})
+	if v.Parallel {
+		t.Errorf("potentially-colliding gather wrongly parallel")
+	}
+}
+
+func TestLoopVariantScalarSubscript(t *testing.T) {
+	u, tester := prep(t, `
+      SUBROUTINE S(N, A, IND)
+      INTEGER N, I, M, IND(N)
+      REAL A(N)
+      DO I = 1, N
+        M = IND(I)
+        A(M) = A(M) + 1.0
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{})
+	if v.Parallel {
+		t.Errorf("loop-variant scalar subscript wrongly parallel")
+	}
+}
+
+func TestCallBlocksParallelization(t *testing.T) {
+	u, tester := prep(t, `
+      PROGRAM P
+      INTEGER I
+      REAL A(10)
+      DO I = 1, 10
+        CALL F(A, I)
+      END DO
+      END
+
+      SUBROUTINE F(A, I)
+      INTEGER I
+      REAL A(10)
+      A(I) = 0.0
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{})
+	if v.Parallel || !v.HasCall {
+		t.Errorf("CALL in body not detected: %+v", v)
+	}
+}
+
+func TestTriangularPrivateRowParallel(t *testing.T) {
+	// Each outer iteration writes row I: no carried dependence on the
+	// outer loop even though inner bounds are triangular.
+	u, tester := prep(t, `
+      SUBROUTINE S(N, A)
+      INTEGER N, I, J
+      REAL A(N,N)
+      DO I = 1, N
+        DO J = 1, I
+          A(J,I) = 1.0 / I
+        END DO
+      END DO
+      END
+`)
+	loops := ir.Loops(u.Body)
+	v := tester.AnalyzeLoop(loops[0], Config{})
+	if !v.Parallel {
+		t.Errorf("column-distinct triangular writes not parallel: %s", v.Reason)
+	}
+}
+
+func TestMultiDimSecondSubscriptDisambiguates(t *testing.T) {
+	u, tester := prep(t, `
+      SUBROUTINE S(N, A)
+      INTEGER N, I, J
+      REAL A(N,N)
+      DO I = 2, N
+        DO J = 1, N
+          A(J,I) = A(J,I-1) + 1.0
+        END DO
+      END DO
+      END
+`)
+	loops := ir.Loops(u.Body)
+	// The outer loop carries a true dependence (column I-1 read).
+	if v := tester.AnalyzeLoop(loops[0], Config{}); v.Parallel {
+		t.Errorf("outer loop with column recurrence wrongly parallel")
+	}
+	// The inner loop is parallel (row index J identical, column differs
+	// but fixed within an iteration of J? no — J is the target; columns
+	// I and I-1 differ in dimension 2 regardless of J, so dimension 2
+	// never overlaps... dimension-2 subscripts I and I-1 do not depend
+	// on J, so they coincide for i'=i... dependence refuted by
+	// dimension 1: J vs J separated per iteration).
+	if v := tester.AnalyzeLoop(loops[1], Config{}); !v.Parallel {
+		t.Errorf("inner loop not parallel: %s", v.Reason)
+	}
+}
+
+func TestZeroTripLoopIndependent(t *testing.T) {
+	u, tester := prep(t, `
+      PROGRAM P
+      INTEGER I
+      REAL A(10)
+      DO I = 5, 1
+        A(I) = A(I+1) + 1.0
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{LinearOnly: true})
+	if !v.Parallel {
+		t.Errorf("zero-trip loop not trivially parallel: %s", v.Reason)
+	}
+}
+
+func TestReductionMaskedBySkip(t *testing.T) {
+	u, tester := prep(t, `
+      SUBROUTINE S(N, A, S1)
+      INTEGER N, I
+      REAL A(N), S1
+      DO I = 1, N
+        S1 = S1 + A(I)
+        A(I) = A(I) * 2.0
+      END DO
+      END
+`)
+	loop := ir.Loops(u.Body)[0]
+	red := loop.Body.Stmts[0]
+	v := tester.AnalyzeLoop(loop, Config{SkipStmts: map[ir.Stmt]bool{red: true}})
+	if !v.Parallel {
+		t.Errorf("loop with masked reduction not parallel: %s", v.Reason)
+	}
+}
+
+func TestExtractLinear(t *testing.T) {
+	u, _ := prep(t, `
+      SUBROUTINE S(N, A)
+      INTEGER N, I, J
+      REAL A(N)
+      DO I = 1, N
+        A(2*I+3) = 0.0
+      END DO
+      END
+`)
+	_ = u
+	ra := rng.New(u)
+	conv := ra.Conv(mustExpr(t, "2*I + 3*J - 7"))
+	lf, ok := ExtractLinear(conv.E, []string{"I", "J"})
+	if !ok || lf.Coef["I"] != 2 || lf.Coef["J"] != 3 {
+		t.Fatalf("ExtractLinear failed: %+v ok=%v", lf, ok)
+	}
+	c, _ := lf.Const.Const()
+	if c.Num().Int64() != -7 {
+		t.Errorf("const = %v", c)
+	}
+	// Nonlinear: I*J
+	conv2 := ra.Conv(mustExpr(t, "I*J"))
+	if _, ok := ExtractLinear(conv2.E, []string{"I", "J"}); ok {
+		t.Errorf("I*J extracted as linear")
+	}
+	// Symbolic coefficient: N*I
+	conv3 := ra.Conv(mustExpr(t, "N*I"))
+	if _, ok := ExtractLinear(conv3.E, []string{"I"}); ok {
+		t.Errorf("N*I extracted as linear")
+	}
+}
+
+func mustExpr(t *testing.T, src string) ir.Expr {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr: %v", err)
+	}
+	return e
+}
+
+func TestBanerjeeAllDVsCount(t *testing.T) {
+	u, tester := prep(t, `
+      PROGRAM P
+      INTEGER I, J
+      REAL A(100,100)
+      DO I = 1, 10
+        DO J = 1, 10
+          A(I,J) = A(I,J) + 1.0
+        END DO
+      END DO
+      END
+`)
+	loops := ir.Loops(u.Body)
+	ra := rng.New(u)
+	_ = ra
+	conv := tester.Ranges.Conv(mustExpr(t, "I"))
+	lf, _ := ExtractLinear(conv.E, []string{"I", "J"})
+	_, tested := tester.BanerjeeAllDVs(lf, lf, loops)
+	if tested != 9 {
+		t.Errorf("DVs tested = %d, want 3^2 = 9", tested)
+	}
+}
+
+// TestIntDivMarginSoundness pins the >= 1 separation margin for
+// rationally-relaxed integer division: A((I+3)/2) collides across
+// consecutive iterations (floor(4/2)=floor(5/2)=2), while the rational
+// relaxation has a nonzero gap of 1/2. Without the margin the range
+// test would wrongly parallelize.
+func TestIntDivMarginSoundness(t *testing.T) {
+	u, tester := prep(t, `
+      PROGRAM P
+      INTEGER I
+      REAL A(100)
+      DO I = 1, 50
+        A((I+3)/2) = 1.0 * I
+      END DO
+      END
+`)
+	v := tester.AnalyzeLoop(ir.Loops(u.Body)[0], Config{})
+	if v.Parallel {
+		t.Errorf("floor-colliding subscript wrongly parallel: %s", v.Reason)
+	}
+	// Sanity: stride-2 division that genuinely separates IS parallel:
+	// A((2*I)/2) = A(I).
+	u2, tester2 := prep(t, `
+      PROGRAM P
+      INTEGER I
+      REAL A(100)
+      DO I = 1, 50
+        A((2*I)/2) = 1.0 * I
+      END DO
+      END
+`)
+	v2 := tester2.AnalyzeLoop(ir.Loops(u2.Body)[0], Config{})
+	if !v2.Parallel {
+		t.Errorf("exactly-divisible subscript not parallel: %s", v2.Reason)
+	}
+}

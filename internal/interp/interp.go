@@ -1,0 +1,564 @@
+package interp
+
+import (
+	"fmt"
+
+	"polaris/internal/ir"
+	"polaris/internal/lrpd"
+	"polaris/internal/machine"
+)
+
+// Interp executes a program on the simulated machine.
+type Interp struct {
+	Prog  *ir.Program
+	Model machine.Model
+	Cost  machine.Cost
+
+	// Parallel enables DOALL/LRPD execution of annotated loops; when
+	// false every loop runs serially (the baseline timing).
+	Parallel bool
+	// Validate runs parallel iterations in reverse order with fresh
+	// private copies, so order-dependent loops produce different
+	// results than serial runs (used by correctness tests).
+	Validate bool
+	// Concurrent executes DOALL iterations on real goroutines (one per
+	// simulated processor) with private overlays and partial-reduction
+	// merging. Timing still comes from the cycle model.
+	Concurrent bool
+
+	// work counts executed cycles (serial-equivalent total work).
+	work int64
+	// saved accumulates work - simulatedParallelTime per parallel
+	// region (negative entries model failed speculation).
+	saved int64
+
+	// Stats.
+	ParallelLoopExecs int64
+	LRPDPasses        int64
+	LRPDFailures      int64
+	// LRPDBodyWork accumulates the sequential work of speculative loop
+	// executions; LRPDTime the simulated time actually charged for
+	// them (speculative attempt, plus the sequential re-execution on
+	// failure). Their ratio gives the paper's loop-level Figure 6
+	// curves.
+	LRPDBodyWork int64
+	LRPDTime     int64
+
+	commons map[string]*commonBlock
+	// shadows instruments arrays during speculative LRPD execution.
+	shadows map[*Array]*lrpd.Shadow
+	curIter int64
+	// redTargets/redUpdates/redFrame support the reduction-form cost
+	// model during DOALL execution (see parallelTime).
+	redTargets map[string]bool
+	redUpdates int64
+	redFrame   *frame
+	// markCycles counts PD-test marking work during speculation.
+	markCycles int64
+	inDoall    bool
+
+	// depth guards runaway recursion through user calls.
+	depth int
+}
+
+type commonBlock struct {
+	arrays  map[string]*Array
+	scalars map[string]*cell
+}
+
+// New returns an interpreter for the program.
+func New(prog *ir.Program, model machine.Model) *Interp {
+	return &Interp{
+		Prog:    prog,
+		Model:   model,
+		Cost:    machine.DefaultCost(),
+		commons: map[string]*commonBlock{},
+	}
+}
+
+// Work returns total executed cycles (serial-equivalent).
+func (in *Interp) Work() int64 { return in.work }
+
+// Time returns the simulated execution time in cycles, including the
+// machine's code-generation quality factor.
+func (in *Interp) Time() int64 {
+	t := in.work - in.saved
+	return int64(float64(t) * in.Model.CodegenFactor)
+}
+
+func (in *Interp) charge(n int64) { in.work += n }
+
+// Probe returns the value of a scalar in a COMMON block, the
+// convention programs use to expose results to the harness and tests.
+func (in *Interp) Probe(block, name string) (float64, bool) {
+	blk := in.commons[block]
+	if blk == nil {
+		return 0, false
+	}
+	c := blk.scalars[name]
+	if c == nil {
+		return 0, false
+	}
+	return c.load().AsFloat(), true
+}
+
+// ProbeArray returns a copy of a COMMON array's data as float64s.
+func (in *Interp) ProbeArray(block, name string) ([]float64, bool) {
+	blk := in.commons[block]
+	if blk == nil {
+		return nil, false
+	}
+	a := blk.arrays[name]
+	if a == nil {
+		return nil, false
+	}
+	out := make([]float64, a.Total())
+	for i := range out {
+		out[i] = a.Get(i).AsFloat()
+	}
+	return out, true
+}
+
+// frame is the activation record of a program unit.
+type frame struct {
+	unit    *ir.ProgramUnit
+	scalars map[string]*cell
+	arrays  map[string]*Array
+}
+
+// Run executes the program's main unit.
+func (in *Interp) Run() error {
+	main := in.Prog.Main()
+	if main == nil {
+		return fmt.Errorf("interp: no program unit")
+	}
+	fr, err := in.newFrame(main, nil, nil)
+	if err != nil {
+		return err
+	}
+	_, err = in.execBlock(fr, main.Body)
+	return err
+}
+
+// Frame construction: evaluates dimension declarators with formals
+// bound, allocates arrays, wires COMMON storage.
+func (in *Interp) newFrame(u *ir.ProgramUnit, formalCells map[string]*cell, formalArrays map[string]*Array) (*frame, error) {
+	fr := &frame{unit: u, scalars: map[string]*cell{}, arrays: map[string]*Array{}}
+	for name, c := range formalCells {
+		fr.scalars[name] = c
+	}
+	for name, a := range formalArrays {
+		fr.arrays[name] = a
+	}
+	// PARAMETER constants first: array declarators (including those of
+	// formals, which precede declarations in the symbol table) may
+	// reference them.
+	for _, name := range u.Symbols.Names() {
+		sym := u.Symbols.Lookup(name)
+		if sym.Param == nil {
+			continue
+		}
+		v, err := in.eval(fr, sym.Param)
+		if err != nil {
+			return nil, err
+		}
+		c := &cell{kind: sym.Type}
+		c.store(v)
+		fr.scalars[name] = c
+	}
+	for _, name := range u.Symbols.Names() {
+		sym := u.Symbols.Lookup(name)
+		if sym.Param != nil {
+			continue
+		}
+		if sym.Common != "" {
+			if err := in.bindCommon(fr, sym); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if sym.IsArray() {
+			if actual, bound := fr.arrays[name]; bound {
+				// Formal bound to an actual: view the actual's storage
+				// under the formal's declared shape (sequence
+				// association), with adjustable dims evaluated in this
+				// frame where scalar formals are already bound.
+				fr.arrays[name] = in.reshapeView(fr, sym, actual)
+				continue
+			}
+			a, err := in.allocArray(fr, sym)
+			if err != nil {
+				if sym.Formal {
+					// Assumed-size formal without an actual: error
+					// only on use; skip allocation.
+					continue
+				}
+				return nil, err
+			}
+			fr.arrays[name] = a
+		}
+	}
+	return fr, nil
+}
+
+func (in *Interp) allocArray(fr *frame, sym *ir.Symbol) (*Array, error) {
+	lo := make([]int64, len(sym.Dims))
+	size := make([]int64, len(sym.Dims))
+	for i, d := range sym.Dims {
+		lv, err := in.eval(fr, d.LoOr1())
+		if err != nil {
+			return nil, err
+		}
+		if d.Hi == nil {
+			return nil, fmt.Errorf("interp: assumed-size array %s cannot be allocated", sym.Name)
+		}
+		hv, err := in.eval(fr, d.Hi)
+		if err != nil {
+			return nil, err
+		}
+		lo[i] = lv.AsInt()
+		size[i] = hv.AsInt() - lv.AsInt() + 1
+		if size[i] < 0 {
+			size[i] = 0
+		}
+	}
+	return NewArray(sym.Name, sym.Type, lo, size), nil
+}
+
+func (in *Interp) bindCommon(fr *frame, sym *ir.Symbol) error {
+	blk := in.commons[sym.Common]
+	if blk == nil {
+		blk = &commonBlock{arrays: map[string]*Array{}, scalars: map[string]*cell{}}
+		in.commons[sym.Common] = blk
+	}
+	if sym.IsArray() {
+		a := blk.arrays[sym.Name]
+		if a == nil {
+			var err error
+			a, err = in.allocArray(fr, sym)
+			if err != nil {
+				return err
+			}
+			blk.arrays[sym.Name] = a
+		}
+		fr.arrays[sym.Name] = a
+		return nil
+	}
+	c := blk.scalars[sym.Name]
+	if c == nil {
+		c = &cell{kind: sym.Type}
+		blk.scalars[sym.Name] = c
+	}
+	fr.scalars[sym.Name] = c
+	return nil
+}
+
+// getCell returns (allocating lazily) the scalar cell for name.
+func (fr *frame) getCell(name string, u *ir.ProgramUnit) *cell {
+	if c, ok := fr.scalars[name]; ok {
+		return c
+	}
+	kind := ir.ImplicitType(name)
+	if sym := u.Symbols.Lookup(name); sym != nil {
+		kind = sym.Type
+	}
+	c := &cell{kind: kind}
+	fr.scalars[name] = c
+	return c
+}
+
+// control is the statement-level flow signal.
+type control int
+
+const (
+	ctlNormal control = iota
+	ctlReturn
+	ctlStop
+)
+
+func (in *Interp) execBlock(fr *frame, b *ir.Block) (control, error) {
+	for _, s := range b.Stmts {
+		c, err := in.execStmt(fr, s)
+		if err != nil || c != ctlNormal {
+			return c, err
+		}
+	}
+	return ctlNormal, nil
+}
+
+func (in *Interp) execStmt(fr *frame, s ir.Stmt) (control, error) {
+	switch x := s.(type) {
+	case *ir.AssignStmt:
+		v, err := in.eval(fr, x.RHS)
+		if err != nil {
+			return ctlNormal, err
+		}
+		in.charge(in.Cost.Store)
+		return ctlNormal, in.assign(fr, x.LHS, v)
+	case *ir.IfStmt:
+		cond, err := in.eval(fr, x.Cond)
+		if err != nil {
+			return ctlNormal, err
+		}
+		in.charge(in.Cost.Branch)
+		if cond.B {
+			return in.execBlock(fr, x.Then)
+		}
+		if x.Else != nil {
+			return in.execBlock(fr, x.Else)
+		}
+		return ctlNormal, nil
+	case *ir.DoStmt:
+		return in.execDo(fr, x)
+	case *ir.CallStmt:
+		return ctlNormal, in.call(fr, x)
+	case *ir.ReturnStmt:
+		return ctlReturn, nil
+	case *ir.StopStmt:
+		return ctlStop, nil
+	case *ir.ContinueStmt, *ir.CommentStmt:
+		return ctlNormal, nil
+	}
+	return ctlNormal, fmt.Errorf("interp: unsupported statement %T", s)
+}
+
+// assign stores into a scalar or array element, marking LRPD shadows
+// when active.
+func (in *Interp) assign(fr *frame, lhs ir.Expr, v Value) error {
+	switch t := lhs.(type) {
+	case *ir.VarRef:
+		if in.redTargets != nil && in.redTargets[t.Name] {
+			in.redUpdates++
+		}
+		fr.getCell(t.Name, fr.unit).store(v)
+		return nil
+	case *ir.ArrayRef:
+		if in.redTargets != nil && in.redTargets[t.Name] {
+			in.redUpdates++
+		}
+		arr, idx, err := in.element(fr, t)
+		if err != nil {
+			return err
+		}
+		if in.shadows != nil {
+			if sh := in.shadows[arr]; sh != nil {
+				sh.MarkWrite(idx, in.curIter)
+				in.markCycles += in.Model.PDMarkCyclesPerAccess
+			}
+		}
+		arr.Set(idx, v)
+		return nil
+	}
+	return fmt.Errorf("interp: bad assignment target %T", lhs)
+}
+
+// element resolves an array reference to storage and flat index.
+func (in *Interp) element(fr *frame, ref *ir.ArrayRef) (*Array, int, error) {
+	arr := fr.arrays[ref.Name]
+	if arr == nil {
+		return nil, 0, fmt.Errorf("interp: array %s not allocated in %s", ref.Name, fr.unit.Name)
+	}
+	subs := make([]int64, len(ref.Subs))
+	for i, sexpr := range ref.Subs {
+		v, err := in.eval(fr, sexpr)
+		if err != nil {
+			return nil, 0, err
+		}
+		subs[i] = v.AsInt()
+		in.charge(in.Cost.AddrCalc)
+	}
+	idx, err := arr.Flat(subs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return arr, idx, nil
+}
+
+// trips computes the Fortran DO trip count.
+func trips(init, limit, step int64) int64 {
+	if step == 0 {
+		return 0
+	}
+	n := (limit-init)/step + 1
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// execDo dispatches serial, DOALL, and speculative LRPD execution.
+func (in *Interp) execDo(fr *frame, d *ir.DoStmt) (control, error) {
+	initV, err := in.eval(fr, d.Init)
+	if err != nil {
+		return ctlNormal, err
+	}
+	limitV, err := in.eval(fr, d.Limit)
+	if err != nil {
+		return ctlNormal, err
+	}
+	stepV, err := in.eval(fr, d.StepOr1())
+	if err != nil {
+		return ctlNormal, err
+	}
+	init, limit, step := initV.AsInt(), limitV.AsInt(), stepV.AsInt()
+	if step == 0 {
+		return ctlNormal, fmt.Errorf("interp: zero DO step")
+	}
+	n := trips(init, limit, step)
+	par := d.Par
+	if in.Parallel && !in.inDoall && par != nil && n > 1 {
+		if par.Parallel {
+			return in.execDoall(fr, d, init, step, n)
+		}
+		if len(par.LRPD) > 0 {
+			return in.execLRPD(fr, d, init, step, n)
+		}
+	}
+	return in.execSerialLoop(fr, d, init, step, n)
+}
+
+func (in *Interp) execSerialLoop(fr *frame, d *ir.DoStmt, init, step, n int64) (control, error) {
+	idx := fr.getCell(d.Index, fr.unit)
+	for k := int64(0); k < n; k++ {
+		idx.store(IntVal(init + k*step))
+		in.charge(in.Cost.LoopIter)
+		c, err := in.execBlock(fr, d.Body)
+		if err != nil {
+			return ctlNormal, err
+		}
+		if c != ctlNormal {
+			return c, nil
+		}
+	}
+	// The index retains its exit value.
+	idx.store(IntVal(init + n*step))
+	return ctlNormal, nil
+}
+
+// call invokes a subroutine with Fortran reference semantics: variable
+// and whole-array actuals alias; array elements alias a single cell;
+// other expressions are copy-in temporaries.
+func (in *Interp) call(fr *frame, c *ir.CallStmt) error {
+	callee := in.Prog.Unit(c.Name)
+	if callee == nil {
+		return fmt.Errorf("interp: unknown subroutine %s", c.Name)
+	}
+	if callee.Kind != ir.UnitSubroutine {
+		return fmt.Errorf("interp: CALL to non-subroutine %s", c.Name)
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > 200 {
+		return fmt.Errorf("interp: call depth limit (runaway recursion?)")
+	}
+	if len(c.Args) != len(callee.Formals) {
+		return fmt.Errorf("interp: CALL %s: %d args for %d formals", c.Name, len(c.Args), len(callee.Formals))
+	}
+	in.charge(in.Cost.CallOverhead)
+	cells := map[string]*cell{}
+	arrays := map[string]*Array{}
+	for i, formal := range callee.Formals {
+		fsym := callee.Symbols.Lookup(formal)
+		actual := c.Args[i]
+		switch av := actual.(type) {
+		case *ir.VarRef:
+			if arr, isArr := fr.arrays[av.Name]; isArr {
+				arrays[formal] = arr
+				continue
+			}
+			cells[formal] = fr.getCell(av.Name, fr.unit)
+		case *ir.ArrayRef:
+			arr, idx, err := in.element(fr, av)
+			if err != nil {
+				return err
+			}
+			if fsym != nil && fsym.IsArray() {
+				// Array formal bound to an element: the formal aliases
+				// the window starting at that element (sequence
+				// association over the flattened storage).
+				arrays[formal] = windowOf(arr, idx)
+				continue
+			}
+			cells[formal] = &cell{kind: fsym.Type, arr: arr, idx: idx}
+		default:
+			v, err := in.eval(fr, actual)
+			if err != nil {
+				return err
+			}
+			kind := ir.TypeReal
+			if fsym != nil {
+				kind = fsym.Type
+			}
+			cc := &cell{kind: kind}
+			cc.store(v)
+			cells[formal] = cc
+		}
+	}
+	nfr, err := in.newFrame(callee, cells, arrays)
+	if err != nil {
+		return err
+	}
+	ctl, err := in.execBlock(nfr, callee.Body)
+	if err != nil {
+		return err
+	}
+	if ctl == ctlStop {
+		return fmt.Errorf("interp: STOP reached in %s", c.Name)
+	}
+	return nil
+}
+
+// windowOf views an array's flattened storage starting at flat index
+// idx as a fresh one-dimensional array (Fortran sequence association
+// for array-element actuals).
+func windowOf(arr *Array, idx int) *Array {
+	w := &Array{Name: arr.Name, Kind: arr.Kind, Lo: []int64{1}}
+	if arr.Kind == ir.TypeInteger {
+		w.I = arr.I[idx:]
+		w.Size = []int64{int64(len(w.I))}
+	} else {
+		w.F = arr.F[idx:]
+		w.Size = []int64{int64(len(w.F))}
+	}
+	return w
+}
+
+// reshapeView aliases the actual's storage under the formal's declared
+// shape, with adjustable dimensions evaluated in the callee frame.
+func (in *Interp) reshapeView(fr *frame, fsym *ir.Symbol, actual *Array) *Array {
+	lo := make([]int64, 0, len(fsym.Dims))
+	size := make([]int64, 0, len(fsym.Dims))
+	for i, d := range fsym.Dims {
+		lv, err1 := in.eval(fr, d.LoOr1())
+		if d.Hi == nil {
+			// Assumed-size last dimension: take whatever remains.
+			if i != len(fsym.Dims)-1 {
+				return actual
+			}
+			used := int64(1)
+			for _, s := range size {
+				used *= s
+			}
+			if used == 0 {
+				return actual
+			}
+			lo = append(lo, lv.AsInt())
+			size = append(size, int64(actual.Total())/used)
+			continue
+		}
+		hv, err2 := in.eval(fr, d.Hi)
+		if err1 != nil || err2 != nil {
+			return actual
+		}
+		lo = append(lo, lv.AsInt())
+		size = append(size, hv.AsInt()-lv.AsInt()+1)
+	}
+	total := int64(1)
+	for _, s := range size {
+		total *= s
+	}
+	if total > int64(actual.Total()) {
+		return actual // nonconforming: keep the actual's shape
+	}
+	return &Array{Name: fsym.Name, Kind: actual.Kind, Lo: lo, Size: size, F: actual.F, I: actual.I}
+}

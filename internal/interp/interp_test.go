@@ -1,0 +1,586 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"polaris/internal/ir"
+	"polaris/internal/machine"
+	"polaris/internal/parser"
+)
+
+func run(t *testing.T, src string) (*Interp, *ir.Program) {
+	t.Helper()
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	in := New(prog, machine.Default())
+	if err := in.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return in, prog
+}
+
+// runAndProbe executes the program and returns the value of the COMMON
+// /OUT/ scalar RESULT, the convention the tests use to observe state.
+func runAndProbe(t *testing.T, src string) float64 {
+	t.Helper()
+	in, _ := run(t, src)
+	blk := in.commons["OUT"]
+	if blk == nil || blk.scalars["RESULT"] == nil {
+		t.Fatalf("program has no COMMON /OUT/ RESULT")
+	}
+	return blk.scalars["RESULT"].load().AsFloat()
+}
+
+func TestArithmeticAndAssignment(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER I
+      I = 7
+      RESULT = (I * 2 + 1) / 3
+      END
+`)
+	// Integer arithmetic: (15)/3 = 5.
+	if got != 5 {
+		t.Errorf("result = %v, want 5", got)
+	}
+}
+
+func TestIntegerDivisionTruncates(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER I
+      I = 7
+      RESULT = I / 2
+      END
+`)
+	if got != 3 {
+		t.Errorf("7/2 = %v, want 3", got)
+	}
+}
+
+func TestRealArithmetic(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT, X
+      COMMON /OUT/ RESULT
+      X = 7.0
+      RESULT = X / 2.0 + 0.5
+      END
+`)
+	if got != 4.0 {
+		t.Errorf("result = %v, want 4", got)
+	}
+}
+
+func TestLoopAndArray(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL A(10)
+      INTEGER I
+      DO I = 1, 10
+        A(I) = I * 2
+      END DO
+      RESULT = A(10) + A(1)
+      END
+`)
+	if got != 22 {
+		t.Errorf("result = %v, want 22", got)
+	}
+}
+
+func TestDoStepAndExitValue(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER I, S
+      S = 0
+      DO I = 10, 2, -2
+        S = S + I
+      END DO
+      RESULT = S + I
+      END
+`)
+	// 10+8+6+4+2 = 30; exit value of I = 0.
+	if got != 30 {
+		t.Errorf("result = %v, want 30", got)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER I
+      RESULT = 0.0
+      DO I = 1, 5
+        IF (I .EQ. 1) THEN
+          RESULT = RESULT + 1.0
+        ELSE IF (MOD(I, 2) .EQ. 0) THEN
+          RESULT = RESULT + 10.0
+        ELSE
+          RESULT = RESULT + 100.0
+        END IF
+      END DO
+      END
+`)
+	// I=1:+1, I=2:+10, I=3:+100, I=4:+10, I=5:+100 = 221
+	if got != 221 {
+		t.Errorf("result = %v, want 221", got)
+	}
+}
+
+func TestSubroutineCallByReference(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT, X(5)
+      COMMON /OUT/ RESULT
+      INTEGER I
+      DO I = 1, 5
+        X(I) = I
+      END DO
+      CALL DOUBLE(X, 5)
+      RESULT = X(5)
+      END
+
+      SUBROUTINE DOUBLE(A, N)
+      INTEGER N, I
+      REAL A(N)
+      DO I = 1, N
+        A(I) = A(I) * 2.0
+      END DO
+      END
+`)
+	if got != 10 {
+		t.Errorf("result = %v, want 10", got)
+	}
+}
+
+func TestAdjustableArrayReshape(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT, X(12)
+      COMMON /OUT/ RESULT
+      INTEGER I
+      DO I = 1, 12
+        X(I) = I
+      END DO
+      CALL PICK(X, 3, 4)
+      RESULT = X(1)
+      END
+
+      SUBROUTINE PICK(M, NR, NC)
+      INTEGER NR, NC
+      REAL M(NR, NC)
+      M(1,1) = M(3,4)
+      END
+`)
+	// Column-major: M(3,4) = element 3 + 2*... = flat (3-1)+(4-1)*3 = 11 -> X(12) = 12.
+	if got != 12 {
+		t.Errorf("result = %v, want 12", got)
+	}
+}
+
+func TestArrayElementWindowActual(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT, X(10)
+      COMMON /OUT/ RESULT
+      INTEGER I
+      DO I = 1, 10
+        X(I) = 0.0
+      END DO
+      CALL SET(X(4), 3)
+      RESULT = X(4) + X(6) + X(1)
+      END
+
+      SUBROUTINE SET(S, N)
+      INTEGER N, I
+      REAL S(N)
+      DO I = 1, N
+        S(I) = 5.0
+      END DO
+      END
+`)
+	// X(4..6) set to 5; X(1) untouched.
+	if got != 10 {
+		t.Errorf("result = %v, want 10", got)
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      RESULT = F(3.0) + F(4.0)
+      END
+
+      REAL FUNCTION F(X)
+      REAL X
+      F = X * X
+      END
+`)
+	if got != 25 {
+		t.Errorf("result = %v, want 25", got)
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      RESULT = SQRT(16.0) + ABS(-3.0) + MAX(1.0, 2.0, 7.0) + MIN(5, 3) + MOD(10, 3)
+      END
+`)
+	// 4 + 3 + 7 + 3 + 1 = 18
+	if got != 18 {
+		t.Errorf("result = %v, want 18", got)
+	}
+}
+
+func TestOutOfBoundsCaught(t *testing.T) {
+	prog, err := parser.ParseProgram(`
+      PROGRAM P
+      REAL A(5)
+      INTEGER I
+      I = 9
+      A(I) = 1.0
+      END
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	in := New(prog, machine.Default())
+	if err := in.Run(); err == nil {
+		t.Errorf("out-of-bounds access not caught")
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	in, _ := run(t, `
+      PROGRAM P
+      REAL A(100)
+      INTEGER I
+      DO I = 1, 100
+        A(I) = I * 2.0
+      END DO
+      END
+`)
+	if in.Work() < 1000 {
+		t.Errorf("work = %d, implausibly low", in.Work())
+	}
+	if in.Time() != in.Work() {
+		t.Errorf("serial time %d != work %d", in.Time(), in.Work())
+	}
+}
+
+const doallProgram = `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL A(1000), B(1000), S
+      INTEGER I
+      DO I = 1, 1000
+        B(I) = I
+      END DO
+      S = 0.0
+      DO I = 1, 1000
+        A(I) = B(I) * 2.0
+        S = S + A(I)
+      END DO
+      RESULT = S + A(777)
+      END
+`
+
+// annotateSecondLoop marks the second top-level loop parallel with the
+// given clauses.
+func annotateSecondLoop(t *testing.T, prog *ir.Program, par *ir.ParInfo) *ir.DoStmt {
+	t.Helper()
+	loops := ir.OuterLoops(prog.Main().Body)
+	if len(loops) < 2 {
+		t.Fatalf("want 2 loops")
+	}
+	loops[1].Par = par
+	return loops[1]
+}
+
+func TestDoallMatchesSerial(t *testing.T) {
+	for _, mode := range []string{"serial", "doall", "validate", "concurrent"} {
+		prog, err := parser.ParseProgram(doallProgram)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		annotateSecondLoop(t, prog, &ir.ParInfo{
+			Parallel:   true,
+			Reductions: []ir.Reduction{{Target: "S", Op: "+"}},
+		})
+		in := New(prog, machine.Default())
+		switch mode {
+		case "doall":
+			in.Parallel = true
+		case "validate":
+			in.Parallel = true
+			in.Validate = true
+		case "concurrent":
+			in.Parallel = true
+			in.Concurrent = true
+		}
+		if err := in.Run(); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		got := in.commons["OUT"].scalars["RESULT"].load().AsFloat()
+		want := 1002554.0 // sum 2..2000 step 2 = 1001000, + A(777)=1554
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("%s: result = %v, want %v", mode, got, want)
+		}
+		if mode != "serial" && in.ParallelLoopExecs == 0 {
+			t.Errorf("%s: loop did not execute in parallel", mode)
+		}
+		if mode != "serial" && in.Time() >= in.Work() {
+			t.Errorf("%s: no speedup: time %d, work %d", mode, in.Time(), in.Work())
+		}
+	}
+}
+
+func TestDoallSpeedupScalesWithProcessors(t *testing.T) {
+	times := map[int]int64{}
+	for _, p := range []int{1, 2, 4, 8} {
+		prog, err := parser.ParseProgram(doallProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		annotateSecondLoop(t, prog, &ir.ParInfo{Parallel: true,
+			Reductions: []ir.Reduction{{Target: "S", Op: "+"}}})
+		in := New(prog, machine.Default().WithProcessors(p))
+		in.Parallel = true
+		if err := in.Run(); err != nil {
+			t.Fatal(err)
+		}
+		times[p] = in.Time()
+	}
+	if !(times[1] > times[2] && times[2] > times[4] && times[4] > times[8]) {
+		t.Errorf("times not monotone: %v", times)
+	}
+	// Rough shape: 8 procs at least 2x faster than 1 on this loop mix.
+	if times[1] < times[8]*2 {
+		t.Errorf("8-proc speedup too small: %v", times)
+	}
+}
+
+func TestPrivateScalarSemantics(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL A(100), T
+      INTEGER I
+      DO I = 1, 100
+        T = I * 1.0
+        A(I) = T + 1.0
+      END DO
+      RESULT = A(50) + T
+      END
+`
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := ir.OuterLoops(prog.Main().Body)[0]
+	loop.Par = &ir.ParInfo{Parallel: true, Private: []string{"T"}, LastValue: []string{"T"}}
+	in := New(prog, machine.Default())
+	in.Parallel = true
+	in.Validate = true // reversed order: last value must still be I=100
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := in.commons["OUT"].scalars["RESULT"].load().AsFloat()
+	if got != 151 { // A(50)=51, T=100
+		t.Errorf("result = %v, want 151", got)
+	}
+}
+
+func TestPrivateArraySemantics(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL B(20,20), C(20,20), W(20)
+      INTEGER I, J, K
+      DO I = 1, 20
+        DO J = 1, 20
+          B(J,I) = J + I
+        END DO
+      END DO
+      DO I = 1, 20
+        DO J = 1, 20
+          W(J) = B(J,I) * 2.0
+        END DO
+        DO K = 1, 20
+          C(K,I) = W(K)
+        END DO
+      END DO
+      RESULT = C(3,7)
+      END
+`
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := ir.OuterLoops(prog.Main().Body)
+	loops[1].Par = &ir.ParInfo{Parallel: true, Private: []string{"J", "K"}, PrivateArrays: []string{"W"}}
+	in := New(prog, machine.Default())
+	in.Parallel = true
+	in.Validate = true
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := in.commons["OUT"].scalars["RESULT"].load().AsFloat()
+	if got != 20 { // (3+7)*2
+		t.Errorf("result = %v, want 20", got)
+	}
+}
+
+func TestLRPDPassAndFail(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL A(2000)
+      INTEGER IND(1000), I
+      DO I = 1, 1000
+        IND(I) = IDXVAL(I)
+      END DO
+      DO I = 1, 2000
+        A(I) = 0.0
+      END DO
+      DO I = 1, 1000
+        A(IND(I)) = A(IND(I)) + SQRT(1.0*I) + COS(0.5*I)
+      END DO
+      RESULT = A(1) + A(2)
+      END
+
+      INTEGER FUNCTION IDXVAL(I)
+      INTEGER I
+      IDXVAL = 2*I - 1
+      END
+`
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := ir.OuterLoops(prog.Main().Body)
+	loops[2].Par = &ir.ParInfo{LRPD: []string{"A"}}
+	in := New(prog, machine.Default())
+	in.Parallel = true
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.LRPDPasses != 1 || in.LRPDFailures != 0 {
+		t.Errorf("disjoint gather: passes=%d failures=%d", in.LRPDPasses, in.LRPDFailures)
+	}
+	if in.Time() >= in.Work() {
+		t.Errorf("passing LRPD gave no speedup")
+	}
+
+	// Now a colliding index function: IND has duplicates -> failure.
+	src2 := `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL A(100)
+      INTEGER IND(10), I
+      DO I = 1, 10
+        IND(I) = 5
+      END DO
+      DO I = 1, 100
+        A(I) = 0.0
+      END DO
+      DO I = 1, 10
+        A(IND(I)) = A(IND(I)) + 1.0
+      END DO
+      RESULT = A(5)
+      END
+`
+	prog2, err := parser.ParseProgram(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops2 := ir.OuterLoops(prog2.Main().Body)
+	loops2[2].Par = &ir.ParInfo{LRPD: []string{"A"}}
+	in2 := New(prog2, machine.Default())
+	in2.Parallel = true
+	if err := in2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in2.LRPDFailures != 1 {
+		t.Errorf("colliding gather not detected: %d failures", in2.LRPDFailures)
+	}
+	// Failed speculation costs time: slower than pure serial.
+	if in2.Time() <= in2.Work() {
+		t.Errorf("failed LRPD did not cost time: time=%d work=%d", in2.Time(), in2.Work())
+	}
+	// Result still correct (sequential semantics under the hood).
+	got := in2.commons["OUT"].scalars["RESULT"].load().AsFloat()
+	if got != 10 {
+		t.Errorf("result = %v, want 10", got)
+	}
+}
+
+func TestCodegenFactorScalesTime(t *testing.T) {
+	prog, err := parser.ParseProgram(doallProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog, machine.Default().WithCodegenFactor(0.5))
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Time() != in.Work()/2 {
+		t.Errorf("codegen factor not applied: time=%d work=%d", in.Time(), in.Work())
+	}
+}
+
+func TestStopStatement(t *testing.T) {
+	in, _ := run(t, `
+      PROGRAM P
+      INTEGER I
+      DO I = 1, 5
+        IF (I .EQ. 3) THEN
+          STOP
+        END IF
+      END DO
+      END
+`)
+	_ = in
+}
+
+func TestCommonSharedAcrossUnits(t *testing.T) {
+	got := runAndProbe(t, `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      CALL SETTER
+      END
+
+      SUBROUTINE SETTER
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      RESULT = 42.0
+      END
+`)
+	if got != 42 {
+		t.Errorf("COMMON not shared: %v", got)
+	}
+}

@@ -1,0 +1,431 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+
+	"polaris/internal/ir"
+	"polaris/internal/lrpd"
+	"polaris/internal/machine"
+)
+
+// execDoall executes a DOALL-annotated loop, honouring privatization
+// and reduction clauses, and charges the simulated parallel time:
+// fork + max per-processor share + join + reduction merges.
+func (in *Interp) execDoall(fr *frame, d *ir.DoStmt, init, step, n int64) (control, error) {
+	in.ParallelLoopExecs++
+	p := in.Model.Processors
+	if p < 1 {
+		p = 1
+	}
+	if in.Concurrent {
+		return in.execDoallConcurrent(fr, d, init, step, n, p)
+	}
+	in.inDoall = true
+	defer func() { in.inDoall = false }()
+
+	par := d.Par
+	if len(par.Reductions) > 0 {
+		in.redTargets = map[string]bool{}
+		for _, r := range par.Reductions {
+			in.redTargets[r.Target] = true
+		}
+		in.redUpdates = 0
+		in.redFrame = fr
+		defer func() { in.redTargets = nil; in.redFrame = nil }()
+	}
+	saveScalars, saveArrays := in.saveShared(fr, par)
+	chunk := (n + int64(p) - 1) / int64(p)
+	perProc := make([]int64, p)
+	workBefore := in.work
+
+	order := make([]int64, n)
+	for k := int64(0); k < n; k++ {
+		order[k] = k
+	}
+	if in.Validate {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	var lastOverlay map[string]*cell
+	for _, k := range order {
+		overlayCells := in.freshPrivates(fr, par)
+		idx := fr.getCell(d.Index, fr.unit)
+		idx.store(IntVal(init + k*step))
+		before := in.work
+		in.charge(in.Cost.LoopIter)
+		c, err := in.execBlock(fr, d.Body)
+		if err != nil {
+			in.restoreShared(fr, saveScalars, saveArrays, nil, par)
+			return ctlNormal, err
+		}
+		if c != ctlNormal {
+			in.restoreShared(fr, saveScalars, saveArrays, nil, par)
+			return ctlNormal, fmt.Errorf("interp: control flow escaping a parallel loop")
+		}
+		perProc[k/chunk] += in.work - before
+		if k == n-1 {
+			lastOverlay = overlayCells
+		}
+	}
+	bodyWork := in.work - workBefore
+	in.restoreShared(fr, saveScalars, saveArrays, lastOverlay, par)
+	fr.getCell(d.Index, fr.unit).store(IntVal(init + n*step))
+
+	parTime := in.parallelTime(perProc, par, p, 0)
+	in.saved += bodyWork - parTime
+	return ctlNormal, nil
+}
+
+// parallelTime combines per-processor shares with the machine's
+// overhead terms. extra is added inside the parallel section (PD-test
+// marking and analysis).
+func (in *Interp) parallelTime(perProc []int64, par *ir.ParInfo, p int, extra int64) int64 {
+	maxShare := int64(0)
+	for _, w := range perProc {
+		if w > maxShare {
+			maxShare = w
+		}
+	}
+	t := in.Model.ForkCycles + maxShare + in.Model.JoinCycles + extra
+	if par != nil {
+		t += in.reductionOverhead(par, p)
+		t += int64(len(par.PrivateArrays)) * int64(p) * in.Model.PrivateInitCycles
+	}
+	return t
+}
+
+// reductionOverhead models the paper's three reduction forms. The
+// element count per reduction comes from the accumulator's storage
+// (1 for scalars, the array length for histogram targets); the blocked
+// form instead charges a lock premium per update, counted during
+// execution (redUpdates).
+func (in *Interp) reductionOverhead(par *ir.ParInfo, p int) int64 {
+	if len(par.Reductions) == 0 {
+		return 0
+	}
+	switch in.Model.Reductions {
+	case machine.ReductionBlocked:
+		// Serialized updates: the premium lands on the critical path
+		// (worst case: all updates contend).
+		return in.redUpdates * in.Model.ReductionLockCycles
+	case machine.ReductionExpanded:
+		// Initialization sweep of the expanded dimension plus merge.
+		return 2 * in.redElements(par) * int64(p) * in.Model.ReductionMergeCycles
+	default: // private
+		return in.redElements(par) * int64(p) * in.Model.ReductionMergeCycles
+	}
+}
+
+// redElements sums accumulator sizes over the loop's reductions, using
+// the executing frame captured at DOALL entry.
+func (in *Interp) redElements(par *ir.ParInfo) int64 {
+	total := int64(0)
+	for _, r := range par.Reductions {
+		n := int64(1)
+		if in.redFrame != nil {
+			if arr := in.redFrame.arrays[r.Target]; arr != nil {
+				n = int64(arr.Total())
+			}
+		}
+		total += n
+	}
+	return total
+}
+
+// saveShared snapshots the cells and arrays that privatization will
+// shadow, so they can be restored after the loop (private copies are
+// discarded; Fortran leaves shared versions untouched).
+func (in *Interp) saveShared(fr *frame, par *ir.ParInfo) (map[string]*cell, map[string]*Array) {
+	cells := map[string]*cell{}
+	arrays := map[string]*Array{}
+	if par == nil {
+		return cells, arrays
+	}
+	for _, name := range par.Private {
+		cells[name] = fr.getCell(name, fr.unit)
+	}
+	for _, name := range par.PrivateArrays {
+		arrays[name] = fr.arrays[name]
+	}
+	return cells, arrays
+}
+
+// freshPrivates installs fresh private cells/arrays for one iteration
+// and returns the new cells (for last-value copy-out).
+func (in *Interp) freshPrivates(fr *frame, par *ir.ParInfo) map[string]*cell {
+	if par == nil {
+		return nil
+	}
+	out := map[string]*cell{}
+	for _, name := range par.Private {
+		kind := ir.ImplicitType(name)
+		if sym := fr.unit.Symbols.Lookup(name); sym != nil {
+			kind = sym.Type
+		}
+		c := &cell{kind: kind}
+		fr.scalars[name] = c
+		out[name] = c
+	}
+	for _, name := range par.PrivateArrays {
+		if orig := fr.arrays[name]; orig != nil {
+			fr.arrays[name] = NewArray(orig.Name, orig.Kind, orig.Lo, orig.Size)
+		}
+	}
+	return out
+}
+
+// restoreShared puts the shared versions back and applies last-value
+// semantics from the final iteration's overlay.
+func (in *Interp) restoreShared(fr *frame, cells map[string]*cell, arrays map[string]*Array, lastOverlay map[string]*cell, par *ir.ParInfo) {
+	for name, c := range cells {
+		fr.scalars[name] = c
+	}
+	for name, a := range arrays {
+		fr.arrays[name] = a
+	}
+	if par == nil || lastOverlay == nil {
+		return
+	}
+	for _, name := range par.LastValue {
+		if src, ok := lastOverlay[name]; ok {
+			fr.getCell(name, fr.unit).store(src.load())
+		}
+	}
+}
+
+// execDoallConcurrent runs the loop on real goroutines: block
+// partitioning, per-worker private overlays, per-worker reduction
+// partials merged at the join. The cycle model still supplies timing;
+// goroutines validate order-independence (and surface data races under
+// -race when an annotation is wrong).
+func (in *Interp) execDoallConcurrent(fr *frame, d *ir.DoStmt, init, step, n int64, p int) (control, error) {
+	par := d.Par
+	chunk := (n + int64(p) - 1) / int64(p)
+	type redKey struct {
+		name string
+		op   string
+	}
+	// Identify reduction targets.
+	redOps := map[string]string{}
+	if par != nil {
+		for _, r := range par.Reductions {
+			redOps[r.Target] = r.Op
+		}
+	}
+	workers := make([]*Interp, p)
+	frames := make([]*frame, p)
+	partialScalars := make([]map[redKey]*cell, p)
+	partialArrays := make([]map[redKey]*Array, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo := int64(w) * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		// Worker-local interpreter: shares program, model, commons;
+		// private cycle counters.
+		wi := &Interp{Prog: in.Prog, Model: in.Model, Cost: in.Cost, commons: in.commons, inDoall: true}
+		wfr := &frame{unit: fr.unit, scalars: map[string]*cell{}, arrays: map[string]*Array{}}
+		for name, c := range fr.scalars {
+			wfr.scalars[name] = c
+		}
+		for name, a := range fr.arrays {
+			wfr.arrays[name] = a
+		}
+		// Private overlays (one per worker; privatizability guarantees
+		// def-before-use per iteration, so per-worker reuse is safe).
+		if par != nil {
+			for _, name := range par.Private {
+				kind := ir.ImplicitType(name)
+				if sym := fr.unit.Symbols.Lookup(name); sym != nil {
+					kind = sym.Type
+				}
+				wfr.scalars[name] = &cell{kind: kind}
+			}
+			for _, name := range par.PrivateArrays {
+				if orig := fr.arrays[name]; orig != nil {
+					wfr.arrays[name] = NewArray(orig.Name, orig.Kind, orig.Lo, orig.Size)
+				}
+			}
+		}
+		// Reduction partials.
+		ps := map[redKey]*cell{}
+		pa := map[redKey]*Array{}
+		for name, op := range redOps {
+			if orig, isArr := fr.arrays[name]; isArr {
+				cp := NewArray(orig.Name, orig.Kind, orig.Lo, orig.Size)
+				cp.Fill(reductionIdentity(op, orig.Kind))
+				wfr.arrays[name] = cp
+				pa[redKey{name, op}] = cp
+				continue
+			}
+			kind := ir.ImplicitType(name)
+			if sym := fr.unit.Symbols.Lookup(name); sym != nil {
+				kind = sym.Type
+			}
+			c := &cell{kind: kind}
+			c.store(reductionIdentity(op, kind))
+			wfr.scalars[name] = c
+			ps[redKey{name, op}] = c
+		}
+		// Private loop index.
+		wfr.scalars[d.Index] = &cell{kind: ir.TypeInteger}
+		workers[w], frames[w] = wi, wfr
+		partialScalars[w], partialArrays[w] = ps, pa
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			wi := workers[w]
+			wfr := frames[w]
+			idx := wfr.scalars[d.Index]
+			for k := lo; k < hi; k++ {
+				idx.store(IntVal(init + k*step))
+				wi.charge(wi.Cost.LoopIter)
+				c, err := wi.execBlock(wfr, d.Body)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if c != ctlNormal {
+					errs[w] = fmt.Errorf("interp: control flow escaping a parallel loop")
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	perProc := make([]int64, p)
+	bodyWork := int64(0)
+	for w := 0; w < p; w++ {
+		if errs[w] != nil {
+			return ctlNormal, errs[w]
+		}
+		if workers[w] == nil {
+			continue
+		}
+		perProc[w] = workers[w].work
+		bodyWork += workers[w].work
+	}
+	// Merge reduction partials (deterministic worker order).
+	for w := 0; w < p; w++ {
+		if workers[w] == nil {
+			continue
+		}
+		for key, c := range partialScalars[w] {
+			shared := fr.getCell(key.name, fr.unit)
+			shared.store(combine(key.op, shared.load(), c.load()))
+		}
+		for key, cp := range partialArrays[w] {
+			shared := fr.arrays[key.name]
+			for i := 0; i < shared.Total(); i++ {
+				shared.Set(i, combine(key.op, shared.Get(i), cp.Get(i)))
+			}
+		}
+	}
+	// Last values: the worker owning the final iteration.
+	if par != nil && len(par.LastValue) > 0 {
+		lastW := int((n - 1) / chunk)
+		if frames[lastW] != nil {
+			for _, name := range par.LastValue {
+				fr.getCell(name, fr.unit).store(frames[lastW].scalars[name].load())
+			}
+		}
+	}
+	fr.getCell(d.Index, fr.unit).store(IntVal(init + n*step))
+	in.work += bodyWork
+	in.ParallelLoopExecs++
+	parTime := in.parallelTime(perProc, par, p, 0)
+	in.saved += bodyWork - parTime
+	return ctlNormal, nil
+}
+
+// execLRPD speculatively executes the loop as a DOALL under the PD
+// test. Execution is sequential under the hood (so program state is
+// always the sequential result); the shadow analysis decides whether
+// the parallel time or the failed-speculation penalty is charged — the
+// accounting of Section 3.5.3 and Figure 6.
+func (in *Interp) execLRPD(fr *frame, d *ir.DoStmt, init, step, n int64) (control, error) {
+	par := d.Par
+	in.inDoall = true
+	defer func() { in.inDoall = false }()
+
+	// Instrument the arrays under test and checkpoint them (cost of
+	// saving state for possible restoration).
+	shadows := map[*Array]*lrpd.Shadow{}
+	backupCost := int64(0)
+	totalElems := int64(0)
+	for _, name := range par.LRPD {
+		arr := fr.arrays[name]
+		if arr == nil {
+			continue
+		}
+		shadows[arr] = lrpd.NewShadow(arr.Total())
+		backupCost += int64(arr.Total()) * in.Model.BackupCyclesPerElement
+		totalElems += int64(arr.Total())
+	}
+	in.shadows = shadows
+	in.markCycles = 0
+	defer func() { in.shadows = nil }()
+
+	p := in.Model.Processors
+	chunk := (n + int64(p) - 1) / int64(p)
+	perProc := make([]int64, p)
+	workBefore := in.work
+	idx := fr.getCell(d.Index, fr.unit)
+	for k := int64(0); k < n; k++ {
+		in.curIter = k + 1
+		idx.store(IntVal(init + k*step))
+		before := in.work
+		in.charge(in.Cost.LoopIter)
+		c, err := in.execBlock(fr, d.Body)
+		if err != nil {
+			return ctlNormal, err
+		}
+		if c != ctlNormal {
+			return ctlNormal, fmt.Errorf("interp: control flow escaping a speculative loop")
+		}
+		perProc[k/chunk] += in.work - before
+	}
+	in.curIter = 0
+	idx.store(IntVal(init + n*step))
+	bodyWork := in.work - workBefore
+
+	// Post-execution analysis: O(a/p + log p).
+	pass := true
+	accesses := int64(0)
+	for _, sh := range shadows {
+		r := sh.Analyze()
+		accesses += sh.Accesses()
+		if !r.Pass {
+			pass = false
+		}
+	}
+	analysisCost := totalElems*in.Model.PDAnalysisPerElement/int64(p) +
+		in.Model.PDAnalysisLogTerm*machine.Log2(p)
+	markShare := (in.markCycles + int64(p) - 1) / int64(p)
+	_ = accesses
+	specTime := backupCost + in.parallelTime(perProc, par, p, analysisCost+markShare)
+
+	in.LRPDBodyWork += bodyWork
+	if pass {
+		in.LRPDPasses++
+		in.LRPDTime += specTime
+		in.saved += bodyWork - specTime
+		return ctlNormal, nil
+	}
+	// Failed speculation: restore (already consistent — execution was
+	// sequential) and re-execute serially. The sequential work is
+	// already counted; the wasted parallel attempt is added on top:
+	// T = T_pdt + T_seq, the paper's potential-slowdown accounting.
+	in.LRPDFailures++
+	in.LRPDTime += specTime + bodyWork
+	in.saved -= specTime
+	return ctlNormal, nil
+}

@@ -1,0 +1,135 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"polaris/internal/ir"
+	"polaris/internal/machine"
+	"polaris/internal/parser"
+)
+
+const histogramProgram = `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL H(16), V(800)
+      INTEGER KEY(800), I
+      DO I = 1, 16
+        H(I) = 0.0
+      END DO
+      DO I = 1, 800
+        KEY(I) = MOD(I * 7, 16) + 1
+        V(I) = 0.01 * I
+      END DO
+      DO I = 1, 800
+        H(KEY(I)) = H(KEY(I)) + V(I)
+      END DO
+      RESULT = H(1) + H(7) + H(16)
+      END
+`
+
+func runHistogram(t *testing.T, style machine.ReductionStyle) (*Interp, float64) {
+	t.Helper()
+	prog, err := parser.ParseProgram(histogramProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := ir.OuterLoops(prog.Main().Body)
+	loops[2].Par = &ir.ParInfo{
+		Parallel:   true,
+		Reductions: []ir.Reduction{{Target: "H", Op: "+", Histogram: true}},
+	}
+	in := New(prog, machine.Default().WithReductions(style))
+	in.Parallel = true
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := in.Probe("OUT", "RESULT")
+	return in, v
+}
+
+// All three forms of the paper (blocked, private, expanded) must give
+// identical results; their costs must order sensibly: the blocked form
+// pays per update (expensive for many updates into few elements), the
+// expanded form pays an extra initialization over the private form.
+func TestReductionFormsSemanticsAndCosts(t *testing.T) {
+	inPriv, vPriv := runHistogram(t, machine.ReductionPrivate)
+	inBlk, vBlk := runHistogram(t, machine.ReductionBlocked)
+	inExp, vExp := runHistogram(t, machine.ReductionExpanded)
+	if math.Abs(vPriv-vBlk) > 1e-9 || math.Abs(vPriv-vExp) > 1e-9 {
+		t.Fatalf("forms disagree: private=%v blocked=%v expanded=%v", vPriv, vBlk, vExp)
+	}
+	// 800 locked updates at 80 cycles dwarf merging 16 elements over
+	// 8 processors at 60 cycles.
+	if inBlk.Time() <= inPriv.Time() {
+		t.Errorf("blocked (%d) not costlier than private (%d) for update-heavy histogram",
+			inBlk.Time(), inPriv.Time())
+	}
+	if inExp.Time() <= inPriv.Time() {
+		t.Errorf("expanded (%d) not costlier than private (%d)", inExp.Time(), inPriv.Time())
+	}
+	// All parallel variants still beat serial for this weight of loop.
+	ref := New(parser.MustParse(histogramProgram), machine.Default())
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inPriv.Time() >= ref.Time() {
+		t.Errorf("private-form histogram slower than serial: %d vs %d", inPriv.Time(), ref.Time())
+	}
+}
+
+// For a scalar reduction the element count is one: private merging is
+// near-free and blocked still pays per update.
+func TestScalarReductionFormCosts(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL S, V(1000)
+      INTEGER I
+      DO I = 1, 1000
+        V(I) = 0.001 * I
+      END DO
+      S = 0.0
+      DO I = 1, 1000
+        S = S + V(I)
+      END DO
+      RESULT = S
+      END
+`
+	times := map[machine.ReductionStyle]int64{}
+	var want float64
+	for i, style := range []machine.ReductionStyle{machine.ReductionPrivate, machine.ReductionBlocked} {
+		prog, err := parser.ParseProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loops := ir.OuterLoops(prog.Main().Body)
+		loops[1].Par = &ir.ParInfo{Parallel: true, Reductions: []ir.Reduction{{Target: "S", Op: "+"}}}
+		in := New(prog, machine.Default().WithReductions(style))
+		in.Parallel = true
+		if err := in.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := in.Probe("OUT", "RESULT")
+		if i == 0 {
+			want = got
+		} else if math.Abs(got-want) > 1e-9 {
+			t.Errorf("styles disagree: %v vs %v", got, want)
+		}
+		times[style] = in.Time()
+	}
+	if times[machine.ReductionBlocked] <= times[machine.ReductionPrivate] {
+		t.Errorf("blocked (%d) should cost more than private (%d) for 1000 updates",
+			times[machine.ReductionBlocked], times[machine.ReductionPrivate])
+	}
+}
+
+func TestReductionStyleString(t *testing.T) {
+	if machine.ReductionPrivate.String() != "private" ||
+		machine.ReductionBlocked.String() != "blocked" ||
+		machine.ReductionExpanded.String() != "expanded" {
+		t.Errorf("style names wrong")
+	}
+}

@@ -1,0 +1,137 @@
+// Package interproc implements interprocedural constant propagation —
+// the second enabling transformation the paper names for Figure 3, and
+// a piece of the "comprehensive interprocedural analysis framework"
+// Section 3 says was under construction as the alternative to full
+// inline expansion.
+//
+// The implementation specializes subroutines on constant actuals: when
+// every call site passes the same integer literal for a scalar formal,
+// the formal is turned into a PARAMETER constant inside the callee and
+// dropped from the argument lists. Analyses of the callee then see the
+// constant exactly as they would after inlining, without the code
+// growth.
+package interproc
+
+import (
+	"polaris/internal/ir"
+)
+
+// Report describes the propagation.
+type Report struct {
+	// Propagated maps "CALLEE.FORMAL" to the constant value.
+	Propagated map[string]int64
+}
+
+// Propagate runs the specialization over the whole program, iterating
+// so constants flowing through one level of calls reach deeper ones.
+func Propagate(prog *ir.Program) *Report {
+	rep := &Report{Propagated: map[string]int64{}}
+	for pass := 0; pass < 4; pass++ {
+		if !propagateOnce(prog, rep) {
+			break
+		}
+	}
+	return rep
+}
+
+func propagateOnce(prog *ir.Program, rep *Report) bool {
+	changed := false
+	for _, callee := range prog.Units {
+		if callee.Kind != ir.UnitSubroutine || len(callee.Formals) == 0 {
+			continue
+		}
+		sites := callSites(prog, callee.Name)
+		if len(sites) == 0 {
+			continue
+		}
+		// Find formals receiving one identical integer literal at
+		// every site, not modified inside the callee.
+		for fi := 0; fi < len(callee.Formals); fi++ {
+			formal := callee.Formals[fi]
+			fsym := callee.Symbols.Lookup(formal)
+			if fsym == nil || fsym.IsArray() || fsym.Type != ir.TypeInteger {
+				continue
+			}
+			val, uniform := uniformConstArg(sites, fi)
+			if !uniform {
+				continue
+			}
+			if modifies(callee, formal) {
+				continue
+			}
+			// Specialize: drop the formal, make it a PARAMETER.
+			callee.Formals = append(callee.Formals[:fi], callee.Formals[fi+1:]...)
+			fsym.Formal = false
+			fsym.Param = ir.Int(val)
+			for _, site := range sites {
+				site.Args = append(site.Args[:fi], site.Args[fi+1:]...)
+			}
+			rep.Propagated[callee.Name+"."+formal] = val
+			changed = true
+			fi--
+		}
+	}
+	return changed
+}
+
+// callSites collects every CALL to name across the program. A nil
+// result (distinct from empty) signals an unknown caller context.
+func callSites(prog *ir.Program, name string) []*ir.CallStmt {
+	var out []*ir.CallStmt
+	for _, u := range prog.Units {
+		ir.WalkStmts(u.Body, func(s ir.Stmt) bool {
+			if c, ok := s.(*ir.CallStmt); ok && c.Name == name {
+				out = append(out, c)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// uniformConstArg reports whether argument position fi is the same
+// integer literal at every site.
+func uniformConstArg(sites []*ir.CallStmt, fi int) (int64, bool) {
+	var val int64
+	for i, s := range sites {
+		if fi >= len(s.Args) {
+			return 0, false
+		}
+		c, ok := s.Args[fi].(*ir.ConstInt)
+		if !ok {
+			return 0, false
+		}
+		if i == 0 {
+			val = c.Val
+		} else if c.Val != val {
+			return 0, false
+		}
+	}
+	return val, true
+}
+
+// modifies reports whether the callee may write the formal: assigned,
+// used as a DO index, or passed onward by reference.
+func modifies(u *ir.ProgramUnit, name string) bool {
+	found := false
+	ir.WalkStmts(u.Body, func(s ir.Stmt) bool {
+		switch x := s.(type) {
+		case *ir.AssignStmt:
+			if v, ok := x.LHS.(*ir.VarRef); ok && v.Name == name {
+				found = true
+			}
+		case *ir.DoStmt:
+			if x.Index == name {
+				found = true
+			}
+		case *ir.CallStmt:
+			for _, a := range x.Args {
+				if v, ok := a.(*ir.VarRef); ok && v.Name == name {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,216 @@
+package interproc_test
+
+import (
+	"testing"
+
+	"polaris/internal/core"
+	"polaris/internal/interp"
+	"polaris/internal/interproc"
+	"polaris/internal/ir"
+	"polaris/internal/machine"
+	"polaris/internal/parser"
+)
+
+func propagate(t *testing.T, src string) (*ir.Program, *interproc.Report) {
+	t.Helper()
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rep := interproc.Propagate(prog)
+	if err := prog.Check(); err != nil {
+		t.Fatalf("inconsistent after propagation: %v\n%s", err, prog.Fortran())
+	}
+	return prog, rep
+}
+
+const uniformSrc = `
+      PROGRAM P
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL X(64)
+      INTEGER I
+      DO I = 1, 64
+        X(I) = 0.0
+      END DO
+      CALL FILL(X, 8)
+      CALL FILL(X, 8)
+      RESULT = X(5)
+      END
+
+      SUBROUTINE FILL(A, N)
+      INTEGER N, I
+      REAL A(N*N)
+      DO I = 1, N*N
+        A(I) = A(I) + 1.0
+      END DO
+      END
+`
+
+func TestUniformConstantPropagated(t *testing.T) {
+	ref := runProbe(t, parser.MustParse(uniformSrc))
+	prog, rep := propagate(t, uniformSrc)
+	if rep.Propagated["FILL.N"] != 8 {
+		t.Fatalf("N not propagated: %+v", rep.Propagated)
+	}
+	fill := prog.Unit("FILL")
+	if len(fill.Formals) != 1 || fill.Formals[0] != "A" {
+		t.Errorf("formals = %v, want [A]", fill.Formals)
+	}
+	if sym := fill.Symbols.Lookup("N"); sym == nil || sym.Param == nil || sym.Param.String() != "8" {
+		t.Errorf("N not a PARAMETER 8: %+v", sym)
+	}
+	// Calls updated.
+	ir.WalkStmts(prog.Main().Body, func(s ir.Stmt) bool {
+		if c, ok := s.(*ir.CallStmt); ok && c.Name == "FILL" && len(c.Args) != 1 {
+			t.Errorf("call args = %d, want 1", len(c.Args))
+		}
+		return true
+	})
+	if got := runProbe(t, prog); got != ref {
+		t.Errorf("semantics changed: %v vs %v", got, ref)
+	}
+}
+
+func TestNonUniformSkipped(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X(64)
+      CALL FILL(X, 4)
+      CALL FILL(X, 8)
+      END
+
+      SUBROUTINE FILL(A, N)
+      INTEGER N, I
+      REAL A(N)
+      DO I = 1, N
+        A(I) = 1.0
+      END DO
+      END
+`
+	prog, rep := propagate(t, src)
+	if len(rep.Propagated) != 0 {
+		t.Errorf("non-uniform constant propagated: %+v", rep.Propagated)
+	}
+	if len(prog.Unit("FILL").Formals) != 2 {
+		t.Errorf("formals changed")
+	}
+}
+
+func TestVariableActualSkipped(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X(64)
+      INTEGER M
+      M = 8
+      CALL FILL(X, M)
+      END
+
+      SUBROUTINE FILL(A, N)
+      INTEGER N, I
+      REAL A(N)
+      DO I = 1, N
+        A(I) = 1.0
+      END DO
+      END
+`
+	_, rep := propagate(t, src)
+	if len(rep.Propagated) != 0 {
+		t.Errorf("variable actual propagated: %+v", rep.Propagated)
+	}
+}
+
+func TestModifiedFormalSkipped(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X(64)
+      CALL BUMP(X, 5)
+      END
+
+      SUBROUTINE BUMP(A, N)
+      INTEGER N
+      REAL A(64)
+      N = N + 1
+      A(N) = 1.0
+      END
+`
+	_, rep := propagate(t, src)
+	if len(rep.Propagated) != 0 {
+		t.Errorf("assigned formal propagated: %+v", rep.Propagated)
+	}
+}
+
+func TestFormalPassedOnwardSkipped(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X(64)
+      CALL OUTER(X, 5)
+      END
+
+      SUBROUTINE OUTER(A, N)
+      INTEGER N
+      REAL A(64)
+      CALL MUTATE(N)
+      A(N) = 1.0
+      END
+
+      SUBROUTINE MUTATE(N)
+      INTEGER N
+      N = N * 2
+      END
+`
+	_, rep := propagate(t, src)
+	if _, bad := rep.Propagated["OUTER.N"]; bad {
+		t.Errorf("formal passed by reference to a mutator was propagated")
+	}
+}
+
+// The propagation must enable analyses that need the constant: a
+// GCD-refutable stride that is symbolic without it.
+func TestEnablesDependenceAnalysis(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X(300)
+      CALL SPLIT(X, 2)
+      END
+
+      SUBROUTINE SPLIT(A, M)
+      INTEGER M, I
+      REAL A(300)
+      DO I = 1, 100
+        A(M*I) = A(M*I + 1) + 1.0
+      END DO
+      END
+`
+	compileAndCheck := func(interprocOn bool) bool {
+		opt := core.PolarisOptions()
+		opt.Inline = false // isolate the interprocedural effect
+		opt.InterprocConstants = interprocOn
+		res, err := core.Compile(parser.MustParse(src), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lr := range res.Loops {
+			if lr.Unit == "SPLIT" && lr.Index == "I" {
+				return lr.Parallel
+			}
+		}
+		return false
+	}
+	if !compileAndCheck(true) {
+		t.Errorf("loop not parallel with interprocedural constants (GCD needs M=2)")
+	}
+	if compileAndCheck(false) {
+		t.Errorf("loop parallel without the constant (symbolic M should block GCD)")
+	}
+}
+
+func runProbe(t *testing.T, prog *ir.Program) float64 {
+	t.Helper()
+	in := interp.New(prog, machine.Default())
+	if err := in.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v, _ := in.Probe("OUT", "RESULT")
+	return v
+}

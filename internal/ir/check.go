@@ -1,0 +1,148 @@
+package ir
+
+import "fmt"
+
+// Check verifies the internal consistency invariants the Polaris IR
+// enforces (Section 2 of the paper):
+//
+//   - no structure sharing: an expression or statement node must not be
+//     reachable from two places (aliased structures are an error);
+//   - every referenced variable or array resolves in the unit's symbol
+//     table (after implicit declaration) with the right rank;
+//   - DO indices are integer scalars; loop bodies are well-formed;
+//   - assignment targets are scalar or array references.
+//
+// Check returns the first violation found, or nil.
+func (p *Program) Check() error {
+	seenExpr := map[Expr]string{}
+	seenStmt := map[Stmt]string{}
+	for _, u := range p.Units {
+		if err := u.check(seenExpr, seenStmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check verifies the unit in isolation.
+func (u *ProgramUnit) Check() error {
+	return u.check(map[Expr]string{}, map[Stmt]string{})
+}
+
+func (u *ProgramUnit) check(seenExpr map[Expr]string, seenStmt map[Stmt]string) error {
+	if u.Symbols == nil || u.Body == nil {
+		return &ConsistencyError{Msg: fmt.Sprintf("unit %s: nil symbol table or body", u.Name)}
+	}
+	for _, f := range u.Formals {
+		if u.Symbols.Lookup(f) == nil {
+			return &ConsistencyError{Msg: fmt.Sprintf("unit %s: formal %s undeclared", u.Name, f)}
+		}
+	}
+	var err error
+	where := func(s Stmt) string { return fmt.Sprintf("unit %s", u.Name) }
+	WalkStmts(u.Body, func(s Stmt) bool {
+		if err != nil {
+			return false
+		}
+		// Stateless statements (RETURN/STOP/CONTINUE) are zero-sized:
+		// Go may give distinct allocations the same address, and
+		// sharing them is harmless anyway — exempt them from the
+		// aliasing check.
+		switch s.(type) {
+		case *ReturnStmt, *StopStmt, *ContinueStmt:
+		default:
+			if prev, dup := seenStmt[s]; dup {
+				err = &ConsistencyError{Msg: fmt.Sprintf("statement aliased between %s and %s", prev, where(s))}
+				return false
+			}
+			seenStmt[s] = where(s)
+		}
+		if e := u.checkStmt(s, seenExpr); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+func (u *ProgramUnit) checkStmt(s Stmt, seenExpr map[Expr]string) error {
+	switch x := s.(type) {
+	case *AssignStmt:
+		switch lhs := x.LHS.(type) {
+		case *VarRef:
+			sym := u.Symbols.Lookup(lhs.Name)
+			if sym != nil && sym.IsArray() {
+				return &ConsistencyError{Msg: fmt.Sprintf("unit %s: assignment to whole array %s", u.Name, lhs.Name)}
+			}
+		case *ArrayRef:
+			// checked below with the expression walk
+		default:
+			return &ConsistencyError{Msg: fmt.Sprintf("unit %s: invalid assignment target %s", u.Name, x.LHS)}
+		}
+	case *DoStmt:
+		sym := u.Symbols.Lookup(x.Index)
+		if sym == nil {
+			sym = u.Symbols.Declare(x.Index)
+		}
+		if sym.Type != TypeInteger {
+			return &ConsistencyError{Msg: fmt.Sprintf("unit %s: DO index %s is not INTEGER", u.Name, x.Index)}
+		}
+		if sym.IsArray() {
+			return &ConsistencyError{Msg: fmt.Sprintf("unit %s: DO index %s is an array", u.Name, x.Index)}
+		}
+		if x.Body == nil {
+			return &ConsistencyError{Msg: fmt.Sprintf("unit %s: DO %s has nil body", u.Name, x.Index)}
+		}
+	case *IfStmt:
+		if x.Then == nil {
+			return &ConsistencyError{Msg: fmt.Sprintf("unit %s: IF has nil THEN block", u.Name)}
+		}
+	}
+	for _, e := range StmtExprs(s) {
+		if err := u.checkExpr(e, seenExpr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (u *ProgramUnit) checkExpr(e Expr, seenExpr map[Expr]string) error {
+	var err error
+	WalkExpr(e, func(n Expr) bool {
+		if err != nil {
+			return false
+		}
+		if prev, dup := seenExpr[n]; dup {
+			err = &ConsistencyError{Msg: fmt.Sprintf("expression %s aliased (first seen in %s, again in unit %s)", n, prev, u.Name)}
+			return false
+		}
+		seenExpr[n] = "unit " + u.Name
+		switch x := n.(type) {
+		case *ArrayRef:
+			sym := u.Symbols.Lookup(x.Name)
+			if sym == nil {
+				// A subscripted reference to an undeclared name is a
+				// function call in Fortran; the parser resolves this,
+				// so by IR-check time it must be declared.
+				err = &ConsistencyError{Msg: fmt.Sprintf("unit %s: array %s undeclared", u.Name, x.Name)}
+				return false
+			}
+			if sym.IsArray() && len(x.Subs) != len(sym.Dims) {
+				err = &ConsistencyError{Msg: fmt.Sprintf("unit %s: %s has rank %d, referenced with %d subscripts", u.Name, x.Name, len(sym.Dims), len(x.Subs))}
+				return false
+			}
+			if !sym.IsArray() {
+				err = &ConsistencyError{Msg: fmt.Sprintf("unit %s: %s subscripted but declared scalar", u.Name, x.Name)}
+				return false
+			}
+		case *VarRef:
+			u.Symbols.Declare(x.Name)
+		case *Wildcard:
+			err = &ConsistencyError{Msg: fmt.Sprintf("unit %s: wildcard %s escaped into program text", u.Name, x.ID)}
+			return false
+		}
+		return true
+	})
+	return err
+}

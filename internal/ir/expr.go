@@ -1,0 +1,495 @@
+// Package ir implements the Polaris internal representation: an abstract
+// syntax tree for a Fortran 77 subset together with the high-level,
+// consistency-checked operations the Polaris paper describes in Section 2
+// (programs, program units, statement lists, expressions, symbols and
+// symbol tables, structural equality, pattern wildcards, and Fortran
+// source printing).
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BinOp enumerates binary operators of the Fortran subset.
+type BinOp int
+
+// Binary operators. Arithmetic operators come first, then relational,
+// then logical, mirroring Fortran precedence classes.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+// String returns the Fortran spelling of the operator.
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpPow:
+		return "**"
+	case OpEq:
+		return ".EQ."
+	case OpNe:
+		return ".NE."
+	case OpLt:
+		return ".LT."
+	case OpLe:
+		return ".LE."
+	case OpGt:
+		return ".GT."
+	case OpGe:
+		return ".GE."
+	case OpAnd:
+		return ".AND."
+	case OpOr:
+		return ".OR."
+	}
+	return "?"
+}
+
+// IsRelational reports whether op compares two arithmetic values.
+func (op BinOp) IsRelational() bool { return op >= OpEq && op <= OpGe }
+
+// IsLogical reports whether op combines two logical values.
+func (op BinOp) IsLogical() bool { return op == OpAnd || op == OpOr }
+
+// IsArith reports whether op is an arithmetic operator.
+func (op BinOp) IsArith() bool { return op <= OpPow }
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota // arithmetic negation
+	OpNot             // logical .NOT.
+)
+
+// Expr is a node in an expression tree. Expression trees are never
+// shared between two statements; Clone must be used to duplicate them
+// (the IR consistency checker flags aliased structure, as Polaris did).
+type Expr interface {
+	// String renders the expression as Fortran source.
+	String() string
+	// Clone returns a deep copy of the expression.
+	Clone() Expr
+	exprNode()
+}
+
+// ConstInt is an integer literal.
+type ConstInt struct {
+	Val int64
+}
+
+// ConstReal is a floating-point literal.
+type ConstReal struct {
+	Val float64
+}
+
+// ConstLogical is a .TRUE./.FALSE. literal.
+type ConstLogical struct {
+	Val bool
+}
+
+// VarRef is a reference to a scalar variable (or to a whole array when
+// used as an actual argument).
+type VarRef struct {
+	Name string
+}
+
+// ArrayRef is a subscripted array reference A(s1, ..., sn).
+type ArrayRef struct {
+	Name string
+	Subs []Expr
+}
+
+// Binary is a binary operation L op R.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Unary is a unary operation op X.
+type Unary struct {
+	Op UnOp
+	X  Expr
+}
+
+// Call is an intrinsic or user function call in an expression context.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// Wildcard is a pattern-matching placeholder (the Polaris Wildcard
+// class underlying "Forbol"). It matches any subexpression, optionally
+// filtered by Pred, and records the binding under its ID.
+type Wildcard struct {
+	ID   string
+	Pred func(Expr) bool
+}
+
+func (*ConstInt) exprNode()     {}
+func (*ConstReal) exprNode()    {}
+func (*ConstLogical) exprNode() {}
+func (*VarRef) exprNode()       {}
+func (*ArrayRef) exprNode()     {}
+func (*Binary) exprNode()       {}
+func (*Unary) exprNode()        {}
+func (*Call) exprNode()         {}
+func (*Wildcard) exprNode()     {}
+
+// Clone implementations (deep copies).
+
+// Clone returns a copy of the literal.
+func (e *ConstInt) Clone() Expr { c := *e; return &c }
+
+// Clone returns a copy of the literal.
+func (e *ConstReal) Clone() Expr { c := *e; return &c }
+
+// Clone returns a copy of the literal.
+func (e *ConstLogical) Clone() Expr { c := *e; return &c }
+
+// Clone returns a copy of the reference.
+func (e *VarRef) Clone() Expr { c := *e; return &c }
+
+// Clone returns a deep copy of the array reference.
+func (e *ArrayRef) Clone() Expr {
+	c := &ArrayRef{Name: e.Name, Subs: make([]Expr, len(e.Subs))}
+	for i, s := range e.Subs {
+		c.Subs[i] = s.Clone()
+	}
+	return c
+}
+
+// Clone returns a deep copy of the operation.
+func (e *Binary) Clone() Expr { return &Binary{Op: e.Op, L: e.L.Clone(), R: e.R.Clone()} }
+
+// Clone returns a deep copy of the operation.
+func (e *Unary) Clone() Expr { return &Unary{Op: e.Op, X: e.X.Clone()} }
+
+// Clone returns a deep copy of the call.
+func (e *Call) Clone() Expr {
+	c := &Call{Name: e.Name, Args: make([]Expr, len(e.Args))}
+	for i, a := range e.Args {
+		c.Args[i] = a.Clone()
+	}
+	return c
+}
+
+// Clone returns a copy of the wildcard (the predicate is shared).
+func (e *Wildcard) Clone() Expr { c := *e; return &c }
+
+// String renderers. Parenthesization is conservative: nested binary
+// operands are parenthesized whenever precedence could be ambiguous.
+
+func (e *ConstInt) String() string { return fmt.Sprintf("%d", e.Val) }
+
+func (e *ConstReal) String() string {
+	s := fmt.Sprintf("%g", e.Val)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func (e *ConstLogical) String() string {
+	if e.Val {
+		return ".TRUE."
+	}
+	return ".FALSE."
+}
+
+func (e *VarRef) String() string { return e.Name }
+
+func (e *ArrayRef) String() string {
+	parts := make([]string, len(e.Subs))
+	for i, s := range e.Subs {
+		parts[i] = s.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+func precedence(op BinOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	case OpMul, OpDiv:
+		return 5
+	case OpPow:
+		return 6
+	}
+	return 0
+}
+
+func renderOperand(e Expr, parentPrec int, right bool) string {
+	if b, ok := e.(*Binary); ok {
+		p := precedence(b.Op)
+		if p < parentPrec || (p == parentPrec && right) {
+			return "(" + e.String() + ")"
+		}
+		return e.String()
+	}
+	if u, ok := e.(*Unary); ok && u.Op == OpNeg && parentPrec >= 4 {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+func (e *Binary) String() string {
+	p := precedence(e.Op)
+	if e.Op == OpPow {
+		// ** is right-associative: parenthesize an equal-precedence
+		// left operand, not the right one.
+		return renderOperand(e.L, p, true) + e.Op.String() + renderOperand(e.R, p, false)
+	}
+	return renderOperand(e.L, p, false) + e.Op.String() + renderOperand(e.R, p, true)
+}
+
+func (e *Unary) String() string {
+	switch e.Op {
+	case OpNeg:
+		return "-" + renderOperand(e.X, 5, true)
+	case OpNot:
+		return ".NOT." + renderOperand(e.X, 3, true)
+	}
+	return "?" + e.X.String()
+}
+
+func (e *Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (e *Wildcard) String() string { return "?" + e.ID }
+
+// Convenience constructors, used heavily by transformation passes.
+
+// Int returns an integer literal expression.
+func Int(v int64) *ConstInt { return &ConstInt{Val: v} }
+
+// Real returns a real literal expression.
+func Real(v float64) *ConstReal { return &ConstReal{Val: v} }
+
+// Logical returns a logical literal expression.
+func Logical(v bool) *ConstLogical { return &ConstLogical{Val: v} }
+
+// Var returns a scalar variable reference.
+func Var(name string) *VarRef { return &VarRef{Name: name} }
+
+// Index returns an array reference with the given subscripts.
+func Index(name string, subs ...Expr) *ArrayRef { return &ArrayRef{Name: name, Subs: subs} }
+
+// Bin returns a binary operation.
+func Bin(op BinOp, l, r Expr) *Binary { return &Binary{Op: op, L: l, R: r} }
+
+// Add returns l + r.
+func Add(l, r Expr) *Binary { return Bin(OpAdd, l, r) }
+
+// Sub returns l - r.
+func Sub(l, r Expr) *Binary { return Bin(OpSub, l, r) }
+
+// Mul returns l * r.
+func Mul(l, r Expr) *Binary { return Bin(OpMul, l, r) }
+
+// Div returns l / r.
+func Div(l, r Expr) *Binary { return Bin(OpDiv, l, r) }
+
+// Neg returns -x.
+func Neg(x Expr) *Unary { return &Unary{Op: OpNeg, X: x} }
+
+// Equal reports deep structural equality of two expressions.
+// Wildcards are only equal to wildcards with the same ID.
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case *ConstInt:
+		y, ok := b.(*ConstInt)
+		return ok && x.Val == y.Val
+	case *ConstReal:
+		y, ok := b.(*ConstReal)
+		return ok && x.Val == y.Val
+	case *ConstLogical:
+		y, ok := b.(*ConstLogical)
+		return ok && x.Val == y.Val
+	case *VarRef:
+		y, ok := b.(*VarRef)
+		return ok && x.Name == y.Name
+	case *ArrayRef:
+		y, ok := b.(*ArrayRef)
+		if !ok || x.Name != y.Name || len(x.Subs) != len(y.Subs) {
+			return false
+		}
+		for i := range x.Subs {
+			if !Equal(x.Subs[i], y.Subs[i]) {
+				return false
+			}
+		}
+		return true
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Unary:
+		y, ok := b.(*Unary)
+		return ok && x.Op == y.Op && Equal(x.X, y.X)
+	case *Call:
+		y, ok := b.(*Call)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Equal(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *Wildcard:
+		y, ok := b.(*Wildcard)
+		return ok && x.ID == y.ID
+	}
+	return false
+}
+
+// Children returns the direct subexpressions of e (nil for leaves).
+func Children(e Expr) []Expr {
+	switch x := e.(type) {
+	case *ArrayRef:
+		return x.Subs
+	case *Binary:
+		return []Expr{x.L, x.R}
+	case *Unary:
+		return []Expr{x.X}
+	case *Call:
+		return x.Args
+	}
+	return nil
+}
+
+// WalkExpr calls fn for e and every subexpression, pre-order. If fn
+// returns false the children of that node are not visited.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	for _, c := range Children(e) {
+		WalkExpr(c, fn)
+	}
+}
+
+// MapExpr rebuilds e bottom-up, replacing every node n with fn(n') where
+// n' is n with already-mapped children. fn may return its argument
+// unchanged. The input expression is not modified.
+func MapExpr(e Expr, fn func(Expr) Expr) Expr {
+	switch x := e.(type) {
+	case *ArrayRef:
+		c := &ArrayRef{Name: x.Name, Subs: make([]Expr, len(x.Subs))}
+		for i, s := range x.Subs {
+			c.Subs[i] = MapExpr(s, fn)
+		}
+		return fn(c)
+	case *Binary:
+		return fn(&Binary{Op: x.Op, L: MapExpr(x.L, fn), R: MapExpr(x.R, fn)})
+	case *Unary:
+		return fn(&Unary{Op: x.Op, X: MapExpr(x.X, fn)})
+	case *Call:
+		c := &Call{Name: x.Name, Args: make([]Expr, len(x.Args))}
+		for i, a := range x.Args {
+			c.Args[i] = MapExpr(a, fn)
+		}
+		return fn(c)
+	default:
+		return fn(e.Clone())
+	}
+}
+
+// SubstVar returns e with every scalar reference to name replaced by a
+// clone of repl. The input is not modified.
+func SubstVar(e Expr, name string, repl Expr) Expr {
+	return MapExpr(e, func(n Expr) Expr {
+		if v, ok := n.(*VarRef); ok && v.Name == name {
+			return repl.Clone()
+		}
+		return n
+	})
+}
+
+// VarsIn returns the set of scalar variable names referenced in e.
+// Array names (from ArrayRef and whole-array VarRef actuals) are not
+// distinguished here; ArrayRef base names are excluded, subscripts are
+// included.
+func VarsIn(e Expr) map[string]bool {
+	set := map[string]bool{}
+	WalkExpr(e, func(n Expr) bool {
+		if v, ok := n.(*VarRef); ok {
+			set[v.Name] = true
+		}
+		return true
+	})
+	return set
+}
+
+// ArraysIn returns the set of array names referenced (subscripted) in e.
+func ArraysIn(e Expr) map[string]bool {
+	set := map[string]bool{}
+	WalkExpr(e, func(n Expr) bool {
+		if a, ok := n.(*ArrayRef); ok {
+			set[a.Name] = true
+		}
+		return true
+	})
+	return set
+}
+
+// References reports whether e references name as either a scalar
+// variable or an array base name.
+func References(e Expr, name string) bool {
+	found := false
+	WalkExpr(e, func(n Expr) bool {
+		switch x := n.(type) {
+		case *VarRef:
+			if x.Name == name {
+				found = true
+			}
+		case *ArrayRef:
+			if x.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// CountNodes returns the number of nodes in the expression tree; the
+// interpreter's cycle model and test assertions use it.
+func CountNodes(e Expr) int {
+	n := 0
+	WalkExpr(e, func(Expr) bool { n++; return true })
+	return n
+}

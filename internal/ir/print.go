@@ -1,0 +1,189 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fortran renders the program as Fortran source (free-form layout with
+// six-column-style indentation). The output re-parses to an equivalent
+// program; golden tests in the parser package check the round trip.
+func (p *Program) Fortran() string {
+	var b strings.Builder
+	for i, u := range p.Units {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		u.write(&b)
+	}
+	return b.String()
+}
+
+// Fortran renders a single unit as Fortran source.
+func (u *ProgramUnit) Fortran() string {
+	var b strings.Builder
+	u.write(&b)
+	return b.String()
+}
+
+func (u *ProgramUnit) write(b *strings.Builder) {
+	switch u.Kind {
+	case UnitProgram:
+		fmt.Fprintf(b, "      PROGRAM %s\n", u.Name)
+	case UnitSubroutine:
+		fmt.Fprintf(b, "      SUBROUTINE %s(%s)\n", u.Name, strings.Join(u.Formals, ","))
+	case UnitFunction:
+		fmt.Fprintf(b, "      %s FUNCTION %s(%s)\n", u.ReturnType, u.Name, strings.Join(u.Formals, ","))
+	}
+	u.writeDecls(b)
+	writeBlock(b, u.Body, 1)
+	b.WriteString("      END\n")
+}
+
+func (u *ProgramUnit) writeDecls(b *strings.Builder) {
+	// PARAMETER constants first (they may appear in dimension bounds),
+	// in declaration order; then typed declarations; then COMMONs.
+	for _, name := range u.Symbols.Names() {
+		s := u.Symbols.Lookup(name)
+		if s.Param == nil {
+			continue
+		}
+		fmt.Fprintf(b, "      %s %s\n", s.Type, s.Name)
+		fmt.Fprintf(b, "      PARAMETER (%s=%s)\n", s.Name, s.Param)
+	}
+	for _, name := range u.Symbols.Names() {
+		s := u.Symbols.Lookup(name)
+		if s.Param != nil {
+			continue
+		}
+		decl := s.Name
+		if s.IsArray() {
+			dims := make([]string, len(s.Dims))
+			for i, d := range s.Dims {
+				hi := "*"
+				if d.Hi != nil {
+					hi = d.Hi.String()
+				}
+				if d.Lo != nil && !Equal(d.Lo, Int(1)) {
+					dims[i] = d.Lo.String() + ":" + hi
+				} else {
+					dims[i] = hi
+				}
+			}
+			decl += "(" + strings.Join(dims, ",") + ")"
+		}
+		fmt.Fprintf(b, "      %s %s\n", s.Type, decl)
+	}
+	// COMMON blocks, preserving member order.
+	blocks := map[string][]string{}
+	var blockOrder []string
+	for _, name := range u.Symbols.Names() {
+		s := u.Symbols.Lookup(name)
+		if s.Common == "" {
+			continue
+		}
+		if _, seen := blocks[s.Common]; !seen {
+			blockOrder = append(blockOrder, s.Common)
+		}
+		blocks[s.Common] = append(blocks[s.Common], s.Name)
+	}
+	for _, blk := range blockOrder {
+		fmt.Fprintf(b, "      COMMON /%s/ %s\n", blk, strings.Join(blocks[blk], ","))
+	}
+}
+
+func writeBlock(b *strings.Builder, blk *Block, depth int) {
+	if blk == nil {
+		return
+	}
+	for _, s := range blk.Stmts {
+		writeStmt(b, s, depth)
+	}
+}
+
+func indent(b *strings.Builder, depth int) {
+	b.WriteString("      ")
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func writeStmt(b *strings.Builder, s Stmt, depth int) {
+	switch x := s.(type) {
+	case *AssignStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s = %s\n", x.LHS, x.RHS)
+	case *DoStmt:
+		writeParDirective(b, x, depth)
+		indent(b, depth)
+		if x.Step != nil {
+			fmt.Fprintf(b, "DO %s = %s, %s, %s\n", x.Index, x.Init, x.Limit, x.Step)
+		} else {
+			fmt.Fprintf(b, "DO %s = %s, %s\n", x.Index, x.Init, x.Limit)
+		}
+		writeBlock(b, x.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("END DO\n")
+	case *IfStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "IF (%s) THEN\n", x.Cond)
+		writeBlock(b, x.Then, depth+1)
+		if x.Else != nil {
+			indent(b, depth)
+			b.WriteString("ELSE\n")
+			writeBlock(b, x.Else, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("END IF\n")
+	case *CallStmt:
+		indent(b, depth)
+		if len(x.Args) == 0 {
+			fmt.Fprintf(b, "CALL %s\n", x.Name)
+		} else {
+			parts := make([]string, len(x.Args))
+			for i, a := range x.Args {
+				parts[i] = a.String()
+			}
+			fmt.Fprintf(b, "CALL %s(%s)\n", x.Name, strings.Join(parts, ","))
+		}
+	case *ReturnStmt:
+		indent(b, depth)
+		b.WriteString("RETURN\n")
+	case *StopStmt:
+		indent(b, depth)
+		b.WriteString("STOP\n")
+	case *ContinueStmt:
+		indent(b, depth)
+		b.WriteString("CONTINUE\n")
+	case *CommentStmt:
+		fmt.Fprintf(b, "C %s\n", x.Text)
+	}
+}
+
+// writeParDirective emits the OpenMP-style directive encoding the
+// parallelization verdict of a loop (the Polaris output for the target
+// machine's annotated Fortran dialect).
+func writeParDirective(b *strings.Builder, d *DoStmt, depth int) {
+	p := d.Par
+	if p == nil {
+		return
+	}
+	if !p.Parallel {
+		if len(p.LRPD) > 0 {
+			fmt.Fprintf(b, "C$POLARIS LRPD(%s)\n", strings.Join(p.LRPD, ","))
+		}
+		return
+	}
+	clauses := ""
+	priv := append(append([]string(nil), p.Private...), p.PrivateArrays...)
+	if len(priv) > 0 {
+		clauses += " PRIVATE(" + strings.Join(priv, ",") + ")"
+	}
+	if len(p.LastValue) > 0 {
+		clauses += " LASTPRIVATE(" + strings.Join(p.LastValue, ",") + ")"
+	}
+	for _, r := range p.Reductions {
+		clauses += fmt.Sprintf(" REDUCTION(%s:%s)", r.Op, r.Target)
+	}
+	fmt.Fprintf(b, "C$OMP PARALLEL DO%s\n", clauses)
+}

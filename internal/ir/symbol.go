@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Type is the Fortran type of a symbol or expression.
+type Type int
+
+// Fortran types of the supported subset.
+const (
+	TypeUnknown Type = iota
+	TypeInteger
+	TypeReal
+	TypeLogical
+)
+
+// String returns the Fortran keyword for the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInteger:
+		return "INTEGER"
+	case TypeReal:
+		return "REAL"
+	case TypeLogical:
+		return "LOGICAL"
+	}
+	return "UNKNOWN"
+}
+
+// Dim is one array dimension LO:HI. Lo defaults to 1. Hi == nil means
+// an assumed-size dimension (declared "*"), legal only for formals.
+type Dim struct {
+	Lo Expr
+	Hi Expr
+}
+
+// Clone deep-copies the dimension.
+func (d Dim) Clone() Dim {
+	c := Dim{}
+	if d.Lo != nil {
+		c.Lo = d.Lo.Clone()
+	}
+	if d.Hi != nil {
+		c.Hi = d.Hi.Clone()
+	}
+	return c
+}
+
+// LoOr1 returns the lower bound, or the constant 1 if not written.
+func (d Dim) LoOr1() Expr {
+	if d.Lo == nil {
+		return Int(1)
+	}
+	return d.Lo
+}
+
+// Symbol is one entry of a unit's symbol table.
+type Symbol struct {
+	Name string
+	Type Type
+	// Dims is non-nil for arrays.
+	Dims []Dim
+	// Formal marks dummy arguments.
+	Formal bool
+	// Param holds the value of a PARAMETER constant, or nil.
+	Param Expr
+	// Common names the COMMON block the symbol lives in, or "".
+	Common string
+}
+
+// IsArray reports whether the symbol is declared with dimensions.
+func (s *Symbol) IsArray() bool { return len(s.Dims) > 0 }
+
+// Clone deep-copies the symbol.
+func (s *Symbol) Clone() *Symbol {
+	c := *s
+	c.Dims = make([]Dim, len(s.Dims))
+	for i, d := range s.Dims {
+		c.Dims[i] = d.Clone()
+	}
+	if s.Param != nil {
+		c.Param = s.Param.Clone()
+	}
+	return &c
+}
+
+// SymbolTable maps names to symbols and remembers declaration order.
+// Lookups of undeclared names follow the Fortran implicit rule
+// (I..N integer, otherwise real) when implicit typing is enabled.
+type SymbolTable struct {
+	syms  map[string]*Symbol
+	order []string
+}
+
+// NewSymbolTable returns an empty symbol table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{syms: map[string]*Symbol{}}
+}
+
+// Clone deep-copies the table.
+func (t *SymbolTable) Clone() *SymbolTable {
+	c := NewSymbolTable()
+	for _, name := range t.order {
+		c.Insert(t.syms[name].Clone())
+	}
+	return c
+}
+
+// Insert adds sym to the table. Inserting a name twice is an internal
+// consistency error (the Polaris aliasing rule).
+func (t *SymbolTable) Insert(sym *Symbol) {
+	Assert(sym.Name != "", "SymbolTable.Insert: empty name")
+	if _, dup := t.syms[sym.Name]; dup {
+		panic(&ConsistencyError{Msg: fmt.Sprintf("duplicate symbol %s", sym.Name)})
+	}
+	t.syms[sym.Name] = sym
+	t.order = append(t.order, sym.Name)
+}
+
+// Lookup returns the symbol for name, or nil.
+func (t *SymbolTable) Lookup(name string) *Symbol { return t.syms[name] }
+
+// Remove deletes name from the table; missing names are ignored.
+func (t *SymbolTable) Remove(name string) {
+	if _, ok := t.syms[name]; !ok {
+		return
+	}
+	delete(t.syms, name)
+	for i, n := range t.order {
+		if n == name {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Declare returns the symbol for name, creating it with the implicit
+// Fortran type if it does not exist.
+func (t *SymbolTable) Declare(name string) *Symbol {
+	if s := t.syms[name]; s != nil {
+		return s
+	}
+	s := &Symbol{Name: name, Type: ImplicitType(name)}
+	t.Insert(s)
+	return s
+}
+
+// Names returns the declared names in declaration order.
+func (t *SymbolTable) Names() []string { return append([]string(nil), t.order...) }
+
+// SortedNames returns the declared names sorted alphabetically.
+func (t *SymbolTable) SortedNames() []string {
+	names := t.Names()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of symbols.
+func (t *SymbolTable) Len() int { return len(t.order) }
+
+// FreshName returns a name with the given prefix that does not collide
+// with any declared symbol, and declares it with the given type.
+func (t *SymbolTable) FreshName(prefix string, typ Type, dims []Dim) string {
+	name := prefix
+	for i := 0; ; i++ {
+		if i > 0 {
+			name = fmt.Sprintf("%s%d", prefix, i)
+		}
+		if t.Lookup(name) == nil {
+			break
+		}
+	}
+	t.Insert(&Symbol{Name: name, Type: typ, Dims: dims})
+	return name
+}
+
+// ImplicitType returns the Fortran implicit type for a name: INTEGER
+// for names starting with I..N, REAL otherwise.
+func ImplicitType(name string) Type {
+	if name == "" {
+		return TypeUnknown
+	}
+	c := name[0]
+	if c >= 'I' && c <= 'N' {
+		return TypeInteger
+	}
+	return TypeReal
+}

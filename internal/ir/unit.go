@@ -1,0 +1,133 @@
+package ir
+
+import "fmt"
+
+// UnitKind discriminates program units.
+type UnitKind int
+
+// Program unit kinds.
+const (
+	UnitProgram UnitKind = iota
+	UnitSubroutine
+	UnitFunction
+)
+
+// String returns the Fortran keyword for the kind.
+func (k UnitKind) String() string {
+	switch k {
+	case UnitProgram:
+		return "PROGRAM"
+	case UnitSubroutine:
+		return "SUBROUTINE"
+	case UnitFunction:
+		return "FUNCTION"
+	}
+	return "?"
+}
+
+// ProgramUnit is a PROGRAM, SUBROUTINE, or FUNCTION: a symbol table,
+// formal argument list, and statement body (the paper's ProgramUnit
+// container of statements, symbol table, common blocks, equivalences).
+type ProgramUnit struct {
+	Kind    UnitKind
+	Name    string
+	Formals []string
+	Symbols *SymbolTable
+	Body    *Block
+	// ReturnType is set for functions; the function result is assigned
+	// to the variable named after the function.
+	ReturnType Type
+}
+
+// NewUnit returns an empty unit of the given kind.
+func NewUnit(kind UnitKind, name string) *ProgramUnit {
+	return &ProgramUnit{Kind: kind, Name: name, Symbols: NewSymbolTable(), Body: NewBlock()}
+}
+
+// Clone deep-copies the unit.
+func (u *ProgramUnit) Clone() *ProgramUnit {
+	return &ProgramUnit{
+		Kind:       u.Kind,
+		Name:       u.Name,
+		Formals:    append([]string(nil), u.Formals...),
+		Symbols:    u.Symbols.Clone(),
+		Body:       u.Body.Clone(),
+		ReturnType: u.ReturnType,
+	}
+}
+
+// Program is a collection of program units (the paper's Program class).
+type Program struct {
+	Units []*ProgramUnit
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{} }
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	c := NewProgram()
+	for _, u := range p.Units {
+		c.Units = append(c.Units, u.Clone())
+	}
+	return c
+}
+
+// Add appends a unit; adding a second unit with the same name is a
+// consistency error.
+func (p *Program) Add(u *ProgramUnit) {
+	if p.Unit(u.Name) != nil {
+		panic(&ConsistencyError{Msg: fmt.Sprintf("duplicate program unit %s", u.Name)})
+	}
+	p.Units = append(p.Units, u)
+}
+
+// Merge adds every unit of other into p.
+func (p *Program) Merge(other *Program) {
+	for _, u := range other.Units {
+		p.Add(u)
+	}
+}
+
+// Unit returns the unit named name, or nil.
+func (p *Program) Unit(name string) *ProgramUnit {
+	for _, u := range p.Units {
+		if u.Name == name {
+			return u
+		}
+	}
+	return nil
+}
+
+// Main returns the PROGRAM unit, or the first unit if none is marked.
+func (p *Program) Main() *ProgramUnit {
+	for _, u := range p.Units {
+		if u.Kind == UnitProgram {
+			return u
+		}
+	}
+	if len(p.Units) > 0 {
+		return p.Units[0]
+	}
+	return nil
+}
+
+// ConsistencyError is the error reported by the IR's internal
+// consistency machinery (Polaris' p_assert / internal consistency
+// errors). It is delivered by panic from mutating operations that would
+// corrupt the representation, and as an ordinary error from Check.
+type ConsistencyError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *ConsistencyError) Error() string { return "ir: consistency: " + e.Msg }
+
+// Assert panics with a ConsistencyError when cond is false. It is the
+// analogue of the paper's p_assert: assumptions stated explicitly and
+// checked at run time.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic(&ConsistencyError{Msg: msg})
+	}
+}

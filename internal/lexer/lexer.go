@@ -1,0 +1,274 @@
+// Package lexer tokenizes the Fortran 77 subset accepted by the Polaris
+// reproduction. Layout is liberal ("free-form-lite"): statement fields
+// may start in any column, one statement per line, with '&' at end of
+// line joining the next line. Comment lines begin with C, c, * or ! in
+// column one; '!' also starts a trailing comment. Input is
+// case-insensitive; the lexer upper-cases identifiers and keywords.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	NEWLINE
+	IDENT   // names and keywords, upper-cased
+	INT     // integer literal
+	REAL    // real literal
+	LOGICAL // .TRUE. / .FALSE.
+	OP      // operator or punctuation: + - * / ** ( ) , = : .LT. etc.
+	LABEL   // statement label (leading integer on a line)
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "<eof>"
+	case NEWLINE:
+		return "<nl>"
+	default:
+		return t.Text
+	}
+}
+
+// Error is a lexical error with a line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// dotOps are the .XX. operators recognized between dots.
+var dotOps = map[string]bool{
+	"LT": true, "LE": true, "GT": true, "GE": true, "EQ": true, "NE": true,
+	"AND": true, "OR": true, "NOT": true, "TRUE": true, "FALSE": true,
+}
+
+// Lex tokenizes src. Every source line produces its tokens followed by
+// a NEWLINE token; continuation lines ('&' at end) suppress the
+// NEWLINE. The token stream always ends with EOF.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	lines := strings.Split(src, "\n")
+	cont := false
+	for lineNo0, raw := range lines {
+		line := lineNo0 + 1
+		// Comment lines.
+		trimmedFull := strings.TrimRight(raw, " \t\r")
+		if trimmedFull == "" {
+			continue
+		}
+		if c := raw[0]; c == 'C' || c == 'c' || c == '*' || c == '!' {
+			// A full-line comment only if it is not a statement
+			// starting with one of those letters: Fortran fixed form
+			// says column 1; we honor that.
+			if !cont {
+				continue
+			}
+		}
+		s := trimmedFull
+		// Trailing '!' comment (not inside our subset's strings; we
+		// support no string literals in executable code).
+		if i := strings.IndexByte(s, '!'); i >= 0 {
+			s = strings.TrimRight(s[:i], " \t")
+			if s == "" {
+				continue
+			}
+		}
+		contNext := false
+		if strings.HasSuffix(s, "&") {
+			contNext = true
+			s = strings.TrimRight(s[:len(s)-1], " \t")
+		}
+		lt, err := lexLine(s, line, cont)
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, lt...)
+		if !contNext {
+			toks = append(toks, Token{Kind: NEWLINE, Line: line})
+		}
+		cont = contNext
+	}
+	toks = append(toks, Token{Kind: EOF, Line: len(lines)})
+	return toks, nil
+}
+
+func lexLine(s string, line int, cont bool) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(s)
+	skip := func() {
+		for i < n && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r') {
+			i++
+		}
+	}
+	skip()
+	// Statement label: a leading integer followed by more tokens.
+	if !cont && i < n && s[i] >= '0' && s[i] <= '9' {
+		j := i
+		for j < n && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if j < n && (s[j] == ' ' || s[j] == '\t') {
+			rest := strings.TrimSpace(s[j:])
+			if rest != "" && !isExprStart(rest) {
+				toks = append(toks, Token{Kind: LABEL, Text: s[i:j], Line: line})
+				i = j
+			}
+		}
+	}
+	for {
+		skip()
+		if i >= n {
+			break
+		}
+		c := s[i]
+		switch {
+		case isAlpha(c):
+			j := i
+			for j < n && (isAlpha(s[j]) || isDigit(s[j]) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, Token{Kind: IDENT, Text: strings.ToUpper(s[i:j]), Line: line})
+			i = j
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(s[i+1]) && !startsDotOp(s[i:])):
+			tok, j, err := lexNumber(s, i, line)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			i = j
+		case c == '.':
+			// .OP. or .TRUE./.FALSE.
+			j := i + 1
+			for j < n && isAlpha(s[j]) {
+				j++
+			}
+			if j < n && s[j] == '.' {
+				word := strings.ToUpper(s[i+1 : j])
+				if dotOps[word] {
+					kind := OP
+					if word == "TRUE" || word == "FALSE" {
+						kind = LOGICAL
+					}
+					toks = append(toks, Token{Kind: kind, Text: "." + word + ".", Line: line})
+					i = j + 1
+					continue
+				}
+			}
+			return nil, &Error{Line: line, Msg: fmt.Sprintf("unexpected '.' at column %d", i+1)}
+		case c == '*':
+			if i+1 < n && s[i+1] == '*' {
+				toks = append(toks, Token{Kind: OP, Text: "**", Line: line})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: OP, Text: "*", Line: line})
+				i++
+			}
+		case c == '<' || c == '>':
+			if i+1 < n && s[i+1] == '=' {
+				toks = append(toks, Token{Kind: OP, Text: map[byte]string{'<': ".LE.", '>': ".GE."}[c], Line: line})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: OP, Text: map[byte]string{'<': ".LT.", '>': ".GT."}[c], Line: line})
+				i++
+			}
+		case c == '=':
+			if i+1 < n && s[i+1] == '=' {
+				toks = append(toks, Token{Kind: OP, Text: ".EQ.", Line: line})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: OP, Text: "=", Line: line})
+				i++
+			}
+		case c == '/':
+			if i+1 < n && s[i+1] == '=' {
+				toks = append(toks, Token{Kind: OP, Text: ".NE.", Line: line})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: OP, Text: "/", Line: line})
+				i++
+			}
+		case strings.IndexByte("+-(),:", c) >= 0:
+			toks = append(toks, Token{Kind: OP, Text: string(c), Line: line})
+			i++
+		default:
+			return nil, &Error{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	return toks, nil
+}
+
+func lexNumber(s string, i, line int) (Token, int, error) {
+	n := len(s)
+	j := i
+	isReal := false
+	for j < n && isDigit(s[j]) {
+		j++
+	}
+	if j < n && s[j] == '.' && !startsDotOp(s[j:]) {
+		isReal = true
+		j++
+		for j < n && isDigit(s[j]) {
+			j++
+		}
+	}
+	if j < n && (s[j] == 'E' || s[j] == 'e' || s[j] == 'D' || s[j] == 'd') {
+		k := j + 1
+		if k < n && (s[k] == '+' || s[k] == '-') {
+			k++
+		}
+		if k < n && isDigit(s[k]) {
+			isReal = true
+			j = k
+			for j < n && isDigit(s[j]) {
+				j++
+			}
+		}
+	}
+	text := strings.ToUpper(strings.Replace(s[i:j], "d", "E", 1))
+	text = strings.Replace(text, "D", "E", 1)
+	kind := INT
+	if isReal {
+		kind = REAL
+	}
+	return Token{Kind: kind, Text: text, Line: line}, j, nil
+}
+
+// startsDotOp reports whether s (starting with '.') begins a .XX.
+// operator like .LT. rather than a real-literal fraction.
+func startsDotOp(s string) bool {
+	if len(s) < 3 || s[0] != '.' {
+		return false
+	}
+	j := 1
+	for j < len(s) && isAlpha(s[j]) {
+		j++
+	}
+	return j > 1 && j < len(s) && s[j] == '.' && dotOps[strings.ToUpper(s[1:j])]
+}
+
+// isExprStart reports whether rest looks like a continuation of an
+// expression (used to disambiguate labels from plain integers).
+func isExprStart(rest string) bool {
+	c := rest[0]
+	return strings.IndexByte("+-*/=,)", c) >= 0
+}
+
+func isAlpha(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

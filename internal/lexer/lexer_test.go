@@ -1,0 +1,171 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) string {
+	var parts []string
+	for _, t := range toks {
+		if t.Kind == NEWLINE {
+			parts = append(parts, "<nl>")
+		} else if t.Kind == EOF {
+			parts = append(parts, "<eof>")
+		} else {
+			parts = append(parts, t.Text)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := lex(t, "      X = a + 2*B(i, 3)\n")
+	want := "X = A + 2 * B ( I , 3 ) <nl> <eof>"
+	if got := texts(toks); got != want {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestCaseNormalization(t *testing.T) {
+	toks := lex(t, "      do i = 1, n\n")
+	if toks[0].Text != "DO" || toks[1].Text != "I" || toks[5].Text != "N" {
+		t.Errorf("case not normalized: %s", texts(toks))
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+		text string
+	}{
+		{"      X = 42\n", INT, "42"},
+		{"      X = 4.25\n", REAL, "4.25"},
+		{"      X = 1E6\n", REAL, "1E6"},
+		{"      X = 1.5e-3\n", REAL, "1.5E-3"},
+		{"      X = 2.5D0\n", REAL, "2.5E0"},
+		{"      X = .TRUE.\n", LOGICAL, ".TRUE."},
+	}
+	for _, c := range cases {
+		toks := lex(t, c.src)
+		found := false
+		for _, tok := range toks {
+			if tok.Kind == c.kind && tok.Text == c.text {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%q: token (%v,%q) missing in %s", c.src, c.kind, c.text, texts(toks))
+		}
+	}
+}
+
+func TestDotOperators(t *testing.T) {
+	toks := lex(t, "      IF (X .LT. 2.5 .AND. Y .GE. 1.) Z = 1\n")
+	joined := texts(toks)
+	for _, want := range []string{".LT.", ".AND.", ".GE.", "2.5", "1."} {
+		if !strings.Contains(joined, strings.TrimSuffix(want, "")) {
+			t.Errorf("missing %q in %q", want, joined)
+		}
+	}
+	// "2.5 .AND." must not fuse: 2.5 then .AND.
+	if strings.Contains(joined, "2.5.") {
+		t.Errorf("real literal fused with dot-op: %q", joined)
+	}
+}
+
+func TestModernRelationalSpellings(t *testing.T) {
+	toks := lex(t, "      IF (a < b .OR. c >= d .OR. e == f .OR. g /= h) x = 1\n")
+	joined := texts(toks)
+	for _, want := range []string{".LT.", ".GE.", ".EQ.", ".NE."} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %s in %q", want, joined)
+		}
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	src := "C full line comment\n* another\n! bang\n      X = 1 ! trailing\n"
+	toks := lex(t, src)
+	if got := texts(toks); got != "X = 1 <nl> <eof>" {
+		t.Errorf("comments leaked: %q", got)
+	}
+}
+
+func TestContinuation(t *testing.T) {
+	toks := lex(t, "      X = 1 + &\n          2\n")
+	if got := texts(toks); got != "X = 1 + 2 <nl> <eof>" {
+		t.Errorf("continuation wrong: %q", got)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	toks := lex(t, " 10   CONTINUE\n")
+	if toks[0].Kind != LABEL || toks[0].Text != "10" {
+		t.Errorf("label not recognized: %s", texts(toks))
+	}
+	// An integer mid-line is not a label.
+	toks2 := lex(t, "      X = 10\n")
+	for _, tok := range toks2 {
+		if tok.Kind == LABEL {
+			t.Errorf("mid-line integer lexed as label")
+		}
+	}
+}
+
+func TestPowerAndStar(t *testing.T) {
+	toks := lex(t, "      X = A ** 2 * B\n")
+	joined := texts(toks)
+	if !strings.Contains(joined, "** 2 * B") {
+		t.Errorf("power operator wrong: %q", joined)
+	}
+}
+
+func TestLineNumbers(t *testing.T) {
+	toks := lex(t, "      X = 1\n      Y = 2\n")
+	var yLine int
+	for _, tok := range toks {
+		if tok.Text == "Y" {
+			yLine = tok.Line
+		}
+	}
+	if yLine != 2 {
+		t.Errorf("Y on line %d, want 2", yLine)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"      X = 'str'\n", "      X = .BOGUS. 1\n", "      X = #\n"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEmptyAndBlankLines(t *testing.T) {
+	toks := lex(t, "\n\n      X = 1\n\n")
+	if got := texts(toks); got != "X = 1 <nl> <eof>" {
+		t.Errorf("blank lines mishandled: %q", got)
+	}
+	if len(kinds(toks)) != 5 {
+		t.Errorf("token count = %d", len(toks))
+	}
+}

@@ -1,0 +1,241 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"polaris/internal/ir"
+)
+
+// Additional coverage for the less-travelled grammar productions.
+
+func TestParseElseIfSingleToken(t *testing.T) {
+	// "ELSEIF" written without a space.
+	src := `
+      PROGRAM P
+      INTEGER I, X
+      I = 3
+      IF (I .GT. 5) THEN
+        X = 1
+      ELSEIF (I .GT. 2) THEN
+        X = 2
+      ELSE
+        X = 3
+      END IF
+      END
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ifStmt := prog.Main().Body.Stmts[1].(*ir.IfStmt)
+	nested, ok := ifStmt.Else.Stmts[0].(*ir.IfStmt)
+	if !ok || nested.Else == nil {
+		t.Errorf("ELSEIF chain not nested properly")
+	}
+}
+
+func TestParseDimensionForms(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(0:9), B(-5:5, 3), C(*)
+      REAL D(2:*)
+      A(0) = 1.0
+      B(-5, 1) = 2.0
+      END
+`
+	// C(*) and D(2:*) are only legal for formals, but the parser
+	// accepts the syntax; the checker requires arrays be declared, so
+	// wrap them in a subroutine instead.
+	src = strings.Replace(src, "PROGRAM P", "SUBROUTINE P(C, D)", 1)
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	u := prog.Main()
+	a := u.Symbols.Lookup("A")
+	if a == nil || a.Dims[0].LoOr1().String() != "0" || a.Dims[0].Hi.String() != "9" {
+		t.Errorf("A dims wrong: %+v", a)
+	}
+	b := u.Symbols.Lookup("B")
+	if b == nil || len(b.Dims) != 2 || b.Dims[0].Lo.String() != "-5" {
+		t.Errorf("B dims wrong: %+v", b)
+	}
+	c := u.Symbols.Lookup("C")
+	if c == nil || c.Dims[0].Hi != nil {
+		t.Errorf("C assumed size wrong: %+v", c)
+	}
+	d := u.Symbols.Lookup("D")
+	if d == nil || d.Dims[0].Hi != nil || d.Dims[0].Lo.String() != "2" {
+		t.Errorf("D dims wrong: %+v", d)
+	}
+}
+
+func TestParseMultiParameter(t *testing.T) {
+	src := `
+      PROGRAM P
+      INTEGER N, M, K
+      PARAMETER (N=4, M=N*N, K=M-1)
+      REAL A(K)
+      A(1) = 1.0
+      END
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// PARAMETER expressions are stored as written (resolution happens
+	// in range propagation).
+	k := prog.Main().Symbols.Lookup("K")
+	if k == nil || k.Param == nil || k.Param.String() != "M-1" {
+		t.Errorf("K param = %v", k.Param)
+	}
+}
+
+func TestParseImplicitNoneIgnored(t *testing.T) {
+	src := `
+      PROGRAM P
+      IMPLICIT NONE
+      INTEGER I
+      I = 1
+      END
+`
+	if _, err := ParseProgram(src); err != nil {
+		t.Errorf("IMPLICIT NONE rejected: %v", err)
+	}
+}
+
+func TestParseUnnamedCommon(t *testing.T) {
+	src := `
+      PROGRAM P
+      COMMON X, Y
+      X = 1.0
+      Y = 2.0
+      END
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if prog.Main().Symbols.Lookup("X").Common != "" {
+		t.Errorf("unnamed common block name should be empty")
+	}
+}
+
+func TestParseCommonWithDims(t *testing.T) {
+	src := `
+      PROGRAM P
+      COMMON /BLK/ A(10), N
+      A(1) = 1.0
+      N = 2
+      END
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	a := prog.Main().Symbols.Lookup("A")
+	if a == nil || !a.IsArray() || a.Common != "BLK" {
+		t.Errorf("COMMON array decl wrong: %+v", a)
+	}
+}
+
+func TestParseSubroutineNoArgs(t *testing.T) {
+	src := `
+      PROGRAM P
+      CALL NOP
+      CALL NOP2()
+      END
+
+      SUBROUTINE NOP
+      RETURN
+      END
+
+      SUBROUTINE NOP2()
+      RETURN
+      END
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Unit("NOP").Formals) != 0 || len(prog.Unit("NOP2").Formals) != 0 {
+		t.Errorf("no-arg forms wrong")
+	}
+}
+
+func TestParseUntypedFunction(t *testing.T) {
+	src := `
+      PROGRAM P
+      X = VAL2(1.0)
+      END
+
+      FUNCTION VAL2(A)
+      REAL A
+      VAL2 = A + 1.0
+      END
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f := prog.Unit("VAL2")
+	// Implicit type of VAL2: V -> REAL.
+	if f.ReturnType != ir.TypeReal {
+		t.Errorf("implicit function type = %v", f.ReturnType)
+	}
+}
+
+func TestParseMoreErrors(t *testing.T) {
+	bad := []string{
+		// unterminated labeled DO
+		"      PROGRAM P\n      DO 10 I = 1, 5\n      X = 1.0\n      END\n",
+		// mismatched label
+		"      PROGRAM P\n      DO 10 I = 1, 5\n 20   CONTINUE\n      END\n",
+		// PARAMETER without parens
+		"      PROGRAM P\n      PARAMETER N=1\n      END\n",
+		// bad DIMENSION
+		"      PROGRAM P\n      DIMENSION X\n      END\n",
+		// ELSE without IF context is a parse error at unit level
+		"      PROGRAM P\n      ELSE\n      END\n",
+		// assignment to an expression
+		"      PROGRAM P\n      1 = X\n      END\n",
+		// dangling END DO
+		"      PROGRAM P\n      END DO\n      END\n",
+	}
+	for _, src := range bad {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("accepted bad source:\n%s", src)
+		}
+	}
+}
+
+func TestParseLogicalIfVariants(t *testing.T) {
+	src := `
+      PROGRAM P
+      INTEGER I, X(5)
+      I = 1
+      IF (I .EQ. 1) X(I) = 2
+      IF (I .LT. 0) CALL NOPE
+      IF (I .GT. 0) RETURN
+      END
+
+      SUBROUTINE NOPE
+      RETURN
+      END
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := prog.Main().Body
+	if _, ok := body.Stmts[1].(*ir.IfStmt).Then.Stmts[0].(*ir.AssignStmt); !ok {
+		t.Errorf("logical IF assignment wrong")
+	}
+	if _, ok := body.Stmts[2].(*ir.IfStmt).Then.Stmts[0].(*ir.CallStmt); !ok {
+		t.Errorf("logical IF call wrong")
+	}
+	if _, ok := body.Stmts[3].(*ir.IfStmt).Then.Stmts[0].(*ir.ReturnStmt); !ok {
+		t.Errorf("logical IF return wrong")
+	}
+}

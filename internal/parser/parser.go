@@ -1,0 +1,1052 @@
+// Package parser turns Fortran-subset source into the Polaris IR.
+//
+// The accepted subset covers what the Polaris paper's analyses operate
+// on: PROGRAM/SUBROUTINE/FUNCTION units, INTEGER/REAL/LOGICAL
+// declarations with array dimensions, PARAMETER, DIMENSION, COMMON,
+// assignments, DO/END DO loops (also labeled DO ... <label> CONTINUE),
+// block and logical IF, CALL, RETURN, STOP, CONTINUE, and full
+// arithmetic/relational/logical expressions with intrinsic calls.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"polaris/internal/ir"
+	"polaris/internal/lexer"
+)
+
+// Error is a parse error with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: parse: %s", e.Line, e.Msg) }
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+	unit *ir.ProgramUnit
+	// funcs records names of FUNCTION units so calls parse as Call
+	// expressions rather than array references.
+	funcs map[string]bool
+}
+
+// ParseProgram parses a whole source file into a Program and validates
+// it with the IR consistency checker.
+func ParseProgram(src string) (*ir.Program, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, funcs: map[string]bool{}}
+	// Pre-scan for FUNCTION names so forward calls resolve.
+	for i := 0; i+1 < len(toks); i++ {
+		if toks[i].Kind == lexer.IDENT && toks[i].Text == "FUNCTION" && toks[i+1].Kind == lexer.IDENT {
+			p.funcs[toks[i+1].Text] = true
+		}
+	}
+	prog := ir.NewProgram()
+	for {
+		p.skipNewlines()
+		if p.at(lexer.EOF) {
+			break
+		}
+		u, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		prog.Add(u)
+	}
+	if err := prog.Check(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseExpr parses a single expression (used by tests and tools).
+func ParseExpr(src string) (ir.Expr, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, funcs: map[string]bool{}, unit: ir.NewUnit(ir.UnitProgram, "X")}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	if !p.at(lexer.EOF) {
+		return nil, p.errorf("trailing tokens after expression")
+	}
+	return e, nil
+}
+
+func (p *parser) cur() lexer.Token     { return p.toks[p.pos] }
+func (p *parser) at(k lexer.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) atOp(text string) bool {
+	t := p.cur()
+	return t.Kind == lexer.OP && t.Text == text
+}
+
+func (p *parser) atIdent(text string) bool {
+	t := p.cur()
+	return t.Kind == lexer.IDENT && t.Text == text
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if t.Kind != lexer.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectOp(text string) error {
+	if !p.atOp(text) {
+		return p.errorf("expected %q, found %q", text, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdent(text string) error {
+	if !p.atIdent(text) {
+		return p.errorf("expected %s, found %q", text, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectEOL() error {
+	if p.at(lexer.EOF) {
+		return nil
+	}
+	if !p.at(lexer.NEWLINE) {
+		return p.errorf("unexpected %q at end of statement", p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.at(lexer.NEWLINE) {
+		p.next()
+	}
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &Error{Line: p.cur().Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseUnit parses one program unit up to its END.
+func (p *parser) parseUnit() (*ir.ProgramUnit, error) {
+	var u *ir.ProgramUnit
+	switch {
+	case p.atIdent("PROGRAM"):
+		p.next()
+		if !p.at(lexer.IDENT) {
+			return nil, p.errorf("expected program name")
+		}
+		u = ir.NewUnit(ir.UnitProgram, p.next().Text)
+	case p.atIdent("SUBROUTINE"):
+		p.next()
+		if !p.at(lexer.IDENT) {
+			return nil, p.errorf("expected subroutine name")
+		}
+		u = ir.NewUnit(ir.UnitSubroutine, p.next().Text)
+		formals, err := p.parseFormals()
+		if err != nil {
+			return nil, err
+		}
+		u.Formals = formals
+	case p.atIdent("FUNCTION") || p.isTypedFunction():
+		rt := ir.TypeUnknown
+		if !p.atIdent("FUNCTION") {
+			rt = keywordType(p.next().Text)
+		}
+		p.next() // FUNCTION
+		if !p.at(lexer.IDENT) {
+			return nil, p.errorf("expected function name")
+		}
+		u = ir.NewUnit(ir.UnitFunction, p.next().Text)
+		formals, err := p.parseFormals()
+		if err != nil {
+			return nil, err
+		}
+		u.Formals = formals
+		if rt == ir.TypeUnknown {
+			rt = ir.ImplicitType(u.Name)
+		}
+		u.ReturnType = rt
+		// The result variable has the function's name and type.
+		u.Symbols.Insert(&ir.Symbol{Name: u.Name, Type: rt})
+	default:
+		return nil, p.errorf("expected PROGRAM, SUBROUTINE, or FUNCTION, found %q", p.cur())
+	}
+	if err := p.expectEOL(); err != nil {
+		return nil, err
+	}
+	p.unit = u
+	for _, f := range u.Formals {
+		if u.Symbols.Lookup(f) == nil {
+			u.Symbols.Insert(&ir.Symbol{Name: f, Type: ir.ImplicitType(f), Formal: true})
+		}
+	}
+	body, err := p.parseBlock(map[string]bool{"END": true})
+	if err != nil {
+		return nil, err
+	}
+	u.Body = body
+	if err := p.expectIdent("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectEOL(); err != nil {
+		return nil, err
+	}
+	p.unit = nil
+	return u, nil
+}
+
+func (p *parser) isTypedFunction() bool {
+	if !p.at(lexer.IDENT) {
+		return false
+	}
+	if keywordType(p.cur().Text) == ir.TypeUnknown {
+		return false
+	}
+	return p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == lexer.IDENT && p.toks[p.pos+1].Text == "FUNCTION"
+}
+
+func (p *parser) parseFormals() ([]string, error) {
+	if !p.atOp("(") {
+		return nil, nil
+	}
+	p.next()
+	var formals []string
+	if p.atOp(")") {
+		p.next()
+		return nil, nil
+	}
+	for {
+		if !p.at(lexer.IDENT) {
+			return nil, p.errorf("expected formal name")
+		}
+		formals = append(formals, p.next().Text)
+		if p.atOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return formals, nil
+}
+
+func keywordType(s string) ir.Type {
+	switch s {
+	case "INTEGER":
+		return ir.TypeInteger
+	case "REAL", "DOUBLEPRECISION":
+		return ir.TypeReal
+	case "LOGICAL":
+		return ir.TypeLogical
+	}
+	return ir.TypeUnknown
+}
+
+// parseBlock parses statements until one of the stop keywords is at the
+// start of a line (not consumed). Labeled CONTINUE statements that close
+// labeled DOs are handled inside parseDo.
+func (p *parser) parseBlock(stop map[string]bool) (*ir.Block, error) {
+	b := ir.NewBlock()
+	for {
+		p.skipNewlines()
+		if p.at(lexer.EOF) {
+			return b, nil
+		}
+		if p.at(lexer.IDENT) && stop[p.stopKeyword()] {
+			return b, nil
+		}
+		if p.at(lexer.LABEL) {
+			// A labeled statement terminates blocks only via parseDo,
+			// which watches for its own label.
+			return b, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Append(s)
+		}
+	}
+}
+
+// stopKeyword normalizes two-token closers (END DO, END IF, ELSE IF)
+// into single keywords for block termination.
+func (p *parser) stopKeyword() string {
+	t := p.cur().Text
+	if t == "END" && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == lexer.IDENT {
+		switch p.toks[p.pos+1].Text {
+		case "DO":
+			return "ENDDO"
+		case "IF":
+			return "ENDIF"
+		}
+	}
+	if t == "ELSE" {
+		return "ELSE"
+	}
+	return t
+}
+
+// consumeCloser consumes a normalized closer keyword (ENDDO, ENDIF, ...).
+func (p *parser) consumeCloser(kw string) error {
+	switch kw {
+	case "ENDDO":
+		if p.atIdent("ENDDO") {
+			p.next()
+		} else {
+			p.next() // END
+			p.next() // DO
+		}
+	case "ENDIF":
+		if p.atIdent("ENDIF") {
+			p.next()
+		} else {
+			p.next()
+			p.next()
+		}
+	default:
+		p.next()
+	}
+	return p.expectEOL()
+}
+
+func (p *parser) parseStmt() (ir.Stmt, error) {
+	t := p.cur()
+	if t.Kind != lexer.IDENT {
+		return nil, p.errorf("expected statement, found %q", t)
+	}
+	switch t.Text {
+	case "INTEGER", "REAL", "LOGICAL", "DOUBLEPRECISION":
+		return nil, p.parseTypeDecl()
+	case "DIMENSION":
+		return nil, p.parseDimension()
+	case "PARAMETER":
+		return nil, p.parseParameter()
+	case "COMMON":
+		return nil, p.parseCommon()
+	case "IMPLICIT":
+		// IMPLICIT NONE accepted and ignored (implicit typing stays on
+		// for robustness of the synthetic suite).
+		for !p.at(lexer.NEWLINE) && !p.at(lexer.EOF) {
+			p.next()
+		}
+		return nil, p.expectEOL()
+	case "DO":
+		return p.parseDo()
+	case "IF":
+		return p.parseIf()
+	case "CALL":
+		return p.parseCall()
+	case "RETURN":
+		p.next()
+		return &ir.ReturnStmt{}, p.expectEOL()
+	case "STOP":
+		p.next()
+		return &ir.StopStmt{}, p.expectEOL()
+	case "CONTINUE":
+		p.next()
+		return &ir.ContinueStmt{}, p.expectEOL()
+	}
+	// Otherwise: assignment.
+	return p.parseAssign()
+}
+
+func (p *parser) parseTypeDecl() error {
+	typ := keywordType(p.next().Text)
+	for {
+		if !p.at(lexer.IDENT) {
+			return p.errorf("expected name in type declaration")
+		}
+		name := p.next().Text
+		dims, err := p.parseDims()
+		if err != nil {
+			return err
+		}
+		if sym := p.unit.Symbols.Lookup(name); sym != nil {
+			sym.Type = typ
+			if dims != nil {
+				sym.Dims = dims
+			}
+		} else {
+			p.unit.Symbols.Insert(&ir.Symbol{Name: name, Type: typ, Dims: dims})
+		}
+		if p.atOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	return p.expectEOL()
+}
+
+func (p *parser) parseDims() ([]ir.Dim, error) {
+	if !p.atOp("(") {
+		return nil, nil
+	}
+	p.next()
+	var dims []ir.Dim
+	for {
+		var d ir.Dim
+		if p.atOp("*") {
+			p.next()
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.atOp(":") {
+				p.next()
+				d.Lo = e
+				if p.atOp("*") {
+					p.next()
+				} else {
+					hi, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					d.Hi = hi
+				}
+			} else {
+				d.Hi = e
+			}
+		}
+		dims = append(dims, d)
+		if p.atOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return dims, nil
+}
+
+func (p *parser) parseDimension() error {
+	p.next()
+	for {
+		if !p.at(lexer.IDENT) {
+			return p.errorf("expected name in DIMENSION")
+		}
+		name := p.next().Text
+		dims, err := p.parseDims()
+		if err != nil {
+			return err
+		}
+		if dims == nil {
+			return p.errorf("DIMENSION %s without dimensions", name)
+		}
+		sym := p.unit.Symbols.Declare(name)
+		sym.Dims = dims
+		if p.atOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	return p.expectEOL()
+}
+
+func (p *parser) parseParameter() error {
+	p.next()
+	if err := p.expectOp("("); err != nil {
+		return err
+	}
+	for {
+		if !p.at(lexer.IDENT) {
+			return p.errorf("expected name in PARAMETER")
+		}
+		name := p.next().Text
+		if err := p.expectOp("="); err != nil {
+			return err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		sym := p.unit.Symbols.Declare(name)
+		sym.Param = val
+		if p.atOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return err
+	}
+	return p.expectEOL()
+}
+
+func (p *parser) parseCommon() error {
+	p.next()
+	block := ""
+	if p.atOp("/") {
+		p.next()
+		if !p.at(lexer.IDENT) {
+			return p.errorf("expected common block name")
+		}
+		block = p.next().Text
+		if err := p.expectOp("/"); err != nil {
+			return err
+		}
+	}
+	for {
+		if !p.at(lexer.IDENT) {
+			return p.errorf("expected name in COMMON")
+		}
+		name := p.next().Text
+		dims, err := p.parseDims()
+		if err != nil {
+			return err
+		}
+		sym := p.unit.Symbols.Declare(name)
+		sym.Common = block
+		if dims != nil {
+			sym.Dims = dims
+		}
+		if p.atOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	return p.expectEOL()
+}
+
+func (p *parser) parseDo() (ir.Stmt, error) {
+	p.next() // DO
+	label := ""
+	if p.at(lexer.INT) {
+		label = p.next().Text
+	}
+	if !p.at(lexer.IDENT) {
+		return nil, p.errorf("expected DO index variable")
+	}
+	index := p.next().Text
+	p.unit.Symbols.Declare(index)
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	init, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(","); err != nil {
+		return nil, err
+	}
+	limit, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var step ir.Expr
+	if p.atOp(",") {
+		p.next()
+		step, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectEOL(); err != nil {
+		return nil, err
+	}
+	d := &ir.DoStmt{Index: index, Init: init, Limit: limit, Step: step}
+	if label == "" {
+		body, err := p.parseBlock(map[string]bool{"ENDDO": true})
+		if err != nil {
+			return nil, err
+		}
+		d.Body = body
+		if !p.atIdent("ENDDO") && !(p.atIdent("END") && p.toks[p.pos+1].Text == "DO") {
+			return nil, p.errorf("expected END DO, found %q", p.cur())
+		}
+		if err := p.consumeCloser("ENDDO"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	// Labeled DO: parse until "label CONTINUE".
+	body := ir.NewBlock()
+	for {
+		p.skipNewlines()
+		if p.at(lexer.EOF) {
+			return nil, p.errorf("unterminated DO %s", label)
+		}
+		if p.at(lexer.LABEL) {
+			if p.cur().Text == label {
+				p.next()
+				if err := p.expectIdent("CONTINUE"); err != nil {
+					return nil, err
+				}
+				if err := p.expectEOL(); err != nil {
+					return nil, err
+				}
+				d.Body = body
+				return d, nil
+			}
+			return nil, p.errorf("unexpected label %s inside DO %s", p.cur().Text, label)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			body.Append(s)
+		}
+	}
+}
+
+func (p *parser) parseIf() (ir.Stmt, error) {
+	p.next() // IF
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if p.atIdent("THEN") {
+		p.next()
+		if err := p.expectEOL(); err != nil {
+			return nil, err
+		}
+		return p.parseIfBlock(cond)
+	}
+	// Logical IF: a single statement on the same line.
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if body == nil {
+		return nil, p.errorf("logical IF requires an executable statement")
+	}
+	return &ir.IfStmt{Cond: cond, Then: ir.NewBlock(body)}, nil
+}
+
+func (p *parser) parseIfBlock(cond ir.Expr) (ir.Stmt, error) {
+	then, err := p.parseBlock(map[string]bool{"ELSE": true, "ELSEIF": true, "ENDIF": true})
+	if err != nil {
+		return nil, err
+	}
+	st := &ir.IfStmt{Cond: cond, Then: then}
+	switch p.stopKeyword() {
+	case "ELSEIF":
+		p.next() // ELSEIF (single token)
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		c2, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("THEN"); err != nil {
+			return nil, err
+		}
+		if err := p.expectEOL(); err != nil {
+			return nil, err
+		}
+		nested, err := p.parseIfBlock(c2)
+		if err != nil {
+			return nil, err
+		}
+		st.Else = ir.NewBlock(nested)
+		return st, nil
+	case "ELSE":
+		// Could be ELSE or "ELSE IF (...) THEN".
+		p.next()
+		if p.atIdent("IF") {
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			c2, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			if err := p.expectIdent("THEN"); err != nil {
+				return nil, err
+			}
+			if err := p.expectEOL(); err != nil {
+				return nil, err
+			}
+			nested, err := p.parseIfBlock(c2)
+			if err != nil {
+				return nil, err
+			}
+			st.Else = ir.NewBlock(nested)
+			return st, nil
+		}
+		if err := p.expectEOL(); err != nil {
+			return nil, err
+		}
+		els, err := p.parseBlock(map[string]bool{"ENDIF": true})
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+		if p.stopKeyword() != "ENDIF" {
+			return nil, p.errorf("expected END IF, found %q", p.cur())
+		}
+		if err := p.consumeCloser("ENDIF"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case "ENDIF":
+		if err := p.consumeCloser("ENDIF"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	return nil, p.errorf("expected ELSE or END IF, found %q", p.cur())
+}
+
+func (p *parser) parseCall() (ir.Stmt, error) {
+	p.next() // CALL
+	if !p.at(lexer.IDENT) {
+		return nil, p.errorf("expected subroutine name after CALL")
+	}
+	name := p.next().Text
+	var args []ir.Expr
+	if p.atOp("(") {
+		p.next()
+		if !p.atOp(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.atOp(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	return &ir.CallStmt{Name: name, Args: args}, p.expectEOL()
+}
+
+func (p *parser) parseAssign() (ir.Stmt, error) {
+	if !p.at(lexer.IDENT) {
+		return nil, p.errorf("expected assignment target")
+	}
+	name := p.next().Text
+	var lhs ir.Expr
+	if p.atOp("(") {
+		subs, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		// Declare the array if unknown: rank from use, assumed size.
+		sym := p.unit.Symbols.Lookup(name)
+		if sym == nil {
+			sym = p.unit.Symbols.Declare(name)
+		}
+		if !sym.IsArray() {
+			dims := make([]ir.Dim, len(subs))
+			sym.Dims = dims
+		}
+		lhs = &ir.ArrayRef{Name: name, Subs: subs}
+	} else {
+		p.unit.Symbols.Declare(name)
+		lhs = ir.Var(name)
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.AssignStmt{LHS: lhs, RHS: rhs}, p.expectEOL()
+}
+
+func (p *parser) parseArgList() ([]ir.Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var args []ir.Expr
+	if p.atOp(")") {
+		p.next()
+		return args, nil
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.atOp(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// Expression grammar, by precedence (lowest first):
+//   expr    := orExpr
+//   orExpr  := andExpr (.OR. andExpr)*
+//   andExpr := notExpr (.AND. notExpr)*
+//   notExpr := .NOT. notExpr | relExpr
+//   relExpr := arith (relop arith)?
+//   arith   := term ((+|-) term)*
+//   term    := factor ((*|/) factor)*
+//   factor  := primary (** factor)?     (right-assoc)
+//   primary := literal | name | name(args) | (expr) | -primary | +primary
+
+func (p *parser) parseExpr() (ir.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ir.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp(".OR.") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = ir.Bin(ir.OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ir.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp(".AND.") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = ir.Bin(ir.OpAnd, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (ir.Expr, error) {
+	if p.atOp(".NOT.") {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Unary{Op: ir.OpNot, X: x}, nil
+	}
+	return p.parseRel()
+}
+
+var relOps = map[string]ir.BinOp{
+	".EQ.": ir.OpEq, ".NE.": ir.OpNe, ".LT.": ir.OpLt,
+	".LE.": ir.OpLe, ".GT.": ir.OpGt, ".GE.": ir.OpGe,
+}
+
+func (p *parser) parseRel() (ir.Expr, error) {
+	l, err := p.parseArith()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == lexer.OP {
+		if op, ok := relOps[p.cur().Text]; ok {
+			p.next()
+			r, err := p.parseArith()
+			if err != nil {
+				return nil, err
+			}
+			return ir.Bin(op, l, r), nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseArith() (ir.Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := ir.OpAdd
+		if p.next().Text == "-" {
+			op = ir.OpSub
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = ir.Bin(op, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (ir.Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") {
+		op := ir.OpMul
+		if p.next().Text == "/" {
+			op = ir.OpDiv
+		}
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = ir.Bin(op, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (ir.Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.atOp("**") {
+		p.next()
+		r, err := p.parseFactor() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return ir.Bin(ir.OpPow, l, r), nil
+	}
+	return l, nil
+}
+
+// Intrinsics of the subset; calls to these always parse as Call.
+var intrinsics = map[string]bool{
+	"MOD": true, "MAX": true, "MIN": true, "ABS": true, "IABS": true,
+	"SQRT": true, "EXP": true, "LOG": true, "SIN": true, "COS": true,
+	"INT": true, "NINT": true, "FLOAT": true, "REAL": true, "DBLE": true,
+	"SIGN": true, "MAX0": true, "MIN0": true, "AMAX1": true, "AMIN1": true,
+	"ATAN": true, "TAN": true,
+}
+
+func (p *parser) parsePrimary() (ir.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case lexer.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %q", t.Text)
+		}
+		return ir.Int(v), nil
+	case lexer.REAL:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad real literal %q", t.Text)
+		}
+		return ir.Real(v), nil
+	case lexer.LOGICAL:
+		p.next()
+		return ir.Logical(t.Text == ".TRUE."), nil
+	case lexer.IDENT:
+		name := p.next().Text
+		if !p.atOp("(") {
+			p.unit.Symbols.Declare(name)
+			return ir.Var(name), nil
+		}
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		if intrinsics[name] || p.funcs[name] {
+			return &ir.Call{Name: name, Args: args}, nil
+		}
+		sym := p.unit.Symbols.Lookup(name)
+		if sym == nil {
+			sym = p.unit.Symbols.Declare(name)
+		}
+		if !sym.IsArray() {
+			sym.Dims = make([]ir.Dim, len(args))
+		}
+		return &ir.ArrayRef{Name: name, Subs: args}, nil
+	}
+	if p.atOp("(") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if p.atOp("-") {
+		p.next()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return ir.Neg(x), nil
+	}
+	if p.atOp("+") {
+		p.next()
+		return p.parseFactor()
+	}
+	return nil, p.errorf("unexpected %q in expression", t)
+}
+
+// MustParse parses src and panics on error; a convenience for tests and
+// the embedded benchmark suite whose sources are known-good.
+func MustParse(src string) *ir.Program {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		panic(fmt.Sprintf("parser.MustParse: %v\nsource:\n%s", err, numberLines(src)))
+	}
+	return prog
+}
+
+func numberLines(src string) string {
+	lines := strings.Split(src, "\n")
+	var b strings.Builder
+	for i, l := range lines {
+		fmt.Fprintf(&b, "%4d| %s\n", i+1, l)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package pattern
+
+import (
+	"testing"
+
+	"polaris/internal/ir"
+)
+
+func TestReplaceAllInsideUnaryAndCall(t *testing.T) {
+	pat := ir.Var("K")
+	tmpl := ir.Int(9)
+	e := expr(t, "-K + MOD(K, 2)")
+	out, n := ReplaceAll(e, pat, tmpl)
+	if n != 2 || out.String() != "(-9)+MOD(9,2)" {
+		t.Errorf("ReplaceAll = %s (%d)", out, n)
+	}
+}
+
+func TestMatchUnaryAndMismatchKinds(t *testing.T) {
+	pat := ir.Neg(W("x"))
+	if b, ok := Match(pat, expr(t, "-A(3)")); !ok || b["x"].String() != "A(3)" {
+		t.Errorf("unary match failed: %v %v", b, ok)
+	}
+	if _, ok := Match(pat, expr(t, "A(3)")); ok {
+		t.Errorf("unary pattern matched non-unary")
+	}
+	// Constants of different kinds.
+	if _, ok := Match(ir.Real(1.0), ir.Int(1)); ok {
+		t.Errorf("real pattern matched int")
+	}
+	if _, ok := Match(ir.Logical(true), expr(t, ".FALSE.")); ok {
+		t.Errorf("true matched false")
+	}
+	// Arity mismatches.
+	if _, ok := Match(expr(t, "MOD(I,2)"), expr(t, "MOD(I,2,3)")); ok {
+		t.Errorf("different-arity calls matched")
+	}
+	if _, ok := Match(expr(t, "A(I)"), expr(t, "A(I,J)")); ok {
+		t.Errorf("different-rank arrays matched")
+	}
+}
+
+func TestFindPreOrderFirst(t *testing.T) {
+	// Both A(1) and A(2) match; Find must return the first in
+	// pre-order (the LHS-most occurrence).
+	pat := ir.Index("A", W("s"))
+	e := expr(t, "A(1) + A(2)")
+	sub, _, ok := Find(pat, e)
+	if !ok || sub.String() != "A(1)" {
+		t.Errorf("Find returned %v", sub)
+	}
+}
+
+func TestMatchReductionMulAndMax(t *testing.T) {
+	// Multiplication and MAX idioms go through sideMatch in the
+	// reduction package; here the base additive matcher must reject
+	// them (it only does +/-).
+	if _, _, _, ok := MatchReductionStmt(assign(t, "S", "S * 2.0")); ok {
+		t.Errorf("additive matcher accepted multiplication")
+	}
+	if _, _, _, ok := MatchReductionStmt(assign(t, "S", "MAX(S, 1.0)")); ok {
+		t.Errorf("additive matcher accepted MAX")
+	}
+}
+
+func TestWPredNilAlwaysMatches(t *testing.T) {
+	if _, ok := Match(W("any"), expr(t, "1+2*3")); !ok {
+		t.Errorf("bare wildcard failed")
+	}
+}

@@ -1,0 +1,142 @@
+package pfa_test
+
+import (
+	"testing"
+
+	"polaris/internal/parser"
+	"polaris/internal/pfa"
+)
+
+func TestOptionsCapabilityLevel(t *testing.T) {
+	o := pfa.Options()
+	if o.Inline || o.Induction || o.ArrayPrivatization || o.RangeTest || o.Permutation || o.LRPD {
+		t.Errorf("baseline enables Polaris-only techniques: %+v", o)
+	}
+	if !o.SimpleInduction || !o.Reductions || !o.Normalize {
+		t.Errorf("baseline missing vendor-level techniques: %+v", o)
+	}
+	if o.HistogramReduction {
+		t.Errorf("baseline has histogram reductions")
+	}
+}
+
+func TestNeutralFactor(t *testing.T) {
+	// Large-bodied loops, nothing to unroll: factor 1.0.
+	src := `
+      PROGRAM P
+      REAL A(100), B(100)
+      INTEGER I
+      DO I = 2, 99
+        A(I) = B(I) * 2.0 + B(I-1) * 0.5 + B(I+1) * 0.25 + 1.0
+        B(I) = A(I) - B(I) * 0.125 + A(I) * A(I) - 2.0
+        A(I) = A(I) + B(I) * 0.0625 + 3.0 - A(I) * 0.03125
+        B(I) = B(I) + A(I)
+        A(I) = A(I) * 1.5
+        B(I) = B(I) * 0.5
+        A(I) = A(I) + 1.0
+      END DO
+      END
+`
+	res, err := pfa.Compile(parser.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The I+-1 stencil carries dependences, so nothing parallelizes
+	// and the back-end factor stays neutral.
+	if res.Factor != 1.0 {
+		t.Errorf("factor = %v, want 1.0", res.Factor)
+	}
+	if len(res.Demoted) != 0 {
+		t.Errorf("demoted = %v", res.Demoted)
+	}
+}
+
+func TestBoostFactor(t *testing.T) {
+	// Several parallel loops with small innermost bodies: 0.85.
+	src := `
+      PROGRAM P
+      REAL A(40,40), B(40,40), C(40,40), D(40,40)
+      INTEGER I, J
+      DO J = 1, 40
+        DO I = 1, 40
+          A(I,J) = 0.5 * I
+        END DO
+      END DO
+      DO J = 1, 40
+        DO I = 1, 40
+          B(I,J) = A(I,J) * 2.0
+        END DO
+      END DO
+      DO J = 1, 40
+        DO I = 1, 40
+          C(I,J) = A(I,J) + B(I,J)
+        END DO
+      END DO
+      DO J = 1, 40
+        DO I = 1, 40
+          D(I,J) = C(I,J) - 1.0
+        END DO
+      END DO
+      END
+`
+	res, err := pfa.Compile(parser.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factor != 0.85 {
+		t.Errorf("factor = %v, want 0.85\n%s", res.Factor, res.Summary())
+	}
+}
+
+func TestBackfireFactorAndDemotion(t *testing.T) {
+	// A parallel loop containing a tiny constant-trip inner loop:
+	// factor 1.25 and the loop demoted.
+	src := `
+      PROGRAM P
+      REAL V(4,100), B(4)
+      INTEGER I, M
+      DO M = 1, 4
+        B(M) = 0.5 * M
+      END DO
+      DO I = 1, 100
+        DO M = 1, 4
+          V(M,I) = B(M) * I
+        END DO
+      END DO
+      END
+`
+	res, err := pfa.Compile(parser.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factor != 1.25 {
+		t.Fatalf("factor = %v, want 1.25\n%s", res.Factor, res.Summary())
+	}
+	if len(res.Demoted) == 0 {
+		t.Fatalf("nothing demoted")
+	}
+	for _, lr := range res.Loops {
+		if lr.Index == "I" && lr.Depth == 0 && lr.Parallel {
+			t.Errorf("outer loop survived demotion:\n%s", res.Summary())
+		}
+	}
+}
+
+func TestBaselineStillParallelizesSimpleLoops(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(100), B(100)
+      INTEGER I
+      DO I = 1, 100
+        A(I) = B(I) + 1.0
+      END DO
+      END
+`
+	res, err := pfa.Compile(parser.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParallelLoops() != 1 {
+		t.Errorf("parallel loops = %d, want 1\n%s", res.ParallelLoops(), res.Summary())
+	}
+}

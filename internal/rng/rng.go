@@ -1,0 +1,393 @@
+// Package rng implements range propagation: the determination of
+// symbolic lower and upper bounds for integer variables from the
+// program's control flow (PARAMETER constants, constant assignments,
+// DO-loop bounds, and IF guards), feeding the expression-comparison
+// capability the range test and the privatizer rely on (Section 3.3 of
+// the Polaris paper).
+package rng
+
+import (
+	"math/big"
+
+	"polaris/internal/ir"
+	"polaris/internal/symbolic"
+)
+
+// Analyzer holds per-unit range information.
+type Analyzer struct {
+	unit *ir.ProgramUnit
+	// consts maps scalar names to their propagated symbolic values
+	// (PARAMETER constants and provably single-assigned constants).
+	consts map[string]*symbolic.Expr
+}
+
+// New analyzes a program unit. The analysis is flow-insensitive for
+// constants (a scalar qualifies only when assigned exactly once,
+// unconditionally, at the top level, from an expression that resolves
+// to already-known constants) and flow-sensitive for guards and loop
+// bounds, which are collected per target statement.
+func New(u *ir.ProgramUnit) *Analyzer {
+	a := &Analyzer{unit: u, consts: map[string]*symbolic.Expr{}}
+	for _, name := range u.Symbols.Names() {
+		s := u.Symbols.Lookup(name)
+		if s.Param != nil {
+			if c := symbolic.FromIR(s.Param, a.Resolver()); c.OK {
+				a.consts[name] = c.E
+			}
+		}
+	}
+	a.propagateConstants()
+	return a
+}
+
+// propagateConstants finds scalars with a unique unconditional
+// top-level assignment whose RHS resolves to constants, iterating to a
+// fixpoint so chains like N=10, M=N*2 resolve.
+func (a *Analyzer) propagateConstants() {
+	// Disqualify anything assigned more than once, assigned under
+	// control flow, used as a DO index, passed to a CALL (may be
+	// modified by reference), living in COMMON, or a formal.
+	assignCount := map[string]int{}
+	topLevel := map[string]*ir.AssignStmt{}
+	disqualified := map[string]bool{}
+	for _, name := range a.unit.Formals {
+		disqualified[name] = true
+	}
+	for _, name := range a.unit.Symbols.Names() {
+		if s := a.unit.Symbols.Lookup(name); s.Common != "" {
+			disqualified[name] = true
+		}
+	}
+	ir.WalkStmts(a.unit.Body, func(s ir.Stmt) bool {
+		switch x := s.(type) {
+		case *ir.AssignStmt:
+			if v, ok := x.LHS.(*ir.VarRef); ok {
+				assignCount[v.Name]++
+			}
+		case *ir.DoStmt:
+			disqualified[x.Index] = true
+		case *ir.CallStmt:
+			for _, arg := range x.Args {
+				if v, ok := arg.(*ir.VarRef); ok {
+					disqualified[v.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, s := range a.unit.Body.Stmts {
+		if x, ok := s.(*ir.AssignStmt); ok {
+			if v, ok := x.LHS.(*ir.VarRef); ok {
+				topLevel[v.Name] = x
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, st := range topLevel {
+			if disqualified[name] || assignCount[name] != 1 {
+				continue
+			}
+			if _, done := a.consts[name]; done {
+				continue
+			}
+			conv := symbolic.FromIR(st.RHS, a.Resolver())
+			if !conv.OK {
+				continue
+			}
+			// Only adopt fully resolved values (no free variables or
+			// opaque terms) — those are safe at every later point.
+			if len(conv.E.Vars()) == 0 && !conv.E.HasOpaque() {
+				a.consts[name] = conv.E
+				changed = true
+			}
+		}
+	}
+}
+
+// Consts returns the propagated constant table (read-only view).
+func (a *Analyzer) Consts() map[string]*symbolic.Expr { return a.consts }
+
+// Resolver returns the symbolic resolver substituting propagated
+// constants. It is safe to call during construction: lookups are
+// dynamic.
+func (a *Analyzer) Resolver() symbolic.Resolver {
+	return func(name string) *symbolic.Expr { return a.consts[name] }
+}
+
+// Conv converts an IR expression using the unit's resolver.
+func (a *Analyzer) Conv(e ir.Expr) symbolic.Conv {
+	return symbolic.FromIR(e, a.Resolver())
+}
+
+// LoopRange returns the closed box [lo, hi] of values the loop index
+// takes (normalized so lo <= hi for constant negative steps). ok is
+// false when the bounds do not convert or the step is symbolic with
+// unknown sign.
+func (a *Analyzer) LoopRange(d *ir.DoStmt) (lo, hi *symbolic.Expr, ok bool) {
+	init := a.Conv(d.Init)
+	limit := a.Conv(d.Limit)
+	if !init.OK || !limit.OK {
+		return nil, nil, false
+	}
+	step := a.Conv(d.StepOr1())
+	if !step.OK {
+		return nil, nil, false
+	}
+	c, isConst := step.E.Const()
+	if !isConst || c.Sign() == 0 {
+		return nil, nil, false
+	}
+	if c.Sign() > 0 {
+		return init.E, limit.E, true
+	}
+	return limit.E, init.E, true
+}
+
+// Facts returns the list of expressions provably >= 0 at the target
+// statement, derived from:
+//
+//   - enclosing IF guards (THEN branches add the guard, ELSE branches
+//     its negation, for integer relational conditions);
+//   - enclosing DO statements: inside a loop body the trip count is
+//     positive, so limit - index >= 0, index - init >= 0 and
+//     limit - init >= 0 hold (for positive constant step; mirrored for
+//     negative step).
+func (a *Analyzer) Facts(target ir.Stmt) []*symbolic.Expr {
+	var facts []*symbolic.Expr
+	path, found := a.pathTo(target)
+	if !found {
+		return nil
+	}
+	for _, pe := range path {
+		switch {
+		case pe.do != nil:
+			facts = append(facts, a.loopFacts(pe.do)...)
+		case pe.ifStmt != nil:
+			facts = append(facts, a.condFacts(pe.ifStmt.Cond, pe.inElse)...)
+		}
+	}
+	return facts
+}
+
+type pathElem struct {
+	do     *ir.DoStmt
+	ifStmt *ir.IfStmt
+	inElse bool
+}
+
+func (a *Analyzer) pathTo(target ir.Stmt) ([]pathElem, bool) {
+	var path []pathElem
+	var walk func(b *ir.Block) bool
+	walk = func(b *ir.Block) bool {
+		if b == nil {
+			return false
+		}
+		for _, s := range b.Stmts {
+			if s == target {
+				return true
+			}
+			switch x := s.(type) {
+			case *ir.DoStmt:
+				path = append(path, pathElem{do: x})
+				if walk(x.Body) {
+					return true
+				}
+				path = path[:len(path)-1]
+			case *ir.IfStmt:
+				path = append(path, pathElem{ifStmt: x})
+				if walk(x.Then) {
+					return true
+				}
+				path[len(path)-1].inElse = true
+				if walk(x.Else) {
+					return true
+				}
+				path = path[:len(path)-1]
+			}
+		}
+		return false
+	}
+	return path, walk(a.unit.Body)
+}
+
+func (a *Analyzer) loopFacts(d *ir.DoStmt) []*symbolic.Expr {
+	lo, hi, ok := a.LoopRange(d)
+	if !ok {
+		return nil
+	}
+	idx := symbolic.Var(d.Index)
+	return []*symbolic.Expr{
+		symbolic.Sub(idx, lo), // index >= lo
+		symbolic.Sub(hi, idx), // index <= hi
+		symbolic.Sub(hi, lo),  // the body executes: trip >= 1
+	}
+}
+
+// condFacts converts a relational guard into >=0 facts. Only integer
+// comparisons produce facts; negate handles the ELSE branch.
+func (a *Analyzer) condFacts(cond ir.Expr, negate bool) []*symbolic.Expr {
+	switch x := cond.(type) {
+	case *ir.Binary:
+		if x.Op == ir.OpAnd && !negate {
+			return append(a.condFacts(x.L, false), a.condFacts(x.R, false)...)
+		}
+		if x.Op == ir.OpOr && negate {
+			// .NOT.(a .OR. b) == .NOT.a .AND. .NOT.b
+			return append(a.condFacts(x.L, true), a.condFacts(x.R, true)...)
+		}
+		if !x.Op.IsRelational() {
+			return nil
+		}
+		if !a.isIntExpr(x.L) || !a.isIntExpr(x.R) {
+			return nil
+		}
+		l := a.Conv(x.L)
+		r := a.Conv(x.R)
+		if !l.OK || !r.OK || l.IntDivApprox || r.IntDivApprox {
+			return nil
+		}
+		op := x.Op
+		if negate {
+			op = negateRel(op)
+		}
+		d := symbolic.Sub(l.E, r.E)
+		one := symbolic.Int(1)
+		switch op {
+		case ir.OpGe:
+			return []*symbolic.Expr{d}
+		case ir.OpGt:
+			return []*symbolic.Expr{symbolic.Sub(d, one)}
+		case ir.OpLe:
+			return []*symbolic.Expr{symbolic.Neg(d)}
+		case ir.OpLt:
+			return []*symbolic.Expr{symbolic.Sub(symbolic.Neg(d), one)}
+		case ir.OpEq:
+			return []*symbolic.Expr{d, symbolic.Neg(d)}
+		case ir.OpNe:
+			return nil
+		}
+	case *ir.Unary:
+		if x.Op == ir.OpNot {
+			return a.condFacts(x.X, !negate)
+		}
+	}
+	return nil
+}
+
+func negateRel(op ir.BinOp) ir.BinOp {
+	switch op {
+	case ir.OpEq:
+		return ir.OpNe
+	case ir.OpNe:
+		return ir.OpEq
+	case ir.OpLt:
+		return ir.OpGe
+	case ir.OpLe:
+		return ir.OpGt
+	case ir.OpGt:
+		return ir.OpLe
+	case ir.OpGe:
+		return ir.OpLt
+	}
+	return op
+}
+
+func (a *Analyzer) isIntExpr(e ir.Expr) bool {
+	ok := true
+	ir.WalkExpr(e, func(n ir.Expr) bool {
+		switch x := n.(type) {
+		case *ir.ConstReal:
+			ok = false
+		case *ir.VarRef:
+			if s := a.unit.Symbols.Lookup(x.Name); s == nil || s.Type != ir.TypeInteger {
+				ok = false
+			}
+		case *ir.ArrayRef:
+			if s := a.unit.Symbols.Lookup(x.Name); s == nil || s.Type != ir.TypeInteger {
+				ok = false
+			}
+		case *ir.Call:
+			ok = false // conservative
+		}
+		return ok
+	})
+	return ok
+}
+
+// AddFactGE folds the fact e >= 0 into the environment as a variable
+// bound when e has the shape  +v + rest  or  -v + rest  with v a plain
+// variable of degree one not already carrying a tighter bound on that
+// side. Facts that do not decompose are dropped (the prover works from
+// bounds only).
+func AddFactGE(env *symbolic.Env, e *symbolic.Expr) {
+	for v := range e.Vars() {
+		coeffs, ok := e.CoeffsIn(v)
+		if !ok || len(coeffs) != 2 {
+			continue
+		}
+		c, isConst := coeffs[1].Const()
+		if !isConst {
+			continue
+		}
+		one := big.NewRat(1, 1)
+		negOne := big.NewRat(-1, 1)
+		b, _ := env.Lookup(v)
+		switch {
+		case c.Cmp(one) == 0:
+			// v + rest >= 0  =>  v >= -rest
+			lo := symbolic.Neg(coeffs[0])
+			if better(env, lo, b.Lo, true) {
+				b.Lo = lo
+				env.Push(v, b)
+				return
+			}
+		case c.Cmp(negOne) == 0:
+			// -v + rest >= 0  =>  v <= rest
+			hi := coeffs[0]
+			if better(env, hi, b.Hi, false) {
+				b.Hi = hi
+				env.Push(v, b)
+				return
+			}
+		}
+	}
+}
+
+// better reports whether the candidate bound should replace the
+// current one: always when none exists; when both are constants, the
+// tighter wins.
+func better(env *symbolic.Env, cand, cur *symbolic.Expr, isLower bool) bool {
+	if cur == nil {
+		return true
+	}
+	cc, okC := cand.Const()
+	uc, okU := cur.Const()
+	if okC && okU {
+		if isLower {
+			return cc.Cmp(uc) > 0
+		}
+		return cc.Cmp(uc) < 0
+	}
+	return false
+}
+
+// EnvForStmt builds a proof environment for the target statement:
+// enclosing loop indices (innermost first) with their ranges, followed
+// by bounds decomposed from guard and trip-count facts.
+func (a *Analyzer) EnvForStmt(target ir.Stmt) *symbolic.Env {
+	env := symbolic.NewEnv()
+	loops := ir.EnclosingLoops(a.unit.Body, target)
+	for i := len(loops) - 1; i >= 0; i-- {
+		d := loops[i]
+		lo, hi, ok := a.LoopRange(d)
+		if !ok {
+			continue
+		}
+		env.Push(d.Index, symbolic.Bound{Lo: lo, Hi: hi})
+	}
+	for _, f := range a.Facts(target) {
+		AddFactGE(env, f)
+	}
+	return env
+}

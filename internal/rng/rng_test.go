@@ -1,0 +1,257 @@
+package rng
+
+import (
+	"testing"
+
+	"polaris/internal/ir"
+	"polaris/internal/parser"
+	"polaris/internal/symbolic"
+)
+
+func mainUnit(t *testing.T, src string) *ir.ProgramUnit {
+	t.Helper()
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog.Main()
+}
+
+func TestParameterConstants(t *testing.T) {
+	u := mainUnit(t, `
+      PROGRAM P
+      INTEGER N, M
+      PARAMETER (N=10, M=2*N)
+      REAL A(M)
+      A(1) = 0.0
+      END
+`)
+	a := New(u)
+	if c := a.Consts()["N"]; c == nil || !symbolic.Equal(c, symbolic.Int(10)) {
+		t.Errorf("N = %v", c)
+	}
+	if c := a.Consts()["M"]; c == nil || !symbolic.Equal(c, symbolic.Int(20)) {
+		t.Errorf("M = %v, want 20", c)
+	}
+}
+
+func TestConstantPropagation(t *testing.T) {
+	u := mainUnit(t, `
+      PROGRAM P
+      INTEGER N, M, K, J
+      N = 10
+      M = N * 3
+      K = K + 1
+      DO J = 1, 2
+        L = 5
+      END DO
+      END
+`)
+	a := New(u)
+	if c := a.Consts()["N"]; c == nil || !symbolic.Equal(c, symbolic.Int(10)) {
+		t.Errorf("N = %v", c)
+	}
+	if c := a.Consts()["M"]; c == nil || !symbolic.Equal(c, symbolic.Int(30)) {
+		t.Errorf("M = %v", c)
+	}
+	if a.Consts()["K"] != nil {
+		t.Errorf("self-referencing K treated as constant")
+	}
+	if a.Consts()["L"] != nil {
+		t.Errorf("conditionally assigned L treated as constant")
+	}
+	if a.Consts()["J"] != nil {
+		t.Errorf("loop index J treated as constant")
+	}
+}
+
+func TestCallDisqualifiesConstant(t *testing.T) {
+	u := mainUnit(t, `
+      PROGRAM P
+      INTEGER N
+      N = 10
+      CALL TWEAK(N)
+      END
+
+      SUBROUTINE TWEAK(N)
+      INTEGER N
+      N = N + 1
+      END
+`)
+	a := New(u)
+	if a.Consts()["N"] != nil {
+		t.Errorf("N passed to CALL treated as constant")
+	}
+}
+
+func TestLoopRange(t *testing.T) {
+	u := mainUnit(t, `
+      PROGRAM P
+      INTEGER I, J, N
+      PARAMETER (N=10)
+      REAL A(100)
+      DO I = 1, N
+        A(I) = 0.0
+      END DO
+      DO J = N, 1, -1
+        A(J) = 1.0
+      END DO
+      END
+`)
+	a := New(u)
+	loops := ir.Loops(u.Body)
+	lo, hi, ok := a.LoopRange(loops[0])
+	if !ok || !symbolic.Equal(lo, symbolic.Int(1)) || !symbolic.Equal(hi, symbolic.Int(10)) {
+		t.Errorf("range of I = [%s, %s]", lo, hi)
+	}
+	// Negative step: normalized box.
+	lo2, hi2, ok := a.LoopRange(loops[1])
+	if !ok || !symbolic.Equal(lo2, symbolic.Int(1)) || !symbolic.Equal(hi2, symbolic.Int(10)) {
+		t.Errorf("range of J = [%s, %s]", lo2, hi2)
+	}
+}
+
+func TestGuardFacts(t *testing.T) {
+	u := mainUnit(t, `
+      SUBROUTINE S(N, A)
+      INTEGER N, I
+      REAL A(N)
+      IF (N .GE. 1) THEN
+        DO I = 1, N
+          A(I) = 0.0
+        END DO
+      END IF
+      END
+`)
+	a := New(u)
+	loop := ir.Loops(u.Body)[0]
+	target := loop.Body.Stmts[0]
+	env := a.EnvForStmt(target)
+	// Inside the guard and the loop: N >= 1, I in [1, N].
+	if !env.ProveGE(symbolic.Sub(symbolic.Var("N"), symbolic.Int(1))) {
+		t.Errorf("N >= 1 not provable inside guard")
+	}
+	if !env.ProveGE(symbolic.Sub(symbolic.Var("N"), symbolic.Var("I"))) {
+		t.Errorf("I <= N not provable inside loop")
+	}
+	if !env.ProveGT(symbolic.Var("I")) {
+		t.Errorf("I >= 1 not provable inside loop")
+	}
+}
+
+func TestElseNegatesGuard(t *testing.T) {
+	u := mainUnit(t, `
+      SUBROUTINE S(N)
+      INTEGER N, X
+      IF (N .GT. 5) THEN
+        X = 1
+      ELSE
+        X = 2
+      END IF
+      END
+`)
+	a := New(u)
+	ifStmt := u.Body.Stmts[0].(*ir.IfStmt)
+	thenEnv := a.EnvForStmt(ifStmt.Then.Stmts[0])
+	elseEnv := a.EnvForStmt(ifStmt.Else.Stmts[0])
+	// THEN: N >= 6; ELSE: N <= 5.
+	if !thenEnv.ProveGE(symbolic.Sub(symbolic.Var("N"), symbolic.Int(6))) {
+		t.Errorf("THEN branch fact missing")
+	}
+	if !elseEnv.ProveGE(symbolic.Sub(symbolic.Int(5), symbolic.Var("N"))) {
+		t.Errorf("ELSE branch fact missing")
+	}
+}
+
+func TestTripCountFact(t *testing.T) {
+	u := mainUnit(t, `
+      SUBROUTINE S(N, A)
+      INTEGER N, I
+      REAL A(N)
+      DO I = 1, N
+        A(I) = 0.0
+      END DO
+      END
+`)
+	a := New(u)
+	loop := ir.Loops(u.Body)[0]
+	env := a.EnvForStmt(loop.Body.Stmts[0])
+	// Inside the body the loop executed at least once: N - 1 >= 0.
+	if !env.ProveGE(symbolic.Sub(symbolic.Var("N"), symbolic.Int(1))) {
+		t.Errorf("trip-count fact N >= 1 missing")
+	}
+}
+
+func TestRealGuardProducesNoFacts(t *testing.T) {
+	u := mainUnit(t, `
+      SUBROUTINE S(X)
+      REAL X
+      INTEGER K
+      IF (X .GT. 0.5) THEN
+        K = 1
+      END IF
+      END
+`)
+	a := New(u)
+	ifStmt := u.Body.Stmts[0].(*ir.IfStmt)
+	facts := a.Facts(ifStmt.Then.Stmts[0])
+	if len(facts) != 0 {
+		t.Errorf("real-typed guard produced facts: %v", facts)
+	}
+}
+
+func TestAndGuard(t *testing.T) {
+	u := mainUnit(t, `
+      SUBROUTINE S(N, M)
+      INTEGER N, M, X
+      IF (N .GE. 1 .AND. M .GE. N) THEN
+        X = 1
+      END IF
+      END
+`)
+	a := New(u)
+	ifStmt := u.Body.Stmts[0].(*ir.IfStmt)
+	env := a.EnvForStmt(ifStmt.Then.Stmts[0])
+	if !env.ProveGE(symbolic.Sub(symbolic.Var("M"), symbolic.Int(1))) {
+		t.Errorf("M >= N >= 1 chain not provable")
+	}
+}
+
+func TestAddFactGEMergesTighter(t *testing.T) {
+	env := symbolic.NewEnv()
+	AddFactGE(env, symbolic.Sub(symbolic.Var("N"), symbolic.Int(1))) // N >= 1
+	AddFactGE(env, symbolic.Sub(symbolic.Var("N"), symbolic.Int(5))) // N >= 5 (tighter)
+	AddFactGE(env, symbolic.Sub(symbolic.Var("N"), symbolic.Int(3))) // looser, ignored
+	b, ok := env.Lookup("N")
+	if !ok || b.Lo == nil {
+		t.Fatalf("no bound recorded")
+	}
+	if !symbolic.Equal(b.Lo, symbolic.Int(5)) {
+		t.Errorf("lo = %s, want 5", b.Lo)
+	}
+}
+
+func TestEnvOrderingInnermostFirst(t *testing.T) {
+	u := mainUnit(t, `
+      SUBROUTINE S(N, A)
+      INTEGER N, I, J
+      REAL A(N,N)
+      DO I = 1, N
+        DO J = 1, I
+          A(I,J) = 0.0
+        END DO
+      END DO
+      END
+`)
+	a := New(u)
+	inner := ir.Loops(u.Body)[1]
+	env := a.EnvForStmt(inner.Body.Stmts[0])
+	names := env.Names()
+	if len(names) < 2 || names[0] != "J" || names[1] != "I" {
+		t.Errorf("env order = %v, want J before I", names)
+	}
+	// Triangular fact usable: J <= I <= N.
+	if !env.ProveGE(symbolic.Sub(symbolic.Var("N"), symbolic.Var("J"))) {
+		t.Errorf("J <= N not provable through triangular chain")
+	}
+}

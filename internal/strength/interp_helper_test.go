@@ -1,0 +1,26 @@
+package strength
+
+import (
+	"testing"
+
+	"polaris/internal/interp"
+	"polaris/internal/ir"
+	"polaris/internal/machine"
+)
+
+// runInterp executes the program and returns the COMMON /OUT/ RESULT
+// probe (parallel annotations honoured, validating reverse order).
+func runInterp(t *testing.T, prog *ir.Program) float64 {
+	t.Helper()
+	in := interp.New(prog, machine.Default())
+	in.Parallel = true
+	in.Validate = true
+	if err := in.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v, ok := in.Probe("OUT", "RESULT")
+	if !ok {
+		t.Fatalf("no COMMON /OUT/ RESULT")
+	}
+	return v
+}

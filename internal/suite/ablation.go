@@ -1,0 +1,115 @@
+package suite
+
+import (
+	"fmt"
+	"math"
+
+	"polaris/internal/core"
+	"polaris/internal/interp"
+	"polaris/internal/machine"
+)
+
+// AblationRow reports suite-wide impact of removing one technique from
+// the full pipeline: the geometric-mean speedup across all 16 programs
+// and how many programs lose more than 20% of their full-pipeline
+// speedup.
+type AblationRow struct {
+	Technique string
+	// GeoMean is the geometric-mean 8-processor speedup with the
+	// technique removed.
+	GeoMean float64
+	// FullGeoMean is the full pipeline's geometric mean (same for all
+	// rows, for reference).
+	FullGeoMean float64
+	// Hurt counts programs losing > 20% of their full speedup.
+	Hurt int
+	// HurtPrograms names them.
+	HurtPrograms []string
+}
+
+// ablations enumerates the single-technique removals.
+func ablations() []struct {
+	name string
+	mod  func(*core.Options)
+} {
+	return []struct {
+		name string
+		mod  func(*core.Options)
+	}{
+		{"inline expansion", func(o *core.Options) { o.Inline = false }},
+		{"generalized induction", func(o *core.Options) { o.Induction = false; o.SimpleInduction = true }},
+		{"reductions", func(o *core.Options) { o.Reductions = false }},
+		{"histogram reductions", func(o *core.Options) { o.HistogramReduction = false }},
+		{"array privatization", func(o *core.Options) { o.ArrayPrivatization = false }},
+		{"range test", func(o *core.Options) { o.RangeTest = false }},
+		{"loop permutation", func(o *core.Options) { o.Permutation = false }},
+		{"run-time (LRPD) test", func(o *core.Options) { o.LRPD = false }},
+		{"strength reduction", func(o *core.Options) { o.StrengthReduction = false }},
+	}
+}
+
+// Ablation measures each single-technique removal across the whole
+// suite on the given processor count.
+func Ablation(procs int) ([]AblationRow, error) {
+	full, err := speedupsWith(procs, nil)
+	if err != nil {
+		return nil, err
+	}
+	fullGeo := geoMean(full)
+	var rows []AblationRow
+	for _, a := range ablations() {
+		speeds, err := speedupsWith(procs, a.mod)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.name, err)
+		}
+		row := AblationRow{Technique: a.name, GeoMean: geoMean(speeds), FullGeoMean: fullGeo}
+		for _, p := range All() {
+			if speeds[p.Name] < full[p.Name]*0.8 {
+				row.Hurt++
+				row.HurtPrograms = append(row.HurtPrograms, p.Name)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// speedupsWith runs the suite with the full options modified by mod
+// (nil = full pipeline).
+func speedupsWith(procs int, mod func(*core.Options)) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, p := range All() {
+		serial, _, err := SerialTime(p)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.PolarisOptions()
+		if mod != nil {
+			mod(&opt)
+		}
+		compiled, err := core.Compile(p.Parse(), opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		in := interp.New(compiled.Program, machine.Default().WithProcessors(procs))
+		in.Parallel = true
+		if err := in.Run(); err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		out[p.Name] = float64(serial) / float64(in.Time())
+	}
+	return out, nil
+}
+
+func geoMean(m map[string]float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, v := range m {
+		prod *= v
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1.0/float64(n))
+}

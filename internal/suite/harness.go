@@ -1,0 +1,233 @@
+package suite
+
+import (
+	"fmt"
+
+	"polaris/internal/core"
+	"polaris/internal/interp"
+	"polaris/internal/machine"
+	"polaris/internal/pfa"
+)
+
+// Table1Row is one row of the paper's Table 1 for the synthetic suite:
+// origin, source lines, and serial execution time (simulated cycles
+// here instead of seconds on the SGI Challenge).
+type Table1Row struct {
+	Name         string
+	Origin       string
+	Lines        int
+	SerialCycles int64
+	// Checksum is the program's COMMON /OUT/ RESULT value, used by
+	// tests to pin down semantic equivalence across configurations.
+	Checksum float64
+}
+
+// Table1 runs every program serially and reports the rows.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, p := range All() {
+		prog := p.Parse()
+		in := interp.New(prog, machine.Default())
+		if err := in.Run(); err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		sum, _ := in.Probe("OUT", "RESULT")
+		rows = append(rows, Table1Row{
+			Name:         p.Name,
+			Origin:       p.Origin,
+			Lines:        p.Lines(),
+			SerialCycles: in.Time(),
+			Checksum:     sum,
+		})
+	}
+	return rows, nil
+}
+
+// Fig7Row is one bar pair of the paper's Figure 7: speedup on the
+// simulated 8-processor machine under the full Polaris pipeline versus
+// the PFA baseline.
+type Fig7Row struct {
+	Name    string
+	Polaris float64
+	PFA     float64
+	// PolarisChecksum / PFAChecksum verify semantic equivalence with
+	// the serial run.
+	PolarisChecksum float64
+	PFAChecksum     float64
+	SerialChecksum  float64
+}
+
+// RunOne executes one program under one compiler configuration on p
+// processors and returns (time, checksum).
+func RunOne(p Program, procs int, polaris bool) (int64, float64, error) {
+	prog := p.Parse()
+	var compiled *core.Result
+	var err error
+	model := machine.Default().WithProcessors(procs)
+	if polaris {
+		compiled, err = core.Compile(prog, core.PolarisOptions())
+	} else {
+		var pres *pfa.Result
+		pres, err = pfa.Compile(prog)
+		if err == nil {
+			compiled = pres.Result
+			model = model.WithCodegenFactor(pres.Factor)
+		}
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: compile: %w", p.Name, err)
+	}
+	in := interp.New(compiled.Program, model)
+	in.Parallel = true
+	// Reversed iteration order with fresh private copies: any unsound
+	// parallelization surfaces as a checksum mismatch in the callers'
+	// comparisons.
+	in.Validate = true
+	if err := in.Run(); err != nil {
+		return 0, 0, fmt.Errorf("%s: run: %w", p.Name, err)
+	}
+	sum, _ := in.Probe("OUT", "RESULT")
+	return in.Time(), sum, nil
+}
+
+// SerialTime runs a program serially and returns (time, checksum).
+func SerialTime(p Program) (int64, float64, error) {
+	prog := p.Parse()
+	in := interp.New(prog, machine.Default())
+	if err := in.Run(); err != nil {
+		return 0, 0, fmt.Errorf("%s: serial run: %w", p.Name, err)
+	}
+	sum, _ := in.Probe("OUT", "RESULT")
+	return in.Time(), sum, nil
+}
+
+// Figure7 regenerates the Polaris-vs-PFA speedup comparison on the
+// given processor count (8 in the paper).
+func Figure7(procs int) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, p := range All() {
+		serial, serialSum, err := SerialTime(p)
+		if err != nil {
+			return nil, err
+		}
+		polT, polSum, err := RunOne(p, procs, true)
+		if err != nil {
+			return nil, err
+		}
+		pfaT, pfaSum, err := RunOne(p, procs, false)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig7Row{
+			Name:            p.Name,
+			Polaris:         float64(serial) / float64(polT),
+			PFA:             float64(serial) / float64(pfaT),
+			PolarisChecksum: polSum,
+			PFAChecksum:     pfaSum,
+			SerialChecksum:  serialSum,
+		})
+	}
+	return rows, nil
+}
+
+// Fig6Row is one point of the paper's Figure 6 pair, both measured at
+// the loop level as the paper plots them: speedup of the TRACK NLFILT
+// loop under speculative LRPD execution (including the 10% failed
+// invocations re-executed sequentially), and the potential slowdown
+// ratio (T_seq + T_pdt)/T_seq when every invocation fails.
+type Fig6Row struct {
+	Procs    int
+	Speedup  float64
+	Slowdown float64
+	Passes   int64
+	Failures int64
+}
+
+// Figure6 regenerates both TRACK plots for processor counts 1..maxP.
+func Figure6(maxP int) ([]Fig6Row, error) {
+	p := Track()
+	_, serialSum, err := SerialTime(p)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig6Row
+	for procs := 1; procs <= maxP; procs++ {
+		prog := p.Parse()
+		compiled, err := core.Compile(prog, core.PolarisOptions())
+		if err != nil {
+			return nil, err
+		}
+		in := interp.New(compiled.Program, machine.Default().WithProcessors(procs))
+		in.Parallel = true
+		if err := in.Run(); err != nil {
+			return nil, err
+		}
+		sum, _ := in.Probe("OUT", "RESULT")
+		if sum != serialSum {
+			return nil, fmt.Errorf("track checksum mismatch: %v vs %v", sum, serialSum)
+		}
+		if in.LRPDTime == 0 || in.LRPDBodyWork == 0 {
+			return nil, fmt.Errorf("track: no speculative executions recorded")
+		}
+		row := Fig6Row{
+			Procs:    procs,
+			Speedup:  float64(in.LRPDBodyWork) / float64(in.LRPDTime),
+			Passes:   in.LRPDPasses,
+			Failures: in.LRPDFailures,
+		}
+		// Potential slowdown: a variant whose invocations all fail —
+		// (T_seq + T_pdt) / T_seq at the loop level.
+		slowProg := failingTrack.Parse()
+		slowCompiled, err := core.Compile(slowProg, core.PolarisOptions())
+		if err != nil {
+			return nil, err
+		}
+		slowIn := interp.New(slowCompiled.Program, machine.Default().WithProcessors(procs))
+		slowIn.Parallel = true
+		if err := slowIn.Run(); err != nil {
+			return nil, err
+		}
+		if slowIn.LRPDFailures == 0 || slowIn.LRPDBodyWork == 0 {
+			return nil, fmt.Errorf("failing track variant did not fail speculation")
+		}
+		row.Slowdown = float64(slowIn.LRPDTime) / float64(slowIn.LRPDBodyWork)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// failingTrack is TRACK with every invocation carrying a dependence
+// (the all-failure case of the potential-slowdown plot).
+var failingTrack = Program{
+	Name:       "track-fail",
+	Origin:     "PERFECT",
+	Techniques: "LRPD failure path",
+	Source: `
+      PROGRAM TRACKF
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NP, NINV
+      PARAMETER (NP=1500, NINV=20)
+      REAL X(NP), F(NP)
+      INTEGER IND(NP)
+      INTEGER I, INV
+      DO I = 1, NP
+        X(I) = 0.5 + 0.001 * I
+        F(I) = 0.01 * I
+      END DO
+      DO INV = 1, NINV
+        DO I = 1, NP
+          IND(I) = MOD((I-1) * 7, NP) + 1
+        END DO
+        IND(2) = IND(1)
+        DO I = 1, NP
+          X(IND(I)) = X(IND(I)) * 0.995 + F(I) * 0.01
+        END DO
+      END DO
+      RESULT = 0.0
+      DO I = 1, NP
+        RESULT = RESULT + X(I)
+      END DO
+      END
+`,
+}

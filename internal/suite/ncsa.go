@@ -1,0 +1,117 @@
+package suite
+
+// The two NCSA application stand-ins.
+
+// cmhog: 3-D ideal gas dynamics. The plane sweep lives in a subroutine
+// whose scratch row W is caller-allocated: only after inline expansion
+// can the K loop be parallelized (the CALL blocks it otherwise, and W
+// must be privatized — the paper's §3.1 point that inlining feeds
+// privatization). PFA (no inlining, no array privatization) fails it.
+var cmhog = Program{
+	Name:       "cmhog",
+	Origin:     "NCSA",
+	Techniques: "array privatization, sum reduction",
+	Source: `
+      PROGRAM CMHOG
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NJ, NK, NSTEP
+      PARAMETER (NJ=40, NK=40, NSTEP=3)
+      REAL DEN(NJ,NK), VL(NJ,NK), FLX(NJ,NK), W(NJ)
+      INTEGER J, K, STEP
+      REAL TOTM
+      DO K = 1, NK
+        DO J = 1, NJ
+          DEN(J,K) = 1.0 + 0.005 * J + 0.003 * K
+          VL(J,K) = 0.01 * (J - K)
+          FLX(J,K) = 0.0
+        END DO
+      END DO
+      TOTM = 0.0
+      DO STEP = 1, NSTEP
+        DO K = 2, NK-1
+          CALL PLANE(DEN, VL, FLX, W, K)
+        END DO
+        DO K = 2, NK-1
+          DO J = 2, NJ
+            DEN(J,K) = DEN(J,K) - 0.05 * FLX(J,K)
+          END DO
+        END DO
+        DO K = 1, NK
+          DO J = 1, NJ
+            TOTM = TOTM + DEN(J,K)
+          END DO
+        END DO
+      END DO
+      RESULT = TOTM
+      END
+
+      SUBROUTINE PLANE(DEN, VL, FLX, W, K)
+      INTEGER NJ, NK
+      PARAMETER (NJ=40, NK=40)
+      REAL DEN(NJ,NK), VL(NJ,NK), FLX(NJ,NK), W(NJ)
+      INTEGER J, K
+      DO J = 1, NJ
+        W(J) = DEN(J,K) * VL(J,K) + 0.1 * DEN(J,K+1)
+      END DO
+      DO J = 2, NJ
+        FLX(J,K) = W(J) - 0.5 * W(J-1)
+      END DO
+      END
+`,
+}
+
+// cloud3d: 3-D atmospheric convection. The parcel loop needs private
+// temporaries and a histogram reduction over layers; a stencil phase
+// is linear for both.
+var cloud3d = Program{
+	Name:       "cloud3d",
+	Origin:     "NCSA",
+	Techniques: "histogram reduction, scalar privatization, linear tests",
+	Source: `
+      PROGRAM CLOUD3D
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NPAR, NLAY, NG, NSTEP
+      PARAMETER (NPAR=350, NLAY=12, NG=40, NSTEP=3)
+      REAL QV(NPAR), TH(NPAR), LH(NLAY), GRD(NG,NG)
+      INTEGER LAY(NPAR)
+      INTEGER P, L, I, J, STEP
+      REAL BUOY, COND
+      DO P = 1, NPAR
+        QV(P) = 0.002 * P
+        TH(P) = 300.0 + 0.01 * P
+        LAY(P) = MOD(P, NLAY) + 1
+      END DO
+      DO L = 1, NLAY
+        LH(L) = 0.0
+      END DO
+      DO J = 1, NG
+        DO I = 1, NG
+          GRD(I,J) = 0.01 * I + 0.02 * J
+        END DO
+      END DO
+      DO STEP = 1, NSTEP
+        DO P = 1, NPAR
+          BUOY = TH(P) * 0.003 - QV(P)
+          COND = QV(P) * 0.1 + BUOY * 0.01
+          LH(LAY(P)) = LH(LAY(P)) + COND * 2.5
+          QV(P) = QV(P) - COND
+          TH(P) = TH(P) + COND * 0.8
+        END DO
+        DO J = 2, NG-1
+          DO I = 2, NG-1
+            GRD(I,J) = GRD(I,J) + 0.1 * (GRD(I+1,J) + GRD(I-1,J) - 2.0 * GRD(I,J))
+          END DO
+        END DO
+      END DO
+      RESULT = 0.0
+      DO L = 1, NLAY
+        RESULT = RESULT + LH(L)
+      END DO
+      DO P = 1, NPAR
+        RESULT = RESULT + QV(P) * 0.001
+      END DO
+      END
+`,
+}

@@ -1,0 +1,344 @@
+package suite
+
+// The six Perfect Benchmarks® stand-ins. Each reproduces the idiom the
+// paper highlights for that code.
+
+// arc2d: implicit finite-difference fluid flow. The implicit sweeps
+// stage per-row fluxes in a work array: the paper's hand analysis of
+// arc2d found exactly this privatization requirement, so Polaris
+// parallelizes the row loop and PFA cannot.
+var arc2d = Program{
+	Name:       "arc2d",
+	Origin:     "PERFECT",
+	Techniques: "array privatization, scalar privatization, linear tests",
+	Source: `
+      PROGRAM ARC2D
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NI, NJ, NSTEP
+      PARAMETER (NI=42, NJ=42, NSTEP=4)
+      REAL Q(NI,NJ), QN(NI,NJ), PRS(NI,NJ), WRK(NI)
+      INTEGER I, J, STEP
+      REAL DX, CFL, RC, DIAG
+      DX = 0.01
+      CFL = 0.8
+      DO J = 1, NJ
+        DO I = 1, NI
+          Q(I,J) = 1.0 + 0.01 * I + 0.02 * J
+          PRS(I,J) = 0.4 * Q(I,J)
+          QN(I,J) = Q(I,J)
+        END DO
+      END DO
+      DO STEP = 1, NSTEP
+        DO J = 2, NJ-1
+          DO I = 2, NI-1
+            RC = PRS(I+1,J) + PRS(I-1,J) - 2.0 * PRS(I,J)
+            WRK(I) = (Q(I+1,J) - Q(I-1,J)) / (2.0 * DX) + RC
+          END DO
+          DO I = 2, NI-1
+            DIAG = 1.0 + CFL * ABS(WRK(I))
+            QN(I,J) = Q(I,J) - CFL * WRK(I) / DIAG
+          END DO
+        END DO
+        DO J = 2, NJ-1
+          DO I = 2, NI-1
+            Q(I,J) = QN(I,J)
+            PRS(I,J) = 0.4 * Q(I,J)
+          END DO
+        END DO
+      END DO
+      RESULT = 0.0
+      DO J = 1, NJ
+        DO I = 1, NI
+          RESULT = RESULT + Q(I,J)
+        END DO
+      END DO
+      END
+`,
+}
+
+// bdna: molecular dynamics of biomolecules — the paper's Figure 5
+// gather/compress pattern needing array privatization of A and IND via
+// monotonic-variable analysis.
+var bdna = Program{
+	Name:       "bdna",
+	Origin:     "PERFECT",
+	Techniques: "array privatization (monotonic compress), scalar privatization",
+	Source: `
+      PROGRAM BDNA
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER N
+      PARAMETER (N=60)
+      REAL X(N,N), Y(N,N), A(N)
+      INTEGER IND(N)
+      INTEGER I, J, K, L, P, M
+      REAL R, W, Z, RCUTS
+      W = 0.05
+      Z = 1.5
+      RCUTS = 1.2
+      DO I = 1, N
+        DO J = 1, N
+          X(I,J) = 0.5 + 0.003 * I + 0.001 * J
+          Y(I,J) = 0.2 + 0.002 * I - 0.001 * J
+        END DO
+      END DO
+      DO I = 2, N
+        DO J = 1, I - 1
+          IND(J) = 0
+          A(J) = X(I,J) - Y(I,J)
+          R = A(J) + W
+          IF (R .LT. RCUTS) IND(J) = 1
+        END DO
+        P = 0
+        DO K = 1, I - 1
+          IF (IND(K) .NE. 0) THEN
+            P = P + 1
+            IND(P) = K
+          END IF
+        END DO
+        DO L = 1, P
+          M = IND(L)
+          X(I,L) = A(M) + Z
+        END DO
+      END DO
+      RESULT = 0.0
+      DO I = 1, N
+        DO J = 1, N
+          RESULT = RESULT + X(I,J)
+        END DO
+      END DO
+      END
+`,
+}
+
+// flo52: transonic flow past an airfoil. The flux loop needs a
+// privatized work array; the residual is a scalar sum reduction.
+var flo52 = Program{
+	Name:       "flo52",
+	Origin:     "PERFECT",
+	Techniques: "array privatization, sum reduction",
+	Source: `
+      PROGRAM FLO52
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NC, NK, NSTEP
+      PARAMETER (NC=48, NK=24, NSTEP=3)
+      REAL FLUX(NK,NC), QQ(NK,NC), W(NK)
+      INTEGER J, K, STEP
+      REAL RES
+      DO J = 1, NC
+        DO K = 1, NK
+          QQ(K,J) = 1.0 + 0.01 * K + 0.02 * J
+          FLUX(K,J) = 0.0
+        END DO
+      END DO
+      RES = 0.0
+      DO STEP = 1, NSTEP
+        DO J = 2, NC-1
+          DO K = 1, NK
+            W(K) = QQ(K,J+1) - QQ(K,J-1)
+          END DO
+          DO K = 2, NK
+            FLUX(K,J) = 0.5 * (W(K) + W(K-1))
+          END DO
+        END DO
+        DO J = 2, NC-1
+          DO K = 2, NK
+            QQ(K,J) = QQ(K,J) - 0.1 * FLUX(K,J)
+          END DO
+        END DO
+        DO J = 2, NC-1
+          DO K = 2, NK
+            RES = RES + ABS(FLUX(K,J))
+          END DO
+        END DO
+      END DO
+      RESULT = RES
+      DO J = 1, NC
+        RESULT = RESULT + QQ(3,J)
+      END DO
+      END
+`,
+}
+
+// mdg: molecular dynamics of water. Per-molecule private work vector
+// plus a histogram reduction over interaction kinds.
+var mdg = Program{
+	Name:       "mdg",
+	Origin:     "PERFECT",
+	Techniques: "array privatization, histogram reduction",
+	Source: `
+      PROGRAM MDG
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NMOL, NKIND, NSTEP
+      PARAMETER (NMOL=500, NKIND=8, NSTEP=3)
+      REAL POS(3,NMOL), VEL(3,NMOL), H(NKIND), U(NMOL), WRK(3)
+      INTEGER KND(NMOL)
+      INTEGER I, J, STEP
+      REAL E
+      DO I = 1, NMOL
+        DO J = 1, 3
+          POS(J,I) = 0.01 * I + 0.1 * J
+          VEL(J,I) = 0.001 * I
+        END DO
+        KND(I) = MOD(I, NKIND) + 1
+        U(I) = 0.0
+      END DO
+      DO J = 1, NKIND
+        H(J) = 0.0
+      END DO
+      DO STEP = 1, NSTEP
+        DO I = 1, NMOL
+          DO J = 1, 3
+            WRK(J) = POS(J,I) * VEL(J,I) + 0.5 * STEP
+          END DO
+          E = WRK(1) + WRK(2) + WRK(3)
+          H(KND(I)) = H(KND(I)) + E
+          U(I) = U(I) + E * 0.5
+        END DO
+      END DO
+      RESULT = 0.0
+      DO J = 1, NKIND
+        RESULT = RESULT + H(J)
+      END DO
+      DO I = 1, NMOL
+        RESULT = RESULT + U(I)
+      END DO
+      END
+`,
+}
+
+// ocean: Boussinesq fluid layer — the paper's Figure 3 FTRVMT loop
+// with interleaved nonlinear subscripts, parallelizable only by the
+// range test with a permuted loop order.
+var ocean = Program{
+	Name:       "ocean",
+	Origin:     "PERFECT",
+	Techniques: "range test with loop permutation",
+	Source: `
+      PROGRAM OCEAN
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NX
+      PARAMETER (NX=4)
+      REAL A(258*NX*7 + 129*NX + 258)
+      INTEGER Z(NX), CTL(2)
+      INTEGER I, J, K, LIMIT, NI
+      LIMIT = 258*NX*7 + 129*NX + 258
+      DO I = 1, LIMIT
+        A(I) = 0.001 * I
+      END DO
+      DO K = 1, NX
+        Z(K) = 4 + MOD(K, 3)
+      END DO
+      CTL(1) = 128
+      NI = CTL(1)
+      IF (NI .GE. 1 .AND. NI .LE. 128) THEN
+        DO K = 0, NX-1
+          DO J = 0, Z(K+1)
+            DO I = 0, NI
+              A(258*NX*J + 129*K + I + 1) = 0.5 * I + 0.25 * J
+              A(258*NX*J + 129*K + I + 1 + 129*NX) = 0.5 * I - 0.25 * K
+            END DO
+          END DO
+        END DO
+      END IF
+      RESULT = 0.0
+      DO I = 1, LIMIT
+        RESULT = RESULT + A(I)
+      END DO
+      END
+`,
+}
+
+// trfd: two-electron integral transformation — the paper's Figure 2
+// OLDA loop: induction substitution introduces a nonlinear subscript
+// that only the range test can analyze. The kernel sits in a
+// subroutine to exercise inline expansion.
+var trfd = Program{
+	Name:       "trfd",
+	Origin:     "PERFECT",
+	Techniques: "inlining, cascaded induction substitution, range test",
+	Source: `
+      PROGRAM TRFD
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER M, N
+      PARAMETER (M=16, N=16)
+      REAL XA(M*N*N), V(N*N)
+      INTEGER I
+      DO I = 1, M*N*N
+        XA(I) = 0.0
+      END DO
+      DO I = 1, N*N
+        V(I) = 0.01 * I
+      END DO
+      CALL OLDA(XA, V, M, N)
+      CALL OLDA(XA, V, M, N)
+      RESULT = 0.0
+      DO I = 1, M*N*N
+        RESULT = RESULT + XA(I)
+      END DO
+      END
+
+      SUBROUTINE OLDA(XA, V, M, N)
+      INTEGER M, N
+      REAL XA(M*N*N), V(N*N)
+      INTEGER I, J, K, X, X0
+      X0 = 0
+      DO I = 0, M-1
+        X = X0
+        DO J = 0, N-1
+          DO K = 0, J-1
+            X = X + 1
+            XA(X) = V(J*N+K+1) * 0.5 + XA(X) * 0.25
+          END DO
+        END DO
+        X0 = X0 + (N**2+N)/2
+      END DO
+      END
+`,
+}
+
+// track: the Figure 6 program. The NLFILT loop updates X through a
+// run-time index array; 90% of invocations carry no dependence (the
+// permutation case), every tenth introduces a duplicate index. Only
+// speculative run-time parallelization (the PD test) can exploit it.
+var track = Program{
+	Name:       "track",
+	Origin:     "PERFECT",
+	Techniques: "LRPD speculative run-time test",
+	Source: `
+      PROGRAM TRACK
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NP, NINV
+      PARAMETER (NP=1500, NINV=20)
+      REAL X(NP), F(NP)
+      INTEGER IND(NP)
+      INTEGER I, INV, STRIDE
+      DO I = 1, NP
+        X(I) = 0.5 + 0.001 * I
+        F(I) = 0.01 * I
+      END DO
+      DO INV = 1, NINV
+        STRIDE = 7
+        DO I = 1, NP
+          IND(I) = MOD((I-1) * STRIDE, NP) + 1
+        END DO
+        IF (MOD(INV, 10) .EQ. 0) THEN
+          IND(2) = IND(1)
+        END IF
+        DO I = 1, NP
+          X(IND(I)) = X(IND(I)) * 0.995 + F(I) * 0.01
+        END DO
+      END DO
+      RESULT = 0.0
+      DO I = 1, NP
+        RESULT = RESULT + X(I)
+      END DO
+      END
+`,
+}

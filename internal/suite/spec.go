@@ -1,0 +1,350 @@
+package suite
+
+// The eight SPEC CFP92/CFP95 stand-ins.
+
+// applu: parabolic/elliptic PDE solver. The SSOR sweep is a true
+// wavefront recurrence — neither compiler can parallelize the
+// dominating loops (a near-1 code for both in Figure 7).
+var applu = Program{
+	Name:       "applu",
+	Origin:     "SPEC",
+	Techniques: "none applicable (wavefront recurrence)",
+	Source: `
+      PROGRAM APPLU
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER N, NSWEEP
+      PARAMETER (N=64, NSWEEP=4)
+      REAL U(N,N), RHS(N,N)
+      INTEGER I, J, SWEEP
+      DO J = 1, N
+        DO I = 1, N
+          U(I,J) = 0.01 * I + 0.02 * J
+          RHS(I,J) = 0.001 * (I + J)
+        END DO
+      END DO
+      DO SWEEP = 1, NSWEEP
+        DO J = 2, N
+          DO I = 2, N
+            U(I,J) = 0.25 * (U(I-1,J) + U(I,J-1)) + RHS(I,J)
+          END DO
+        END DO
+      END DO
+      RESULT = 0.0
+      DO J = 1, N
+        RESULT = RESULT + U(N,J)
+      END DO
+      END
+`,
+}
+
+// appsp: Gaussian-elimination-flavoured solver over independent
+// pentadiagonal systems. The system loop parallelizes with linear
+// tests and scalar privatization — both compilers find it — but the
+// tiny unrollable inner loops provoke PFA's code generator (the
+// paper's "negative effect" case).
+var appsp = Program{
+	Name:       "appsp",
+	Origin:     "SPEC",
+	Techniques: "linear tests, scalar privatization; PFA codegen backfire",
+	Source: `
+      PROGRAM APPSP
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NSYS, NK, NSWEEP
+      PARAMETER (NSYS=60, NK=24, NSWEEP=3)
+      REAL V(5,NK,NSYS), B(5,NSYS)
+      INTEGER J, K, M1, SWEEP
+      DO J = 1, NSYS
+        DO K = 1, NK
+          DO M1 = 1, 5
+            V(M1,K,J) = 0.1 * M1 + 0.01 * K + 0.001 * J
+          END DO
+        END DO
+        DO M1 = 1, 5
+          B(M1,J) = 0.05 * M1 + 0.002 * J
+        END DO
+      END DO
+      DO SWEEP = 1, NSWEEP
+        DO J = 1, NSYS
+          DO M1 = 1, 5
+            V(M1,1,J) = V(M1,1,J) * 0.9 + B(M1,J)
+          END DO
+          DO K = 2, NK
+            DO M1 = 1, 5
+              V(M1,K,J) = V(M1,K,J) - 0.3 * V(M1,K-1,J)
+            END DO
+          END DO
+        END DO
+      END DO
+      RESULT = 0.0
+      DO J = 1, NSYS
+        RESULT = RESULT + V(3,NK,J)
+      END DO
+      END
+`,
+}
+
+// hydro2d: galactic-jet Navier-Stokes stencils. Fully analyzable with
+// linear tests; small inner bodies are exactly what PFA's back-end
+// unrolling rewards — one of the two codes where PFA beats Polaris.
+var hydro2d = Program{
+	Name:       "hydro2d",
+	Origin:     "SPEC",
+	Techniques: "linear tests (both compilers); PFA codegen advantage",
+	Source: `
+      PROGRAM HYDRO2D
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER N, NSTEP
+      PARAMETER (N=50, NSTEP=4)
+      REAL RO(N,N), RN(N,N), VX(N,N)
+      INTEGER I, J, STEP
+      DO J = 1, N
+        DO I = 1, N
+          RO(I,J) = 1.0 + 0.01 * (I + J)
+          VX(I,J) = 0.002 * (I - J)
+          RN(I,J) = RO(I,J)
+        END DO
+      END DO
+      DO STEP = 1, NSTEP
+        DO J = 2, N-1
+          DO I = 2, N-1
+            RN(I,J) = RO(I,J) + 0.1 * (RO(I+1,J) - 2.0 * RO(I,J) + RO(I-1,J))
+          END DO
+        END DO
+        DO J = 2, N-1
+          DO I = 2, N-1
+            RO(I,J) = RN(I,J) + 0.05 * VX(I,J)
+          END DO
+        END DO
+      END DO
+      RESULT = 0.0
+      DO J = 1, N
+        RESULT = RESULT + RO(J,J)
+      END DO
+      END
+`,
+}
+
+// su2cor: Monte Carlo quantum mechanics. The trajectory update is a
+// first-order recurrence: sequential for both compilers (a near-1 code
+// in Figure 7), with only small setup loops parallel.
+var su2cor = Program{
+	Name:       "su2cor",
+	Origin:     "SPEC",
+	Techniques: "none applicable (first-order recurrence)",
+	Source: `
+      PROGRAM SU2COR
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NT, NW
+      PARAMETER (NT=4000, NW=200)
+      REAL S(NT), G(NT), W(NW)
+      INTEGER T, K
+      REAL ACC, DRIFT, KICK
+      DO T = 1, NT
+        G(T) = 0.001 * MOD(T, 17) + 0.0001 * MOD(T, 5)
+      END DO
+      DO K = 1, NW
+        W(K) = 0.01 * K + 0.5 / (K + 1)
+      END DO
+      S(1) = 1.0
+      ACC = 0.0
+      DO T = 2, NT
+        DRIFT = S(T-1) * 0.999
+        KICK = G(T) + 0.0001 * MOD(T, 3)
+        S(T) = DRIFT + KICK
+        ACC = ACC + S(T) * S(T)
+      END DO
+      RESULT = S(NT) + ACC * 0.001
+      DO K = 1, NW
+        RESULT = RESULT + W(K) * 0.5
+      END DO
+      END
+`,
+}
+
+// swim: shallow-water finite differences. Like hydro2d: linear
+// subscripts, small bodies, both compilers parallelize everything and
+// PFA's code generation gives it the edge (the second PFA win).
+var swim = Program{
+	Name:       "swim",
+	Origin:     "SPEC",
+	Techniques: "linear tests (both compilers); PFA codegen advantage",
+	Source: `
+      PROGRAM SWIM
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER N, NSTEP
+      PARAMETER (N=48, NSTEP=4)
+      REAL UU(N,N), VV(N,N), PP(N,N), UN(N,N)
+      INTEGER I, J, STEP
+      DO J = 1, N
+        DO I = 1, N
+          UU(I,J) = 0.01 * I
+          VV(I,J) = 0.01 * J
+          PP(I,J) = 10.0 + 0.001 * I * J
+          UN(I,J) = 0.0
+        END DO
+      END DO
+      DO STEP = 1, NSTEP
+        DO J = 2, N-1
+          DO I = 2, N-1
+            UN(I,J) = UU(I,J) - 0.02 * (PP(I+1,J) - PP(I-1,J))
+          END DO
+        END DO
+        DO J = 2, N-1
+          DO I = 2, N-1
+            PP(I,J) = PP(I,J) - 0.01 * (UN(I,J) + VV(I,J))
+            UU(I,J) = UN(I,J)
+          END DO
+        END DO
+      END DO
+      RESULT = 0.0
+      DO J = 1, N
+        RESULT = RESULT + PP(J,J) + UU(2,J)
+      END DO
+      END
+`,
+}
+
+// tfft2: FFT butterfly stages. The stride doubles every stage
+// (S = S*2): a multiplicative induction variable whose substitution
+// leaves 2**(L-1) subscripts that only the range test can analyze.
+var tfft2 = Program{
+	Name:       "tfft2",
+	Origin:     "SPEC",
+	Techniques: "multiplicative induction, range test on 2**L strides",
+	Source: `
+      PROGRAM TFFT2
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER LEN, NSTAGE, NREP
+      PARAMETER (LEN=1024, NSTAGE=10, NREP=2)
+      REAL D(LEN)
+      INTEGER L, G, J, S, REP
+      REAL T, U
+      DO J = 1, LEN
+        D(J) = 0.01 * J
+      END DO
+      DO REP = 1, NREP
+        S = 1
+        DO L = 1, NSTAGE
+          DO G = 1, LEN/(2*S)
+            DO J = 1, S
+              T = D((G-1)*2*S + J)
+              U = D((G-1)*2*S + J + S)
+              D((G-1)*2*S + J) = T + U
+              D((G-1)*2*S + J + S) = (T - U) * 0.5
+            END DO
+          END DO
+          S = S * 2
+        END DO
+      END DO
+      RESULT = 0.0
+      DO J = 1, LEN
+        RESULT = RESULT + D(J)
+      END DO
+      END
+`,
+}
+
+// tomcatv: 2-D mesh generation. The heavy residual loop needs
+// privatized row work arrays (Polaris only); the boundary fix-up's
+// tiny constant loops provoke PFA's unroller (the paper's second
+// codegen-backfire code).
+var tomcatv = Program{
+	Name:       "tomcatv",
+	Origin:     "SPEC",
+	Techniques: "array privatization; PFA codegen backfire",
+	Source: `
+      PROGRAM TOMCATV
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER N, NIT
+      PARAMETER (N=40, NIT=3)
+      REAL XX(N,N), YY(N,N), RR(N,N), WX(N), WY(N)
+      INTEGER I, J, K1, IT
+      REAL AA, BB, CC, DD
+      DO J = 1, N
+        DO I = 1, N
+          XX(I,J) = 0.1 * I + 0.001 * J
+          YY(I,J) = 0.1 * J - 0.001 * I
+          RR(I,J) = 0.0
+        END DO
+      END DO
+      DO IT = 1, NIT
+        DO J = 2, N-1
+          DO I = 2, N-1
+            WX(I) = XX(I+1,J) - XX(I-1,J) + 0.5 * (XX(I,J+1) - XX(I,J-1))
+            WY(I) = YY(I,J+1) - YY(I,J-1) + 0.5 * (YY(I+1,J) - YY(I-1,J))
+          END DO
+          DO I = 2, N-1
+            AA = WX(I) * WX(I) + WY(I) * WY(I)
+            BB = WX(I) * WY(I)
+            CC = SQRT(AA + 0.0001)
+            DD = AA - 2.0 * BB + CC
+            RR(I,J) = DD * 0.125 + WX(I) * 0.01
+          END DO
+        END DO
+        DO J = 2, N-1
+          DO I = 2, N-1
+            XX(I,J) = XX(I,J) + 0.02 * RR(I,J)
+            YY(I,J) = YY(I,J) + 0.01 * RR(I,J)
+          END DO
+        END DO
+        DO I = 1, N
+          DO K1 = 1, 2
+            XX(I,K1) = XX(I,K1+2) * 0.5
+          END DO
+        END DO
+      END DO
+      RESULT = 0.0
+      DO J = 1, N
+        RESULT = RESULT + XX(J,J) + YY(2,J)
+      END DO
+      END
+`,
+}
+
+// wave5: particle-in-cell plasma code. The particle push scatters
+// through a run-time index array: statically intractable, but the PD
+// test parallelizes it speculatively (and the indices are a
+// permutation, so speculation succeeds).
+var wave5 = Program{
+	Name:       "wave5",
+	Origin:     "SPEC",
+	Techniques: "LRPD speculative run-time test, linear tests",
+	Source: `
+      PROGRAM WAVE5
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      INTEGER NP, NG, NSTEP
+      PARAMETER (NP=600, NG=120, NSTEP=3)
+      REAL XP(NP), VP(NP), EF(NG)
+      INTEGER IG(NP)
+      INTEGER P, G, STEP
+      DO P = 1, NP
+        XP(P) = 0.5 * P
+        VP(P) = 0.001 * MOD(P, 7)
+        IG(P) = MOD((P-1) * 7, NP) + 1
+      END DO
+      DO G = 1, NG
+        EF(G) = 0.01 * G
+      END DO
+      DO STEP = 1, NSTEP
+        DO P = 1, NP
+          XP(IG(P)) = XP(IG(P)) * 0.998 + VP(P) + EF(MOD(P,NG)+1) * 0.01
+        END DO
+        DO G = 2, NG-1
+          EF(G) = EF(G) + 0.05 * (EF(G+1) - EF(G-1))
+        END DO
+      END DO
+      RESULT = 0.0
+      DO P = 1, NP
+        RESULT = RESULT + XP(P)
+      END DO
+      END
+`,
+}

@@ -1,0 +1,72 @@
+// Package suite holds the 16-program benchmark suite standing in for
+// the paper's evaluation codes (Table 1: six Perfect Benchmarks, eight
+// SPEC CFP codes, two NCSA codes). The original applications are
+// licensed and not redistributable; each synthetic program here
+// reproduces the parallelization-relevant idioms the paper names for
+// that code — the compiler passes see loop nests, subscripts, and
+// control flow, so the idioms (not the physics) determine which
+// technique must fire. See DESIGN.md for the substitution rationale.
+//
+// Every program exposes a checksum through COMMON /OUT/ RESULT so the
+// harness can verify that transformed parallel execution reproduces
+// serial results exactly.
+package suite
+
+import (
+	"strings"
+
+	"polaris/internal/ir"
+	"polaris/internal/parser"
+)
+
+// Program is one benchmark.
+type Program struct {
+	Name   string
+	Origin string
+	// Source is the Fortran-subset text.
+	Source string
+	// Techniques names the Polaris techniques the program needs, for
+	// reports and EXPERIMENTS.md.
+	Techniques string
+}
+
+// Lines counts source lines (the "Lines of Code" column of Table 1).
+func (p Program) Lines() int {
+	n := 0
+	for _, l := range strings.Split(p.Source, "\n") {
+		if strings.TrimSpace(l) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Parse parses the program (panics on error: sources are embedded and
+// covered by tests).
+func (p Program) Parse() *ir.Program { return parser.MustParse(p.Source) }
+
+// All returns the sixteen programs of the Figure 7 comparison in the
+// paper's Table 1 order.
+func All() []Program {
+	return []Program{
+		applu, appsp, arc2d, bdna, cmhog, cloud3d, flo52, hydro2d,
+		mdg, ocean, su2cor, swim, tfft2, tomcatv, trfd, wave5,
+	}
+}
+
+// ByName returns a program by (lower-case) name.
+func ByName(name string) (Program, bool) {
+	for _, p := range All() {
+		if strings.EqualFold(p.Name, name) {
+			return p, true
+		}
+	}
+	if strings.EqualFold(name, "track") {
+		return Track(), true
+	}
+	return Program{}, false
+}
+
+// Track returns the TRACK program of Figure 6: the NLFILT/300 loop with
+// a run-time subscript array, parallel in 90% of its invocations.
+func Track() Program { return track }

@@ -1,0 +1,330 @@
+package symbolic
+
+import "math/big"
+
+// Bound is a symbolic interval for an integer-valued atom. A nil field
+// means unbounded on that side.
+type Bound struct {
+	Lo *Expr
+	Hi *Expr
+}
+
+// Env is an ordered list of atom bounds used for monotonicity-based
+// reasoning. The order is the variable-elimination order: a variable's
+// bound expressions may reference only atoms appearing later in the
+// order (inner loop indices first, then outer indices, then symbolic
+// parameters), mirroring how the range test walks a loop nest from the
+// inside out.
+type Env struct {
+	names  []string
+	bounds map[string]Bound
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{bounds: map[string]Bound{}} }
+
+// Clone returns a copy sharing the (immutable) bound expressions.
+func (v *Env) Clone() *Env {
+	c := NewEnv()
+	c.names = append(c.names, v.names...)
+	for k, b := range v.bounds {
+		c.bounds[k] = b
+	}
+	return c
+}
+
+// Push appends a variable with its bound to the end of the elimination
+// order. Pushing an existing name overrides its bound (keeping its
+// position).
+func (v *Env) Push(name string, b Bound) {
+	if _, ok := v.bounds[name]; !ok {
+		v.names = append(v.names, name)
+	}
+	v.bounds[name] = b
+}
+
+// PushFront inserts a variable at the beginning of the elimination
+// order (eliminated first).
+func (v *Env) PushFront(name string, b Bound) {
+	if _, ok := v.bounds[name]; !ok {
+		v.names = append([]string{name}, v.names...)
+	}
+	v.bounds[name] = b
+}
+
+// Remove deletes a variable from the environment.
+func (v *Env) Remove(name string) {
+	if _, ok := v.bounds[name]; !ok {
+		return
+	}
+	delete(v.bounds, name)
+	for i, n := range v.names {
+		if n == name {
+			v.names = append(v.names[:i], v.names[i+1:]...)
+			break
+		}
+	}
+}
+
+// Lookup returns the bound for name.
+func (v *Env) Lookup(name string) (Bound, bool) {
+	b, ok := v.bounds[name]
+	return b, ok
+}
+
+// Names returns the elimination order.
+func (v *Env) Names() []string { return append([]string(nil), v.names...) }
+
+// proveDepth caps the recursion of the prover; the bound covers any
+// realistic loop nest (each level eliminates one variable).
+const proveDepth = 24
+
+// ProveGE proves e >= 0 for every integer valuation consistent with the
+// environment. It returns false when the fact cannot be established
+// (not when it is false): the prover is conservative.
+func (v *Env) ProveGE(e *Expr) bool { return v.prove(e, false, proveDepth) }
+
+// ProveGT proves e > 0 for every valuation consistent with the
+// environment.
+func (v *Env) ProveGT(e *Expr) bool { return v.prove(e, true, proveDepth) }
+
+// ProveLE proves e <= 0.
+func (v *Env) ProveLE(e *Expr) bool { return v.prove(Neg(e), false, proveDepth) }
+
+// ProveLT proves e < 0.
+func (v *Env) ProveLT(e *Expr) bool { return v.prove(Neg(e), true, proveDepth) }
+
+// ProveEQ proves e == 0 (only by cancellation to the zero polynomial).
+func (v *Env) ProveEQ(e *Expr) bool { return e.IsZero() }
+
+// Monotonicity classifies the behaviour of an expression as one
+// integer variable increases by steps of one.
+type Monotonicity int
+
+// Monotonicity classes.
+const (
+	MonoUnknown Monotonicity = iota
+	MonoNonDecreasing
+	MonoNonIncreasing
+	MonoConstant
+)
+
+// MonotoneIn determines the monotonicity of e in the integer variable
+// name, under the environment, by testing the sign of the forward
+// difference e(v+1)-e(v) (the range test's probe).
+func (v *Env) MonotoneIn(e *Expr, name string) Monotonicity {
+	d := e.ForwardDiff(name)
+	if d.IsZero() {
+		return MonoConstant
+	}
+	if v.prove(d, false, proveDepth) {
+		return MonoNonDecreasing
+	}
+	if v.prove(Neg(d), false, proveDepth) {
+		return MonoNonIncreasing
+	}
+	return MonoUnknown
+}
+
+// prove establishes e >= 0 (strict=false) or e > 0 (strict=true).
+func (v *Env) prove(e *Expr, strict bool, depth int) bool {
+	if c, ok := e.Const(); ok {
+		if strict {
+			return c.Sign() > 0
+		}
+		return c.Sign() >= 0
+	}
+	if depth == 0 {
+		return false
+	}
+	// Quick syntactic check: every monomial provably >= 0 and, for
+	// strict, a positive constant term.
+	if v.allTermsNonNeg(e) {
+		if !strict {
+			return true
+		}
+		if e.ConstTerm().Sign() > 0 {
+			return true
+		}
+	}
+	// Variable elimination in environment order: replace a variable by
+	// the bound that minimizes e, when e is provably monotone in it.
+	for _, name := range v.names {
+		if !e.ContainsVar(name) {
+			continue
+		}
+		// Direct factors only: a variable inside an opaque atom cannot
+		// be eliminated by monotonicity on the polynomial.
+		if _, inOpaque := e.DegreeIn(name); inOpaque {
+			continue
+		}
+		b := v.bounds[name]
+		// The forward difference may itself reference name (e.g. the
+		// difference of n^2+n is 2n+2); its sign is tested over the
+		// whole box, exactly as the range test does. Each difference
+		// lowers the degree in name, so the recursion terminates.
+		d := e.ForwardDiff(name)
+		rest := v.without(name)
+		switch {
+		case d.IsZero():
+			continue // cannot happen: ContainsVar implies a direct factor
+		case v.prove(d, false, depth-1):
+			// Non-decreasing: minimum at the lower bound.
+			if b.Lo == nil {
+				continue
+			}
+			if rest.prove(e.Subst(name, b.Lo), strict, depth-1) {
+				return true
+			}
+		case v.prove(Neg(d), false, depth-1):
+			// Non-increasing: minimum at the upper bound.
+			if b.Hi == nil {
+				continue
+			}
+			if rest.prove(e.Subst(name, b.Hi), strict, depth-1) {
+				return true
+			}
+		default:
+			// Monotonicity unknown: if both bounds exist, e >= 0 over
+			// the box follows from e >= 0 at... no single endpoint
+			// suffices for non-monotone e; try splitting e = f+g where
+			// each part is monotone is future work. Skip this variable.
+		}
+	}
+	return false
+}
+
+// without returns the environment with name removed (bounds of other
+// variables are unchanged; by the ordering discipline they cannot
+// reference name).
+func (v *Env) without(name string) *Env {
+	c := v.Clone()
+	c.Remove(name)
+	return c
+}
+
+// allTermsNonNeg reports whether every monomial of e is provably
+// non-negative: positive coefficient and every atom in it provably
+// >= 0 with even powers free.
+func (v *Env) allTermsNonNeg(e *Expr) bool {
+	for _, t := range e.terms {
+		pos := t.coef.Sign() > 0
+		if !pos {
+			return false
+		}
+		for _, f := range t.factors {
+			if f.pow%2 == 0 {
+				continue
+			}
+			if !v.atomNonNeg(f.atom) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (v *Env) atomNonNeg(a Atom) bool {
+	b, ok := v.bounds[a.key()]
+	if !ok || b.Lo == nil {
+		return false
+	}
+	if c, isC := b.Lo.Const(); isC {
+		return c.Sign() >= 0
+	}
+	return v.without(a.key()).prove(b.Lo, false, proveDepth/2)
+}
+
+// MaxOver returns an expression for the maximum of e as the integer
+// variable name ranges over its bound, established via monotonicity.
+// ok is false when monotonicity is unprovable or the needed bound is
+// missing.
+func (v *Env) MaxOver(e *Expr, name string) (*Expr, bool) {
+	b, has := v.Lookup(name)
+	if !has {
+		return nil, false
+	}
+	if !e.ContainsVar(name) {
+		return e, true
+	}
+	switch v.MonotoneIn(e, name) {
+	case MonoConstant:
+		return e, true
+	case MonoNonDecreasing:
+		if b.Hi == nil {
+			return nil, false
+		}
+		return e.Subst(name, b.Hi), true
+	case MonoNonIncreasing:
+		if b.Lo == nil {
+			return nil, false
+		}
+		return e.Subst(name, b.Lo), true
+	}
+	return nil, false
+}
+
+// MinOver is the mirror of MaxOver.
+func (v *Env) MinOver(e *Expr, name string) (*Expr, bool) {
+	b, has := v.Lookup(name)
+	if !has {
+		return nil, false
+	}
+	if !e.ContainsVar(name) {
+		return e, true
+	}
+	switch v.MonotoneIn(e, name) {
+	case MonoConstant:
+		return e, true
+	case MonoNonDecreasing:
+		if b.Lo == nil {
+			return nil, false
+		}
+		return e.Subst(name, b.Lo), true
+	case MonoNonIncreasing:
+		if b.Hi == nil {
+			return nil, false
+		}
+		return e.Subst(name, b.Hi), true
+	}
+	return nil, false
+}
+
+// Compare classifies the relation between two expressions under the
+// environment, for range propagation's expression comparison.
+type CompareResult int
+
+// Compare outcomes.
+const (
+	CmpUnknown CompareResult = iota
+	CmpLT
+	CmpLE
+	CmpEQ
+	CmpGE
+	CmpGT
+)
+
+// Compare determines the provable relation of a versus b.
+func (v *Env) Compare(a, b *Expr) CompareResult {
+	d := Sub(a, b)
+	if d.IsZero() {
+		return CmpEQ
+	}
+	if v.ProveGT(d) {
+		return CmpGT
+	}
+	if v.ProveLT(d) {
+		return CmpLT
+	}
+	if v.ProveGE(d) {
+		return CmpGE
+	}
+	if v.ProveLE(d) {
+		return CmpLE
+	}
+	return CmpUnknown
+}
+
+// RatIsInt reports whether r is an integer (helper for callers deciding
+// the strict-separation threshold for rational relaxations).
+func RatIsInt(r *big.Rat) bool { return r.IsInt() }

@@ -1,0 +1,527 @@
+// Package symbolic implements the symbolic expression algebra
+// underlying Polaris' analyses: canonical multivariate polynomials with
+// rational coefficients over "atoms" (integer program variables and
+// opaque uninterpreted terms), with simplification, substitution,
+// forward differences, closed-form summation (Faulhaber), and
+// range-based monotonicity reasoning (the machinery of the range test
+// of Blume & Eigenmann and of range propagation).
+package symbolic
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Atom is a symbolic unknown: a plain integer variable (Args == nil) or
+// an opaque term such as IND(K+1) or IDIV(X, 2) whose meaning the
+// algebra does not interpret. Call distinguishes opaque function calls
+// from opaque array-element reads when converting back to IR.
+type Atom struct {
+	Name string
+	Args []*Expr
+	Call bool
+}
+
+// key returns a canonical identity string for the atom.
+func (a Atom) key() string {
+	if a.Args == nil {
+		return a.Name
+	}
+	parts := make([]string, len(a.Args))
+	for i, e := range a.Args {
+		parts[i] = e.String()
+	}
+	prefix := ""
+	if a.Call {
+		prefix = "@"
+	}
+	return prefix + a.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// factor is an atom raised to a positive integer power.
+type factor struct {
+	atom Atom
+	pow  int
+}
+
+// term is a rational coefficient times a product of factors. Factors
+// are kept sorted by atom key.
+type term struct {
+	coef    *big.Rat
+	factors []factor
+}
+
+func (t *term) monoKey() string {
+	if len(t.factors) == 0 {
+		return ""
+	}
+	parts := make([]string, len(t.factors))
+	for i, f := range t.factors {
+		parts[i] = fmt.Sprintf("%s^%d", f.atom.key(), f.pow)
+	}
+	return strings.Join(parts, "*")
+}
+
+func (t *term) clone() *term {
+	c := &term{coef: new(big.Rat).Set(t.coef), factors: make([]factor, len(t.factors))}
+	copy(c.factors, t.factors)
+	return c
+}
+
+// Expr is a canonical sum of terms, keyed by monomial. The zero
+// polynomial has no terms. Exprs are immutable: all operations return
+// new values.
+type Expr struct {
+	terms map[string]*term
+}
+
+func newExpr() *Expr { return &Expr{terms: map[string]*term{}} }
+
+func (e *Expr) addTerm(t *term) {
+	if t.coef.Sign() == 0 {
+		return
+	}
+	k := t.monoKey()
+	if old, ok := e.terms[k]; ok {
+		old.coef.Add(old.coef, t.coef)
+		if old.coef.Sign() == 0 {
+			delete(e.terms, k)
+		}
+		return
+	}
+	e.terms[k] = t.clone()
+}
+
+// Zero returns the zero polynomial.
+func Zero() *Expr { return newExpr() }
+
+// Int returns the constant polynomial v.
+func Int(v int64) *Expr { return Rat(big.NewRat(v, 1)) }
+
+// Rat returns the constant polynomial r.
+func Rat(r *big.Rat) *Expr {
+	e := newExpr()
+	e.addTerm(&term{coef: new(big.Rat).Set(r)})
+	return e
+}
+
+// Var returns the polynomial consisting of the single variable name.
+func Var(name string) *Expr {
+	e := newExpr()
+	e.addTerm(&term{coef: big.NewRat(1, 1), factors: []factor{{atom: Atom{Name: name}, pow: 1}}})
+	return e
+}
+
+// Opaque returns a polynomial consisting of the single opaque term
+// name(args...).
+func Opaque(name string, args ...*Expr) *Expr {
+	if args == nil {
+		args = []*Expr{}
+	}
+	e := newExpr()
+	e.addTerm(&term{coef: big.NewRat(1, 1), factors: []factor{{atom: Atom{Name: name, Args: args}, pow: 1}}})
+	return e
+}
+
+// OpaqueAtom returns a polynomial consisting of the single atom a.
+func OpaqueAtom(a Atom) *Expr {
+	e := newExpr()
+	e.addTerm(&term{coef: big.NewRat(1, 1), factors: []factor{{atom: a, pow: 1}}})
+	return e
+}
+
+// Add returns a + b.
+func Add(a, b *Expr) *Expr {
+	e := newExpr()
+	for _, t := range a.terms {
+		e.addTerm(t)
+	}
+	for _, t := range b.terms {
+		e.addTerm(t)
+	}
+	return e
+}
+
+// Sub returns a - b.
+func Sub(a, b *Expr) *Expr { return Add(a, Neg(b)) }
+
+// Neg returns -a.
+func Neg(a *Expr) *Expr {
+	e := newExpr()
+	for _, t := range a.terms {
+		c := t.clone()
+		c.coef.Neg(c.coef)
+		e.addTerm(c)
+	}
+	return e
+}
+
+// Mul returns a * b, combining factors and collecting like monomials.
+func Mul(a, b *Expr) *Expr {
+	e := newExpr()
+	for _, ta := range a.terms {
+		for _, tb := range b.terms {
+			e.addTerm(mulTerms(ta, tb))
+		}
+	}
+	return e
+}
+
+func mulTerms(a, b *term) *term {
+	t := &term{coef: new(big.Rat).Mul(a.coef, b.coef)}
+	t.factors = append(t.factors, a.factors...)
+	for _, f := range b.factors {
+		t.factors = appendFactor(t.factors, f)
+	}
+	sort.Slice(t.factors, func(i, j int) bool { return t.factors[i].atom.key() < t.factors[j].atom.key() })
+	return t
+}
+
+func appendFactor(fs []factor, f factor) []factor {
+	for i := range fs {
+		if fs[i].atom.key() == f.atom.key() {
+			out := make([]factor, len(fs))
+			copy(out, fs)
+			out[i].pow += f.pow
+			return out
+		}
+	}
+	return append(append([]factor(nil), fs...), f)
+}
+
+// MulRat returns a scaled by the rational r.
+func MulRat(a *Expr, r *big.Rat) *Expr {
+	e := newExpr()
+	for _, t := range a.terms {
+		c := t.clone()
+		c.coef.Mul(c.coef, r)
+		e.addTerm(c)
+	}
+	return e
+}
+
+// DivInt returns a divided by the nonzero integer d (exact rational
+// division; see package comment for the soundness discussion).
+func DivInt(a *Expr, d int64) *Expr {
+	if d == 0 {
+		panic("symbolic: division by zero")
+	}
+	return MulRat(a, big.NewRat(1, d))
+}
+
+// Pow returns a**n for n >= 0.
+func Pow(a *Expr, n int) *Expr {
+	if n < 0 {
+		panic("symbolic: negative exponent")
+	}
+	r := Int(1)
+	for i := 0; i < n; i++ {
+		r = Mul(r, a)
+	}
+	return r
+}
+
+// IsZero reports whether e is the zero polynomial.
+func (e *Expr) IsZero() bool { return len(e.terms) == 0 }
+
+// Const returns the value and true if e is a constant polynomial.
+func (e *Expr) Const() (*big.Rat, bool) {
+	switch len(e.terms) {
+	case 0:
+		return big.NewRat(0, 1), true
+	case 1:
+		if t, ok := e.terms[""]; ok {
+			return new(big.Rat).Set(t.coef), true
+		}
+	}
+	return nil, false
+}
+
+// ConstTerm returns the constant term of e (zero if none).
+func (e *Expr) ConstTerm() *big.Rat {
+	if t, ok := e.terms[""]; ok {
+		return new(big.Rat).Set(t.coef)
+	}
+	return big.NewRat(0, 1)
+}
+
+// Equal reports whether a and b are the same polynomial.
+func Equal(a, b *Expr) bool { return Sub(a, b).IsZero() }
+
+// ContainsVar reports whether e references the plain variable name,
+// including inside opaque-atom arguments.
+func (e *Expr) ContainsVar(name string) bool {
+	for _, t := range e.terms {
+		for _, f := range t.factors {
+			if atomContainsVar(f.atom, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func atomContainsVar(a Atom, name string) bool {
+	if a.Args == nil {
+		return a.Name == name
+	}
+	for _, arg := range a.Args {
+		if arg.ContainsVar(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Vars returns the set of plain variable names in e, including those
+// inside opaque-atom arguments.
+func (e *Expr) Vars() map[string]bool {
+	set := map[string]bool{}
+	e.collectVars(set)
+	return set
+}
+
+func (e *Expr) collectVars(set map[string]bool) {
+	for _, t := range e.terms {
+		for _, f := range t.factors {
+			if f.atom.Args == nil {
+				set[f.atom.Name] = true
+			} else {
+				for _, arg := range f.atom.Args {
+					arg.collectVars(set)
+				}
+			}
+		}
+	}
+}
+
+// HasOpaque reports whether e contains any opaque atom.
+func (e *Expr) HasOpaque() bool {
+	for _, t := range e.terms {
+		for _, f := range t.factors {
+			if f.atom.Args != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OpaqueAtoms returns the distinct opaque atoms of e keyed canonically.
+func (e *Expr) OpaqueAtoms() map[string]Atom {
+	out := map[string]Atom{}
+	for _, t := range e.terms {
+		for _, f := range t.factors {
+			if f.atom.Args != nil {
+				out[f.atom.key()] = f.atom
+			}
+		}
+	}
+	return out
+}
+
+// Subst returns e with every occurrence of the plain variable name
+// replaced by repl, including occurrences inside opaque-atom arguments.
+func (e *Expr) Subst(name string, repl *Expr) *Expr {
+	out := newExpr()
+	for _, t := range e.terms {
+		part := Rat(t.coef)
+		for _, f := range t.factors {
+			var base *Expr
+			switch {
+			case f.atom.Args == nil && f.atom.Name == name:
+				base = repl
+			case f.atom.Args == nil:
+				base = Var(f.atom.Name)
+			default:
+				args := make([]*Expr, len(f.atom.Args))
+				for i, a := range f.atom.Args {
+					args[i] = a.Subst(name, repl)
+				}
+				base = OpaqueAtom(Atom{Name: f.atom.Name, Args: args, Call: f.atom.Call})
+			}
+			part = Mul(part, Pow(base, f.pow))
+		}
+		out = Add(out, part)
+	}
+	return out
+}
+
+// SubstAtom replaces every occurrence of the atom with key atomKey by
+// repl (used to resolve opaque terms such as gated values).
+func (e *Expr) SubstAtom(atomKey string, repl *Expr) *Expr {
+	out := newExpr()
+	for _, t := range e.terms {
+		part := Rat(t.coef)
+		for _, f := range t.factors {
+			var base *Expr
+			if f.atom.key() == atomKey {
+				base = repl
+			} else if f.atom.Args == nil {
+				base = Var(f.atom.Name)
+			} else {
+				base = OpaqueAtom(f.atom)
+			}
+			part = Mul(part, Pow(base, f.pow))
+		}
+		out = Add(out, part)
+	}
+	return out
+}
+
+// ForwardDiff returns e(v+1) - e(v): the first forward difference with
+// respect to the integer variable v, the monotonicity probe of the
+// range test.
+func (e *Expr) ForwardDiff(v string) *Expr {
+	return Sub(e.Subst(v, Add(Var(v), Int(1))), e)
+}
+
+// DegreeIn returns the highest power of the plain variable v occurring
+// in e as a direct factor, and whether v also occurs inside opaque
+// atom arguments (in which case polynomial operations on v such as
+// closed-form summation are not available).
+func (e *Expr) DegreeIn(v string) (deg int, inOpaque bool) {
+	for _, t := range e.terms {
+		for _, f := range t.factors {
+			if f.atom.Args == nil && f.atom.Name == v {
+				if f.pow > deg {
+					deg = f.pow
+				}
+			} else if f.atom.Args != nil {
+				for _, a := range f.atom.Args {
+					if a.ContainsVar(v) {
+						inOpaque = true
+					}
+				}
+			}
+		}
+	}
+	return deg, inOpaque
+}
+
+// CoeffsIn decomposes e as sum_d coeff[d] * v^d and returns the
+// coefficient polynomials (which do not contain v as a direct factor).
+// ok is false if v occurs inside an opaque atom argument.
+func (e *Expr) CoeffsIn(v string) (coeffs []*Expr, ok bool) {
+	deg, inOpaque := e.DegreeIn(v)
+	if inOpaque {
+		return nil, false
+	}
+	coeffs = make([]*Expr, deg+1)
+	for i := range coeffs {
+		coeffs[i] = Zero()
+	}
+	for _, t := range e.terms {
+		d := 0
+		rest := &term{coef: new(big.Rat).Set(t.coef)}
+		for _, f := range t.factors {
+			if f.atom.Args == nil && f.atom.Name == v {
+				d = f.pow
+			} else {
+				rest.factors = append(rest.factors, f)
+			}
+		}
+		part := newExpr()
+		part.addTerm(rest)
+		coeffs[d] = Add(coeffs[d], part)
+	}
+	return coeffs, true
+}
+
+// Eval evaluates e with atom values supplied by env. It returns false
+// if env cannot supply some atom. Opaque atoms are looked up by
+// canonical key after evaluating nothing (the env receives the atom).
+func (e *Expr) Eval(env func(Atom) (*big.Rat, bool)) (*big.Rat, bool) {
+	total := big.NewRat(0, 1)
+	for _, t := range e.terms {
+		v := new(big.Rat).Set(t.coef)
+		for _, f := range t.factors {
+			av, ok := env(f.atom)
+			if !ok {
+				return nil, false
+			}
+			for i := 0; i < f.pow; i++ {
+				v.Mul(v, av)
+			}
+		}
+		total.Add(total, v)
+	}
+	return total, true
+}
+
+// EvalInt evaluates e over an integer variable assignment, for property
+// tests. Opaque atoms make it fail.
+func (e *Expr) EvalInt(vals map[string]int64) (*big.Rat, bool) {
+	return e.Eval(func(a Atom) (*big.Rat, bool) {
+		if a.Args != nil {
+			return nil, false
+		}
+		v, ok := vals[a.Name]
+		if !ok {
+			return nil, false
+		}
+		return big.NewRat(v, 1), true
+	})
+}
+
+// DenominatorLCM returns the least common multiple of all coefficient
+// denominators (1 for integer polynomials).
+func (e *Expr) DenominatorLCM() *big.Int {
+	l := big.NewInt(1)
+	for _, t := range e.terms {
+		d := t.coef.Denom()
+		g := new(big.Int).GCD(nil, nil, l, d)
+		l.Div(l, g)
+		l.Mul(l, d)
+	}
+	return l
+}
+
+// String renders the polynomial canonically: monomials sorted by key,
+// coefficients as integers or fractions.
+func (e *Expr) String() string {
+	if len(e.terms) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(e.terms))
+	for k := range e.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		t := e.terms[k]
+		c := t.coef
+		neg := c.Sign() < 0
+		abs := new(big.Rat).Abs(c)
+		if i == 0 {
+			if neg {
+				b.WriteString("-")
+			}
+		} else if neg {
+			b.WriteString("-")
+		} else {
+			b.WriteString("+")
+		}
+		mono := t.monoKey()
+		one := abs.Cmp(big.NewRat(1, 1)) == 0
+		switch {
+		case mono == "":
+			b.WriteString(ratString(abs))
+		case one:
+			b.WriteString(mono)
+		default:
+			b.WriteString(ratString(abs) + "*" + mono)
+		}
+	}
+	return b.String()
+}
+
+func ratString(r *big.Rat) string {
+	if r.IsInt() {
+		return r.Num().String()
+	}
+	return r.Num().String() + "/" + r.Denom().String()
+}

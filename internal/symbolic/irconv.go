@@ -1,0 +1,224 @@
+package symbolic
+
+import (
+	"math/big"
+	"sort"
+
+	"polaris/internal/ir"
+)
+
+// Resolver supplies symbolic values for program names during
+// conversion: PARAMETER constants, closed forms of solved induction
+// variables, and so on. Returning nil leaves the name as a free
+// variable.
+type Resolver func(name string) *Expr
+
+// Conv is the result of converting an IR expression.
+type Conv struct {
+	E *Expr
+	// IntDivApprox is set when an integer division by a constant was
+	// relaxed to exact rational division. Consumers that prove strict
+	// separations on integer-valued expressions must then require a
+	// margin of >= 1 rather than > 0 (floor errors are < 1).
+	IntDivApprox bool
+	// OK is false when the expression contains constructs outside the
+	// arithmetic subset (logical operators, relations).
+	OK bool
+}
+
+// FromIR converts an arithmetic IR expression to a symbolic polynomial.
+// Array reads and unknown function calls become opaque atoms; integer
+// division by a constant becomes exact rational division (flagged);
+// division by a non-constant becomes the opaque IDIV atom.
+func FromIR(e ir.Expr, resolve Resolver) Conv {
+	c := converter{resolve: resolve}
+	s := c.conv(e)
+	if s == nil {
+		return Conv{OK: false}
+	}
+	return Conv{E: s, IntDivApprox: c.intDiv, OK: true}
+}
+
+type converter struct {
+	resolve Resolver
+	intDiv  bool
+}
+
+func (c *converter) conv(e ir.Expr) *Expr {
+	switch x := e.(type) {
+	case *ir.ConstInt:
+		return Int(x.Val)
+	case *ir.ConstReal:
+		r := new(big.Rat)
+		r.SetFloat64(x.Val)
+		return Rat(r)
+	case *ir.VarRef:
+		if c.resolve != nil {
+			if v := c.resolve(x.Name); v != nil {
+				return v
+			}
+		}
+		return Var(x.Name)
+	case *ir.ArrayRef:
+		args := make([]*Expr, len(x.Subs))
+		for i, s := range x.Subs {
+			args[i] = c.conv(s)
+			if args[i] == nil {
+				return nil
+			}
+		}
+		return OpaqueAtom(Atom{Name: x.Name, Args: args})
+	case *ir.Call:
+		args := make([]*Expr, len(x.Args))
+		for i, s := range x.Args {
+			args[i] = c.conv(s)
+			if args[i] == nil {
+				return nil
+			}
+		}
+		return OpaqueAtom(Atom{Name: x.Name, Args: args, Call: true})
+	case *ir.Unary:
+		if x.Op != ir.OpNeg {
+			return nil
+		}
+		v := c.conv(x.X)
+		if v == nil {
+			return nil
+		}
+		return Neg(v)
+	case *ir.Binary:
+		if !x.Op.IsArith() {
+			return nil
+		}
+		l := c.conv(x.L)
+		if l == nil {
+			return nil
+		}
+		r := c.conv(x.R)
+		if r == nil {
+			return nil
+		}
+		switch x.Op {
+		case ir.OpAdd:
+			return Add(l, r)
+		case ir.OpSub:
+			return Sub(l, r)
+		case ir.OpMul:
+			return Mul(l, r)
+		case ir.OpDiv:
+			if rc, ok := r.Const(); ok && rc.Sign() != 0 {
+				c.intDiv = true
+				return MulRat(l, new(big.Rat).Inv(rc))
+			}
+			return OpaqueAtom(Atom{Name: "IDIV", Args: []*Expr{l, r}, Call: true})
+		case ir.OpPow:
+			if rc, ok := r.Const(); ok && rc.IsInt() && rc.Num().IsInt64() {
+				n := rc.Num().Int64()
+				if n >= 0 && n <= 16 {
+					return Pow(l, int(n))
+				}
+			}
+			return OpaqueAtom(Atom{Name: "IPOW", Args: []*Expr{l, r}, Call: true})
+		}
+	}
+	return nil
+}
+
+// ToIR converts a polynomial back to an IR expression. Rational
+// coefficients are cleared by multiplying through with the denominator
+// LCM and emitting a single trailing integer division, reproducing the
+// "(... )/2" shapes of the Polaris examples. The division is exact
+// whenever the polynomial is integer-valued, which holds for the
+// closed forms produced by induction substitution.
+func ToIR(e *Expr) ir.Expr {
+	l := e.DenominatorLCM()
+	scaled := e
+	if l.Cmp(big.NewInt(1)) != 0 {
+		scaled = MulRat(e, new(big.Rat).SetInt(l))
+	}
+	sum := sumToIR(scaled)
+	if l.Cmp(big.NewInt(1)) != 0 {
+		sum = ir.Div(sum, ir.Int(l.Int64()))
+	}
+	return sum
+}
+
+func sumToIR(e *Expr) ir.Expr {
+	if len(e.terms) == 0 {
+		return ir.Int(0)
+	}
+	keys := make([]string, 0, len(e.terms))
+	for k := range e.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out ir.Expr
+	for _, k := range keys {
+		t := e.terms[k]
+		neg := t.coef.Sign() < 0
+		abs := new(big.Rat).Abs(t.coef)
+		piece := termToIR(abs, t.factors)
+		switch {
+		case out == nil && neg:
+			out = ir.Neg(piece)
+		case out == nil:
+			out = piece
+		case neg:
+			out = ir.Sub(out, piece)
+		default:
+			out = ir.Add(out, piece)
+		}
+	}
+	return out
+}
+
+func termToIR(coef *big.Rat, fs []factor) ir.Expr {
+	ir.Assert(coef.IsInt(), "symbolic.ToIR: non-integer coefficient after scaling")
+	var out ir.Expr
+	if coef.Cmp(big.NewRat(1, 1)) != 0 || len(fs) == 0 {
+		out = ir.Int(coef.Num().Int64())
+	}
+	for _, f := range fs {
+		base := atomToIR(f.atom)
+		var p ir.Expr
+		switch {
+		case f.pow == 1:
+			p = base
+		case f.pow <= 3:
+			// Strength-reduce small powers to multiplications (the
+			// form a code generator would emit).
+			p = base
+			for i := 1; i < f.pow; i++ {
+				p = ir.Mul(p, base.Clone())
+			}
+		default:
+			p = ir.Bin(ir.OpPow, base, ir.Int(int64(f.pow)))
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = ir.Mul(out, p)
+		}
+	}
+	return out
+}
+
+func atomToIR(a Atom) ir.Expr {
+	if a.Args == nil {
+		return ir.Var(a.Name)
+	}
+	if a.Call && a.Name == "IDIV" && len(a.Args) == 2 {
+		return ir.Div(ToIR(a.Args[0]), ToIR(a.Args[1]))
+	}
+	if a.Call && a.Name == "IPOW" && len(a.Args) == 2 {
+		return ir.Bin(ir.OpPow, ToIR(a.Args[0]), ToIR(a.Args[1]))
+	}
+	args := make([]ir.Expr, len(a.Args))
+	for i, s := range a.Args {
+		args[i] = ToIR(s)
+	}
+	if a.Call {
+		return &ir.Call{Name: a.Name, Args: args}
+	}
+	return &ir.ArrayRef{Name: a.Name, Subs: args}
+}

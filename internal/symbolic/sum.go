@@ -1,0 +1,89 @@
+package symbolic
+
+import "math/big"
+
+// faulhaber holds the polynomials S_d(n) = sum_{k=1..n} k^d as
+// coefficient lists (index = power of n), for d = 0..maxFaulhaber.
+// They are exact over the rationals.
+var faulhaber [][]*big.Rat
+
+// maxFaulhaber is the highest supported power; induction variables in
+// real programs rarely exceed cubic closed forms, and the Polaris
+// examples need degree <= 3.
+const maxFaulhaber = 8
+
+func init() {
+	r := func(a, b int64) *big.Rat { return big.NewRat(a, b) }
+	faulhaber = [][]*big.Rat{
+		// S_0 = n
+		{r(0, 1), r(1, 1)},
+		// S_1 = n/2 + n^2/2
+		{r(0, 1), r(1, 2), r(1, 2)},
+		// S_2 = n/6 + n^2/2 + n^3/3
+		{r(0, 1), r(1, 6), r(1, 2), r(1, 3)},
+		// S_3 = n^2/4 + n^3/2 + n^4/4
+		{r(0, 1), r(0, 1), r(1, 4), r(1, 2), r(1, 4)},
+		// S_4 = -n/30 + n^3/3 + n^4/2 + n^5/5
+		{r(0, 1), r(-1, 30), r(0, 1), r(1, 3), r(1, 2), r(1, 5)},
+		// S_5 = -n^2/12 + 5n^4/12 + n^5/2 + n^6/6
+		{r(0, 1), r(0, 1), r(-1, 12), r(0, 1), r(5, 12), r(1, 2), r(1, 6)},
+		// S_6 = n/42 - n^3/6 + n^5/2 + n^6/2 + n^7/7
+		{r(0, 1), r(1, 42), r(0, 1), r(-1, 6), r(0, 1), r(1, 2), r(1, 2), r(1, 7)},
+		// S_7 = n^2/12 - 7n^4/24 + 7n^6/12 + n^7/2 + n^8/8
+		{r(0, 1), r(0, 1), r(1, 12), r(0, 1), r(-7, 24), r(0, 1), r(7, 12), r(1, 2), r(1, 8)},
+		// S_8 = -n/30 + 2n^3/9 - 7n^5/15 + 2n^7/3 + n^8/2 + n^9/9
+		{r(0, 1), r(-1, 30), r(0, 1), r(2, 9), r(0, 1), r(-7, 15), r(0, 1), r(2, 3), r(1, 2), r(1, 9)},
+	}
+}
+
+// powerSumAt returns S_d evaluated at the polynomial n.
+func powerSumAt(d int, n *Expr) *Expr {
+	coeffs := faulhaber[d]
+	out := Zero()
+	p := Int(1)
+	for i, c := range coeffs {
+		if i > 0 {
+			p = Mul(p, n)
+		}
+		if c.Sign() != 0 {
+			out = Add(out, MulRat(p, c))
+		}
+	}
+	return out
+}
+
+// SumClosed returns the closed form of sum_{v=lo..hi} e, where e is a
+// polynomial in the integer variable v of degree <= maxFaulhaber whose
+// coefficients may involve other variables. The formula is the exact
+// telescoped Faulhaber sum S(hi) - S(lo-1); it equals the loop-summed
+// value whenever hi >= lo-1 (i.e. the trip count is >= 0), matching
+// Fortran DO semantics for non-negative trip counts.
+//
+// ok is false when v occurs inside an opaque atom argument or the
+// degree exceeds maxFaulhaber.
+func SumClosed(e *Expr, v string, lo, hi *Expr) (*Expr, bool) {
+	coeffs, ok := e.CoeffsIn(v)
+	if !ok || len(coeffs)-1 > maxFaulhaber {
+		return nil, false
+	}
+	// lo and hi may reference v: they denote outer-scope values (e.g.
+	// the prefix sum up to the current iteration, hi = v-1). Only the
+	// summand's coefficients must be v-free, which CoeffsIn guarantees.
+	loM1 := Sub(lo, Int(1))
+	out := Zero()
+	for d, c := range coeffs {
+		if c.IsZero() {
+			continue
+		}
+		sd := Sub(powerSumAt(d, hi), powerSumAt(d, loM1))
+		out = Add(out, Mul(c, sd))
+	}
+	return out, true
+}
+
+// SumPrefix returns the closed form of sum_{v=lo..up-1} e: the total
+// accumulated before iteration v = up. This is the quantity induction
+// variable substitution needs at the top of iteration `up`.
+func SumPrefix(e *Expr, v string, lo, up *Expr) (*Expr, bool) {
+	return SumClosed(e, v, lo, Sub(up, Int(1)))
+}

@@ -1,0 +1,273 @@
+// Package polaris is a from-scratch Go reproduction of the Polaris
+// parallelizing compiler ("Restructuring Programs for High-Speed
+// Computers with Polaris", Blume et al., ICPP 1996): a source-to-source
+// automatic restructurer for a Fortran 77 subset.
+//
+// The package is a façade over the internal subsystems. The typical
+// flow is:
+//
+//	prog, err := polaris.Parse(src)
+//	res, err := polaris.Parallelize(prog)        // full technique set
+//	fmt.Print(res.AnnotatedSource())             // restructured Fortran
+//	run, err := polaris.Execute(res, polaris.ExecOptions{Processors: 8})
+//	fmt.Println(run.Speedup)                     // vs serial execution
+//
+// Technique sets: Parallelize applies everything the paper describes —
+// inline expansion, generalized induction-variable substitution,
+// reduction recognition (single-address and histogram), scalar and
+// array privatization, symbolic dependence analysis with the range
+// test and loop-order permutation, and LRPD (run-time PD test)
+// candidate flagging. ParallelizeBaseline applies the 1996
+// vendor-compiler level the paper compares against.
+//
+// Hardware substitution: execution happens on a simulated
+// shared-memory multiprocessor (package internal/machine) with a
+// deterministic cycle model, standing in for the paper's 8-processor
+// SGI Challenge; see DESIGN.md.
+package polaris
+
+import (
+	"fmt"
+
+	"polaris/internal/codegen"
+	"polaris/internal/core"
+	"polaris/internal/interp"
+	"polaris/internal/ir"
+	"polaris/internal/machine"
+	"polaris/internal/parser"
+	"polaris/internal/pfa"
+)
+
+// Program is a parsed Fortran program.
+type Program struct {
+	ir *ir.Program
+}
+
+// Parse parses Fortran-subset source into a Program.
+func Parse(src string) (*Program, error) {
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ir: p}, nil
+}
+
+// Source renders the program back to Fortran.
+func (p *Program) Source() string { return p.ir.Fortran() }
+
+// LoopInfo describes one analyzed loop.
+type LoopInfo struct {
+	Unit     string
+	Index    string
+	Depth    int
+	Parallel bool
+	// RunTimeTest lists arrays the loop will be speculatively tested
+	// over at run time (the LRPD/PD test), empty otherwise.
+	RunTimeTest []string
+	Reason      string
+}
+
+// Result is a compiled (restructured and annotated) program.
+type Result struct {
+	inner *core.Result
+	// CodegenFactor models back-end code quality (1.0 for Polaris; set
+	// by the baseline's heuristics for PFA).
+	CodegenFactor float64
+	// Loops reports the per-loop verdicts, outermost first.
+	Loops []LoopInfo
+	// InlinedCalls counts expanded call sites.
+	InlinedCalls int
+	// InductionVariables lists substituted induction variables
+	// (qualified by unit).
+	InductionVariables []string
+}
+
+func wrapResult(res *core.Result, factor float64) *Result {
+	out := &Result{inner: res, CodegenFactor: factor,
+		InlinedCalls: res.InlinedCalls, InductionVariables: res.InductionVars}
+	for _, lr := range res.Loops {
+		out.Loops = append(out.Loops, LoopInfo{
+			Unit: lr.Unit, Index: lr.Index, Depth: lr.Depth,
+			Parallel: lr.Parallel, RunTimeTest: lr.LRPD, Reason: lr.Reason,
+		})
+	}
+	return out
+}
+
+// Parallelize runs the full Polaris pipeline on the program. The input
+// program is not modified.
+func Parallelize(p *Program) (*Result, error) {
+	res, err := core.Compile(p.ir, core.PolarisOptions())
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res, 1.0), nil
+}
+
+// ParallelizeWith runs the pipeline with an explicit technique set.
+func ParallelizeWith(p *Program, opt Techniques) (*Result, error) {
+	res, err := core.Compile(p.ir, core.Options{
+		Inline:             opt.Inline,
+		Induction:          opt.Induction,
+		SimpleInduction:    opt.SimpleInduction,
+		Reductions:         opt.Reductions,
+		HistogramReduction: opt.HistogramReductions,
+		ArrayPrivatization: opt.ArrayPrivatization,
+		RangeTest:          opt.RangeTest,
+		Permutation:        opt.LoopPermutation,
+		LRPD:               opt.RunTimeTest,
+		StrengthReduction:  opt.StrengthReduction,
+		Normalize:          opt.LoopNormalization,
+		InterprocConstants: opt.InterproceduralConstants,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res, 1.0), nil
+}
+
+// Techniques selects individual passes for ParallelizeWith.
+type Techniques struct {
+	Inline                   bool
+	Induction                bool
+	SimpleInduction          bool
+	Reductions               bool
+	HistogramReductions      bool
+	ArrayPrivatization       bool
+	RangeTest                bool
+	LoopPermutation          bool
+	RunTimeTest              bool
+	StrengthReduction        bool
+	LoopNormalization        bool
+	InterproceduralConstants bool
+}
+
+// FullTechniques returns the paper's complete set.
+func FullTechniques() Techniques {
+	return Techniques{
+		Inline: true, Induction: true, Reductions: true,
+		HistogramReductions: true, ArrayPrivatization: true,
+		RangeTest: true, LoopPermutation: true, RunTimeTest: true,
+		StrengthReduction: true, LoopNormalization: true,
+		InterproceduralConstants: true,
+	}
+}
+
+// ParallelizeBaseline runs the 1996-vendor (PFA) capability level,
+// including its modelled back-end code-quality factor.
+func ParallelizeBaseline(p *Program) (*Result, error) {
+	res, err := pfa.Compile(p.ir)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res.Result, res.Factor), nil
+}
+
+// AnnotatedSource emits the restructured Fortran with parallel
+// directives and the compilation report header.
+func (r *Result) AnnotatedSource() string { return codegen.Emit(r.inner) }
+
+// Summary renders a human-readable per-loop report.
+func (r *Result) Summary() string { return r.inner.Summary() }
+
+// ParallelLoops counts DOALL verdicts.
+func (r *Result) ParallelLoops() int { return r.inner.ParallelLoops() }
+
+// ExecOptions configures simulated execution.
+type ExecOptions struct {
+	// Processors on the simulated machine (default 8).
+	Processors int
+	// Serial disables parallel execution (baseline timing).
+	Serial bool
+	// Validate runs parallel iterations in reverse order with fresh
+	// private copies, to surface order dependence.
+	Validate bool
+	// Concurrent executes DOALL iterations on real goroutines.
+	Concurrent bool
+	// ReductionForm selects the parallel reduction implementation:
+	// "private" (default), "blocked", or "expanded" — the three forms
+	// of the paper's Section 3.2.
+	ReductionForm string
+}
+
+// RunResult reports a simulated execution.
+type RunResult struct {
+	// Cycles is the simulated execution time.
+	Cycles int64
+	// Work is the total serial-equivalent work executed.
+	Work int64
+	// ParallelLoopExecs counts DOALL loop executions.
+	ParallelLoopExecs int64
+	// PDTestPasses / PDTestFailures count speculative loop outcomes.
+	PDTestPasses   int64
+	PDTestFailures int64
+	// Probe reads a scalar in a COMMON block after execution.
+	Probe func(block, name string) (float64, bool)
+}
+
+// Execute runs a compiled program on the simulated machine.
+func Execute(r *Result, opt ExecOptions) (*RunResult, error) {
+	return execute(r.inner.Program, r.CodegenFactor, opt)
+}
+
+// ExecuteProgram runs an unrestructured program (serial semantics
+// unless its loops carry annotations).
+func ExecuteProgram(p *Program, opt ExecOptions) (*RunResult, error) {
+	return execute(p.ir, 1.0, opt)
+}
+
+func execute(prog *ir.Program, factor float64, opt ExecOptions) (*RunResult, error) {
+	procs := opt.Processors
+	if procs <= 0 {
+		procs = 8
+	}
+	model := machine.Default().WithProcessors(procs).WithCodegenFactor(factor)
+	switch opt.ReductionForm {
+	case "", "private":
+		model = model.WithReductions(machine.ReductionPrivate)
+	case "blocked":
+		model = model.WithReductions(machine.ReductionBlocked)
+	case "expanded":
+		model = model.WithReductions(machine.ReductionExpanded)
+	default:
+		return nil, fmt.Errorf("polaris: unknown reduction form %q", opt.ReductionForm)
+	}
+	in := interp.New(prog, model)
+	in.Parallel = !opt.Serial
+	in.Validate = opt.Validate
+	in.Concurrent = opt.Concurrent
+	if err := in.Run(); err != nil {
+		return nil, fmt.Errorf("polaris: execution: %w", err)
+	}
+	return &RunResult{
+		Cycles:            in.Time(),
+		Work:              in.Work(),
+		ParallelLoopExecs: in.ParallelLoopExecs,
+		PDTestPasses:      in.LRPDPasses,
+		PDTestFailures:    in.LRPDFailures,
+		Probe:             in.Probe,
+	}, nil
+}
+
+// Speedup compiles and runs the program both serially and in parallel
+// on p processors and returns serial-cycles / parallel-cycles — the
+// quantity Figure 7 plots.
+func Speedup(src string, processors int) (float64, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	serial, err := ExecuteProgram(prog, ExecOptions{Serial: true})
+	if err != nil {
+		return 0, err
+	}
+	res, err := Parallelize(prog)
+	if err != nil {
+		return 0, err
+	}
+	par, err := Execute(res, ExecOptions{Processors: processors})
+	if err != nil {
+		return 0, err
+	}
+	return float64(serial.Cycles) / float64(par.Cycles), nil
+}
