@@ -1,0 +1,246 @@
+package polaris_test
+
+// Tests for the context-aware functional-options API: Compile(ctx,
+// prog, ...Option), its instrumentation surface, cancellation, and the
+// deprecated-wrapper equivalence. TestSuite is the end-to-end gate CI
+// runs with -count=1.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"polaris"
+	"polaris/internal/parser"
+	"polaris/internal/suite"
+)
+
+const apiSrc = `
+      PROGRAM DEMO
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL A(100)
+      INTEGER I
+      DO I = 1, 100
+        A(I) = 1.5 * I
+      END DO
+      RESULT = 0.0
+      DO I = 1, 100
+        RESULT = RESULT + A(I)
+      END DO
+      END
+`
+
+func TestCompileDefaultMatchesParallelize(t *testing.T) {
+	prog, err := polaris.Parse(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaNew, err := polaris.Compile(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOld, err := polaris.Parallelize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaNew.Summary() != viaOld.Summary() {
+		t.Errorf("Compile and Parallelize disagree:\n%s\nvs\n%s", viaNew.Summary(), viaOld.Summary())
+	}
+	if viaNew.Report == nil {
+		t.Error("Compile result has no pipeline report")
+	}
+}
+
+func TestCompileWithTechniquesAndBaseline(t *testing.T) {
+	prog, err := polaris.Parse(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty technique set: nothing parallelizes beyond what no-op
+	// analysis grants; the call must still succeed.
+	none, err := polaris.Compile(context.Background(), prog, polaris.WithTechniques(polaris.Techniques{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := polaris.Compile(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.ParallelLoops() > full.ParallelLoops() {
+		t.Errorf("empty techniques found more parallelism (%d) than full (%d)",
+			none.ParallelLoops(), full.ParallelLoops())
+	}
+	base, err := polaris.Compile(context.Background(), prog, polaris.WithBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Report != nil {
+		t.Error("baseline compilation should not carry a Polaris pipeline report")
+	}
+	oldBase, err := polaris.ParallelizeBaseline(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CodegenFactor != oldBase.CodegenFactor {
+		t.Errorf("baseline codegen factor %v != deprecated wrapper's %v",
+			base.CodegenFactor, oldBase.CodegenFactor)
+	}
+}
+
+func TestCompileWithTraceAndStats(t *testing.T) {
+	prog, err := polaris.Parse(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	var stats polaris.Stats
+	res, err := polaris.Compile(context.Background(), prog,
+		polaris.WithTrace(&buf), polaris.WithTraceLabel("demo"), polaris.WithStats(&stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PairsTested == 0 {
+		t.Error("WithStats collected no dependence-test counts")
+	}
+	// One JSONL line per pass, labels applied.
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var ev struct {
+			Label      string           `json:"label"`
+			Pass       string           `json:"pass"`
+			DurationNS int64            `json:"duration_ns"`
+			Mutations  map[string]int64 `json:"mutations"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line: %v", err)
+		}
+		if ev.Label != "demo" || ev.Pass == "" {
+			t.Errorf("trace line missing label/pass: %+v", ev)
+		}
+		lines++
+	}
+	if lines != len(res.Report.Events) {
+		t.Errorf("trace lines %d != report events %d", lines, len(res.Report.Events))
+	}
+	if res.Report.Label != "demo" {
+		t.Errorf("report label = %q", res.Report.Label)
+	}
+}
+
+func TestCompileCancelled(t *testing.T) {
+	prog, err := polaris.Parse(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := polaris.Compile(ctx, prog); !errors.Is(err, context.Canceled) {
+		t.Errorf("Compile: want context.Canceled, got %v", err)
+	}
+	if _, err := polaris.ExecuteProgramContext(ctx, prog, polaris.ExecOptions{Serial: true}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExecuteProgramContext: want context.Canceled, got %v", err)
+	}
+}
+
+func TestWithProcessorsDefault(t *testing.T) {
+	prog, err := polaris.Parse(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := polaris.Compile(context.Background(), prog, polaris.WithProcessors(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res8, err := polaris.Compile(context.Background(), prog, polaris.WithProcessors(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := polaris.Execute(res2, polaris.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run8, err := polaris.Execute(res8, polaris.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run8.Cycles >= run2.Cycles {
+		t.Errorf("8-processor default (%d cycles) not faster than 2-processor (%d)",
+			run8.Cycles, run2.Cycles)
+	}
+	// An explicit ExecOptions.Processors still wins.
+	override, err := polaris.Execute(res2, polaris.ExecOptions{Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if override.Cycles != run8.Cycles {
+		t.Errorf("explicit Processors=8 gave %d cycles, want %d", override.Cycles, run8.Cycles)
+	}
+}
+
+func TestParseErrorTyped(t *testing.T) {
+	_, err := polaris.Parse("      PROGRAM X\n      DO I = , 10\n      END DO\n      END\n")
+	if err == nil {
+		t.Fatal("no error for malformed DO")
+	}
+	var perr *parser.ParseError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %T is not *parser.ParseError: %v", err, err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("ParseError.Line = %d, want 2", perr.Line)
+	}
+	if perr.Col <= 0 {
+		t.Errorf("ParseError.Col = %d, want > 0", perr.Col)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error text %q does not locate the failure", err.Error())
+	}
+}
+
+// TestSuite is the end-to-end gate (CI runs it with -count=1): the
+// 16-program suite compiled concurrently through the Runner, verdicts
+// and checksums intact, pipeline reports present for every program.
+func TestSuite(t *testing.T) {
+	runner := suite.NewRunner()
+	rows, err := runner.Figure7(context.Background(), 8)
+	if err != nil {
+		t.Fatalf("Figure7: %v", err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	for _, r := range rows {
+		tol := 1e-9 * (1 + math.Abs(r.SerialChecksum))
+		if math.Abs(r.PolarisChecksum-r.SerialChecksum) > tol {
+			t.Errorf("%s: Polaris checksum %v != serial %v", r.Name, r.PolarisChecksum, r.SerialChecksum)
+		}
+		if math.Abs(r.PFAChecksum-r.SerialChecksum) > tol {
+			t.Errorf("%s: PFA checksum %v != serial %v", r.Name, r.PFAChecksum, r.SerialChecksum)
+		}
+		if r.Polaris <= 0 || r.PFA <= 0 {
+			t.Errorf("%s: non-positive speedup (%v, %v)", r.Name, r.Polaris, r.PFA)
+		}
+	}
+	// Every suite program also compiles through the public API with a
+	// report.
+	for _, p := range suite.All() {
+		prog, err := polaris.Parse(p.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		res, err := polaris.Compile(context.Background(), prog, polaris.WithTraceLabel(p.Name))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if res.Report == nil || len(res.Report.Events) == 0 {
+			t.Errorf("%s: missing pipeline report", p.Name)
+		}
+	}
+}

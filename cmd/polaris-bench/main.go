@@ -6,14 +6,24 @@
 //	polaris-bench -fig6 [-p 8]   Figure 6 (TRACK: PD-test speedup and
 //	                             potential slowdown vs processors)
 //	polaris-bench -all           everything
+//
+// The suite compiles and runs concurrently across a bounded worker
+// pool (-j, default one worker per CPU) with a content-hash keyed
+// compile cache shared by all figures. With -trace FILE, every Polaris
+// compilation streams one JSONL event per pipeline pass (name,
+// duration, mutation counts) to FILE.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"polaris/internal/passes"
 	"polaris/internal/suite"
 )
 
@@ -24,35 +34,52 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the technique ablation study")
 	all := flag.Bool("all", false, "regenerate everything")
 	procs := flag.Int("p", 8, "processors for Figure 7 / max processors for Figure 6")
+	workers := flag.Int("j", 0, "suite compile/run worker pool size (0 = one per CPU)")
+	tracePath := flag.String("trace", "", "write per-pass JSONL trace events to this file")
 	flag.Parse()
 	if !*table1 && !*fig7 && !*fig6 && !*ablation && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runner := suite.NewRunner()
+	runner.Workers = *workers
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		runner.Trace = passes.NewTraceWriter(f)
+	}
+
 	if *table1 || *all {
-		if err := printTable1(); err != nil {
+		if err := printTable1(ctx, runner); err != nil {
 			fail(err)
 		}
 	}
 	if *fig7 || *all {
-		if err := printFigure7(*procs); err != nil {
+		if err := printFigure7(ctx, runner, *procs); err != nil {
 			fail(err)
 		}
 	}
 	if *fig6 || *all {
-		if err := printFigure6(*procs); err != nil {
+		if err := printFigure6(ctx, runner, *procs); err != nil {
 			fail(err)
 		}
 	}
 	if *ablation || *all {
-		if err := printAblation(*procs); err != nil {
+		if err := printAblation(ctx, runner, *procs); err != nil {
 			fail(err)
 		}
 	}
 }
 
-func printAblation(procs int) error {
-	rows, err := suite.Ablation(procs)
+func printAblation(ctx context.Context, r *suite.Runner, procs int) error {
+	rows, err := r.Ablation(ctx, procs)
 	if err != nil {
 		return err
 	}
@@ -63,36 +90,36 @@ func printAblation(procs int) error {
 	}
 	fmt.Printf("%-24s %8s   hurt programs (>20%% loss)\n", "removed technique", "geomean")
 	fmt.Printf("%-24s %8.2f\n", "(none: full pipeline)", full)
-	for _, r := range rows {
-		fmt.Printf("%-24s %8.2f   %s\n", r.Technique, r.GeoMean, strings.Join(r.HurtPrograms, " "))
+	for _, row := range rows {
+		fmt.Printf("%-24s %8.2f   %s\n", row.Technique, row.GeoMean, strings.Join(row.HurtPrograms, " "))
 	}
 	fmt.Println()
 	return nil
 }
 
-func printTable1() error {
-	rows, err := suite.Table1()
+func printTable1(ctx context.Context, r *suite.Runner) error {
+	rows, err := r.Table1(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Table 1: Benchmark codes studied (synthetic suite, simulated machine)")
 	fmt.Printf("%-10s %-8s %6s %14s\n", "Program", "Origin", "Lines", "Ser. cycles")
-	for _, r := range rows {
-		fmt.Printf("%-10s %-8s %6d %14d\n", strings.ToUpper(r.Name), r.Origin, r.Lines, r.SerialCycles)
+	for _, row := range rows {
+		fmt.Printf("%-10s %-8s %6d %14d\n", strings.ToUpper(row.Name), row.Origin, row.Lines, row.SerialCycles)
 	}
 	fmt.Println()
 	return nil
 }
 
-func printFigure7(procs int) error {
-	rows, err := suite.Figure7(procs)
+func printFigure7(ctx context.Context, r *suite.Runner, procs int) error {
+	rows, err := r.Figure7(ctx, procs)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Figure 7: Speedup on %d simulated processors — Polaris vs PFA baseline\n", procs)
 	fmt.Printf("%-10s %8s %8s   %s\n", "Program", "Polaris", "PFA", "")
-	for _, r := range rows {
-		fmt.Printf("%-10s %8.2f %8.2f   %s\n", strings.ToUpper(r.Name), r.Polaris, r.PFA, bars(r.Polaris, r.PFA))
+	for _, row := range rows {
+		fmt.Printf("%-10s %8.2f %8.2f   %s\n", strings.ToUpper(row.Name), row.Polaris, row.PFA, bars(row.Polaris, row.PFA))
 	}
 	fmt.Println()
 	return nil
@@ -109,22 +136,22 @@ func bars(polaris, pfa float64) string {
 	return fmt.Sprintf("P|%s  F|%s", bar(polaris, "#"), bar(pfa, "-"))
 }
 
-func printFigure6(maxP int) error {
-	rows, err := suite.Figure6(maxP)
+func printFigure6(ctx context.Context, r *suite.Runner, maxP int) error {
+	rows, err := r.Figure6(ctx, maxP)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Figure 6 (top): Speedup of loop TRACK/NLFILT vs processors (10% of")
 	fmt.Println("invocations fail the PD test and re-execute sequentially)")
 	fmt.Printf("%5s %8s %8s %10s\n", "Procs", "Speedup", "Passes", "Failures")
-	for _, r := range rows {
-		fmt.Printf("%5d %8.2f %8d %10d\n", r.Procs, r.Speedup, r.Passes, r.Failures)
+	for _, row := range rows {
+		fmt.Printf("%5d %8.2f %8d %10d\n", row.Procs, row.Speedup, row.Passes, row.Failures)
 	}
 	fmt.Println()
 	fmt.Println("Figure 6 (bottom): Potential slowdown (Tseq + Tpdt)/Tseq vs processors")
 	fmt.Printf("%5s %9s\n", "Procs", "Slowdown")
-	for _, r := range rows {
-		fmt.Printf("%5d %9.3f\n", r.Procs, r.Slowdown)
+	for _, row := range rows {
+		fmt.Printf("%5d %9.3f\n", row.Procs, row.Slowdown)
 	}
 	fmt.Println()
 	return nil

@@ -1,6 +1,7 @@
 // Command polaris-run compiles and executes a Fortran-subset program on
 // the simulated multiprocessor, reporting simulated cycles, speedup
-// over serial execution, and run-time (PD) test outcomes.
+// over serial execution, and run-time (PD) test outcomes. Compilation
+// and execution are cancellable with Ctrl-C.
 //
 // Usage:
 //
@@ -8,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"polaris"
 	"polaris/internal/suite"
@@ -24,6 +28,9 @@ func main() {
 	redForm := flag.String("reductions", "private", "reduction form: private, blocked, expanded")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	src, err := readSource(*suiteName, flag.Args())
 	if err != nil {
 		fail(err)
@@ -33,7 +40,7 @@ func main() {
 		fail(fmt.Errorf("parse: %w", err))
 	}
 
-	serialRun, err := polaris.ExecuteProgram(prog, polaris.ExecOptions{Serial: true})
+	serialRun, err := polaris.ExecuteProgramContext(ctx, prog, polaris.ExecOptions{Serial: true})
 	if err != nil {
 		fail(fmt.Errorf("serial execution: %w", err))
 	}
@@ -45,16 +52,15 @@ func main() {
 		return
 	}
 
-	var res *polaris.Result
+	opts := []polaris.Option{polaris.WithProcessors(*procs)}
 	if *baseline {
-		res, err = polaris.ParallelizeBaseline(prog)
-	} else {
-		res, err = polaris.Parallelize(prog)
+		opts = append(opts, polaris.WithBaseline())
 	}
+	res, err := polaris.Compile(ctx, prog, opts...)
 	if err != nil {
 		fail(fmt.Errorf("compile: %w", err))
 	}
-	run, err := polaris.Execute(res, polaris.ExecOptions{Processors: *procs, ReductionForm: *redForm})
+	run, err := polaris.ExecuteContext(ctx, res, polaris.ExecOptions{ReductionForm: *redForm})
 	if err != nil {
 		fail(fmt.Errorf("parallel execution: %w", err))
 	}

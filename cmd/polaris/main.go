@@ -4,16 +4,23 @@
 //
 // Usage:
 //
-//	polaris [-baseline] [-summary] [-suite name] [file.f]
+//	polaris [-baseline] [-summary] [-report] [-trace file.jsonl]
+//	        [-suite name] [file.f]
 //
 // With -suite, the named embedded benchmark program is compiled
-// instead of reading a file.
+// instead of reading a file. -report prints the pass manager's
+// per-pass wall time and mutation counts; -trace streams the same
+// instrumentation as JSON lines.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"polaris"
 	"polaris/internal/suite"
@@ -22,10 +29,15 @@ import (
 func main() {
 	baseline := flag.Bool("baseline", false, "use the 1996 vendor-compiler (PFA) technique level")
 	summary := flag.Bool("summary", false, "print only the per-loop report, not the program")
+	report := flag.Bool("report", false, "print per-pass timings and mutation counts")
+	tracePath := flag.String("trace", "", "write per-pass JSONL trace events to this file")
 	suiteName := flag.String("suite", "", "compile the named embedded benchmark (e.g. trfd, ocean, bdna)")
 	flag.Parse()
 
-	src, err := readSource(*suiteName, flag.Args())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	label, src, err := readSource(*suiteName, flag.Args())
 	if err != nil {
 		fail(err)
 	}
@@ -33,38 +45,78 @@ func main() {
 	if err != nil {
 		fail(fmt.Errorf("parse: %w", err))
 	}
-	var res *polaris.Result
+	opts := []polaris.Option{polaris.WithTraceLabel(label)}
 	if *baseline {
-		res, err = polaris.ParallelizeBaseline(prog)
-	} else {
-		res, err = polaris.Parallelize(prog)
+		opts = append(opts, polaris.WithBaseline())
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		opts = append(opts, polaris.WithTrace(f))
+	}
+	res, err := polaris.Compile(ctx, prog, opts...)
 	if err != nil {
 		fail(fmt.Errorf("compile: %w", err))
+	}
+	if *report {
+		printReport(res)
 	}
 	if *summary {
 		fmt.Print(res.Summary())
 		return
 	}
-	fmt.Print(res.AnnotatedSource())
+	if !*report {
+		fmt.Print(res.AnnotatedSource())
+	}
 }
 
-func readSource(suiteName string, args []string) (string, error) {
+func printReport(res *polaris.Result) {
+	if res.Report == nil {
+		fmt.Fprintln(os.Stderr, "polaris: no pipeline report (baseline compiler)")
+		return
+	}
+	fmt.Printf("pipeline (%s): %v total\n", res.Report.Label, res.Report.Total.Round(time.Microsecond))
+	for _, ev := range res.Report.Events {
+		fmt.Printf("  %-22s %10v", ev.Pass, ev.Duration.Round(time.Microsecond))
+		for _, k := range sortedKeys(ev.Mutations) {
+			fmt.Printf("  %s=%d", k, ev.Mutations[k])
+		}
+		fmt.Println()
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func readSource(suiteName string, args []string) (label, src string, err error) {
 	if suiteName != "" {
 		p, ok := suite.ByName(suiteName)
 		if !ok {
-			return "", fmt.Errorf("unknown suite program %q", suiteName)
+			return "", "", fmt.Errorf("unknown suite program %q", suiteName)
 		}
-		return p.Source, nil
+		return p.Name, p.Source, nil
 	}
 	if len(args) != 1 {
-		return "", fmt.Errorf("usage: polaris [-baseline] [-summary] [-suite name | file.f]")
+		return "", "", fmt.Errorf("usage: polaris [-baseline] [-summary] [-report] [-trace f] [-suite name | file.f]")
 	}
 	data, err := os.ReadFile(args[0])
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
-	return string(data), nil
+	return args[0], string(data), nil
 }
 
 func fail(err error) {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,12 +39,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := polaris.Parallelize(prog)
+	res, err := polaris.Compile(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("=== restructured program ===")
 	fmt.Println(res.AnnotatedSource())
+
+	fmt.Println("=== pipeline ===")
+	for _, ev := range res.Report.Events {
+		fmt.Printf("%-22s %v\n", ev.Pass, ev.Duration)
+	}
 
 	serial, err := polaris.ExecuteProgram(prog, polaris.ExecOptions{Serial: true})
 	if err != nil {

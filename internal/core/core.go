@@ -5,9 +5,16 @@
 // candidate flagging — over a program, annotating every DO loop with a
 // parallelization verdict that the interpreter and code generator
 // consume.
+//
+// The driver is built on the instrumented pass manager of package
+// passes: each technique is a named Pass registered in pipeline order,
+// and every compilation produces a PipelineReport with per-pass wall
+// time and IR-mutation counts (optionally streamed as JSONL trace
+// events).
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -17,6 +24,7 @@ import (
 	"polaris/internal/interproc"
 	"polaris/internal/ir"
 	"polaris/internal/normalize"
+	"polaris/internal/passes"
 	"polaris/internal/priv"
 	"polaris/internal/reduction"
 	"polaris/internal/rng"
@@ -48,6 +56,12 @@ type Options struct {
 	InterprocConstants bool
 	// Stats, when non-nil, accumulates dependence-test counts.
 	Stats *deps.Stats
+	// Trace, when non-nil, receives one JSONL event per pass. The
+	// writer is synchronized; concurrent compilations may share it.
+	Trace *passes.TraceWriter
+	// TraceLabel tags this compilation's trace events and report
+	// (typically the program name).
+	TraceLabel string
 }
 
 // PolarisOptions enables the full technique set of the paper.
@@ -96,6 +110,10 @@ type Result struct {
 	NormalizedLoops int
 	// InterprocConstants maps CALLEE.FORMAL to the propagated value.
 	InterprocConstants map[string]int64
+	// Report is the pass manager's instrumentation: per-pass wall
+	// time and mutation counts, in pipeline order. It is present even
+	// when compilation fails partway (covering the passes that ran).
+	Report *passes.PipelineReport
 }
 
 // ParallelLoops counts loops marked DOALL.
@@ -110,8 +128,20 @@ func (r *Result) ParallelLoops() int {
 }
 
 // Compile runs the pipeline on a clone of prog (the input is not
-// modified) and returns the annotated program.
+// modified) and returns the annotated program. It is CompileContext
+// with a background context.
 func Compile(prog *ir.Program, opt Options) (*Result, error) {
+	return CompileContext(context.Background(), prog, opt)
+}
+
+// CompileContext runs the pass pipeline under ctx. Cancellation is
+// honored between passes and inside the loop-analysis pass; on
+// cancellation the context's error is returned promptly. Pass
+// failures are reported as *PipelineError naming the failed pass.
+func CompileContext(ctx context.Context, prog *ir.Program, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := prog.Check(); err != nil {
 		return nil, fmt.Errorf("core: input program inconsistent: %w", err)
 	}
@@ -122,78 +152,154 @@ func Compile(prog *ir.Program, opt Options) (*Result, error) {
 	}
 	res := &Result{Program: work, Unit: unit, InlineSkipped: map[string]string{}}
 
+	m := passes.NewManager(opt.TraceLabel, opt.Trace)
+	m.Add(buildPipeline(work, unit, res, opt)...)
+	report, err := m.Run(ctx, work)
+	res.Report = report
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// buildPipeline registers the technique passes selected by opt, in the
+// paper's order. Every pass closure writes its findings into res and
+// reports mutation counts through the pass Context.
+func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Options) []passes.Pass {
+	var ps []passes.Pass
+
 	// 0. Interprocedural constant propagation (subroutine
 	// specialization; reaches callees the inliner skips).
 	if opt.InterprocConstants {
-		irep := interproc.Propagate(work)
-		res.InterprocConstants = irep.Propagated
+		ps = append(ps, passes.Func("interproc-constants", func(c *passes.Context) error {
+			irep := interproc.Propagate(work)
+			res.InterprocConstants = irep.Propagated
+			c.Count("constants_propagated", int64(len(irep.Propagated)))
+			return nil
+		}))
 	}
 
 	// 1. Inline expansion.
 	if opt.Inline {
-		rep := inline.ExpandAll(work, unit, inline.DefaultOptions())
-		res.InlinedCalls = rep.Expanded
-		res.InlineSkipped = rep.Skipped
+		ps = append(ps, passes.Func("inline", func(c *passes.Context) error {
+			rep := inline.ExpandAll(work, unit, inline.DefaultOptions())
+			res.InlinedCalls = rep.Expanded
+			res.InlineSkipped = rep.Skipped
+			c.Count("calls_inlined", int64(rep.Expanded))
+			c.Count("calls_skipped", int64(len(rep.Skipped)))
+			return nil
+		}))
 	}
 
-	// 2+3. Induction substitution and per-loop analysis, for every
-	// unit: the main program (post-inlining) and any remaining
-	// subroutines, which are analyzed intraprocedurally exactly as a
-	// non-inlining compiler would see them.
-	for _, u := range work.Units {
-		ranges := rng.New(u)
-		if opt.Normalize {
-			nres := normalize.Run(u, ranges)
-			res.NormalizedLoops += nres.Normalized
-			if nres.Normalized > 0 {
-				ranges = rng.New(u)
+	// 2. Loop normalization (unit step), per unit. Subsequent passes
+	// rebuild their range analyzers from the rewritten text, so the
+	// per-pass unit sweep is equivalent to the per-unit pass sweep.
+	if opt.Normalize {
+		ps = append(ps, passes.Func("normalize", func(c *passes.Context) error {
+			for _, u := range work.Units {
+				nres := normalize.Run(u, rng.New(u))
+				res.NormalizedLoops += nres.Normalized
+				c.Count("loops_normalized", int64(nres.Normalized))
 			}
-		}
-		if opt.Induction || opt.SimpleInduction {
+			return nil
+		}))
+	}
+
+	// 3. Induction-variable substitution, per unit: the main program
+	// (post-inlining) and any remaining subroutines, which are
+	// analyzed intraprocedurally exactly as a non-inlining compiler
+	// would see them.
+	if opt.Induction || opt.SimpleInduction {
+		ps = append(ps, passes.Func("induction", func(c *passes.Context) error {
 			iopt := induction.Options{SimpleOnly: !opt.Induction}
-			ires := induction.RunWith(u, ranges, iopt)
-			for _, s := range ires.Solved {
-				res.InductionVars = append(res.InductionVars, u.Name+"."+s.Name)
+			for _, u := range work.Units {
+				if err := c.Err(); err != nil {
+					return err
+				}
+				ires := induction.RunWith(u, rng.New(u), iopt)
+				for _, s := range ires.Solved {
+					res.InductionVars = append(res.InductionVars, u.Name+"."+s.Name)
+				}
+				c.Count("variables_substituted", int64(len(ires.Solved)))
 			}
-			// Ranges depend on the rewritten text.
-			ranges = rng.New(u)
+			return nil
+		}))
+	}
+
+	// 4. Per-loop analysis: reduction recognition, privatization,
+	// symbolic dependence testing, and LRPD candidate flagging, writing
+	// the ParInfo annotation on every loop.
+	ps = append(ps, passes.Func("dependence-analysis", func(c *passes.Context) error {
+		for _, u := range work.Units {
+			ranges := rng.New(u)
+			tester := deps.NewTester(u, ranges)
+			// Innermost-first, so a loop's LRPD decision can see whether
+			// its subtree is already parallel (speculation belongs at the
+			// level where static analysis fails, not above it).
+			loops := ir.Loops(u.Body)
+			var reports []LoopReport
+			for i := len(loops) - 1; i >= 0; i-- {
+				if err := c.Err(); err != nil {
+					return err
+				}
+				report := analyzeLoop(u, ranges, tester, loops[i], opt)
+				report.Unit = u.Name
+				reports = append(reports, report)
+			}
+			// Present outermost-first.
+			for i := len(reports) - 1; i >= 0; i-- {
+				res.Loops = append(res.Loops, reports[i])
+			}
 		}
-		tester := deps.NewTester(u, ranges)
-		// Innermost-first, so a loop's LRPD decision can see whether
-		// its subtree is already parallel (speculation belongs at the
-		// level where static analysis fails, not above it).
-		loops := ir.Loops(u.Body)
-		var reports []LoopReport
-		for i := len(loops) - 1; i >= 0; i-- {
-			report := analyzeLoop(u, ranges, tester, loops[i], opt)
-			report.Unit = u.Name
-			reports = append(reports, report)
+		var parallel, lrpd int64
+		for _, lr := range res.Loops {
+			if lr.Parallel {
+				parallel++
+			}
+			if len(lr.LRPD) > 0 {
+				lrpd++
+			}
 		}
-		// Present outermost-first.
-		for i := len(reports) - 1; i >= 0; i-- {
-			res.Loops = append(res.Loops, reports[i])
-		}
-		// 4. Code-generation strength reduction (after the verdicts,
-		// which it consumes and updates).
-		if opt.StrengthReduction {
-			sres := strength.Run(u, rng.New(u))
-			res.StrengthReduced += sres.Reduced
-			if sres.Reduced > 0 {
-				// Refresh the demoted loops' report entries.
-				for i := range res.Loops {
-					lr := &res.Loops[i]
-					if lr.Unit == u.Name && lr.Loop.Par != nil {
-						lr.Parallel = lr.Loop.Par.Parallel
-						lr.Reason = lr.Loop.Par.Reason
+		c.Count("loops_annotated", int64(len(res.Loops)))
+		c.Count("loops_parallel", parallel)
+		c.Count("loops_lrpd", lrpd)
+		return nil
+	}))
+
+	// 5. Code-generation strength reduction (after the verdicts, which
+	// it consumes and updates).
+	if opt.StrengthReduction {
+		ps = append(ps, passes.Func("strength-reduction", func(c *passes.Context) error {
+			for _, u := range work.Units {
+				sres := strength.Run(u, rng.New(u))
+				res.StrengthReduced += sres.Reduced
+				c.Count("accumulators_introduced", int64(sres.Reduced))
+				if sres.Reduced > 0 {
+					// Refresh the demoted loops' report entries.
+					for i := range res.Loops {
+						lr := &res.Loops[i]
+						if lr.Unit == u.Name && lr.Loop.Par != nil {
+							if lr.Parallel != lr.Loop.Par.Parallel {
+								c.Count("verdict_flips", 1)
+							}
+							lr.Parallel = lr.Loop.Par.Parallel
+							lr.Reason = lr.Loop.Par.Reason
+						}
 					}
 				}
 			}
+			return nil
+		}))
+	}
+
+	// 6. Final IR consistency check.
+	ps = append(ps, passes.Func("verify-ir", func(c *passes.Context) error {
+		if err := work.Check(); err != nil {
+			return fmt.Errorf("pipeline produced inconsistent IR: %w", err)
 		}
-	}
-	if err := work.Check(); err != nil {
-		return nil, fmt.Errorf("core: pipeline produced inconsistent IR: %w", err)
-	}
-	return res, nil
+		return nil
+	}))
+	return ps
 }
 
 // analyzeLoop runs reductions + privatization + dependence analysis on

@@ -1,0 +1,9 @@
+package core
+
+import "polaris/internal/passes"
+
+// PipelineError reports a pass failure inside the compilation
+// pipeline. It carries the pass name and the underlying error, and
+// supports errors.Is / errors.As via Unwrap. (It is the pass manager's
+// error type; the alias keeps the public boundary at package core.)
+type PipelineError = passes.Error

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 
 	"polaris/internal/ir"
@@ -59,7 +60,18 @@ type Interp struct {
 
 	// depth guards runaway recursion through user calls.
 	depth int
+
+	// ctx cancels long-running executions; polled every ctxStride
+	// statements. Concurrent DOALL workers get their own counter, so
+	// polling never races.
+	ctx   context.Context
+	steps int64
 }
+
+// ctxStride is how many statements execute between cancellation polls:
+// frequent enough for prompt cancellation, cheap enough to vanish in
+// the interpreter's per-statement cost.
+const ctxStride = 1024
 
 type commonBlock struct {
 	arrays  map[string]*Array
@@ -127,7 +139,16 @@ type frame struct {
 }
 
 // Run executes the program's main unit.
-func (in *Interp) Run() error {
+func (in *Interp) Run() error { return in.RunContext(context.Background()) }
+
+// RunContext executes the program's main unit under ctx. Cancellation
+// is polled during the execution loop (including inside DO loops and
+// concurrent DOALL workers) and surfaces promptly as ctx.Err().
+func (in *Interp) RunContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	in.ctx = ctx
 	main := in.Prog.Main()
 	if main == nil {
 		return fmt.Errorf("interp: no program unit")
@@ -138,6 +159,18 @@ func (in *Interp) Run() error {
 	}
 	_, err = in.execBlock(fr, main.Body)
 	return err
+}
+
+// cancelled polls the context every ctxStride statements.
+func (in *Interp) cancelled() error {
+	if in.ctx == nil {
+		return nil
+	}
+	in.steps++
+	if in.steps%ctxStride != 0 {
+		return nil
+	}
+	return in.ctx.Err()
 }
 
 // Frame construction: evaluates dimension declarators with formals
@@ -287,6 +320,9 @@ func (in *Interp) execBlock(fr *frame, b *ir.Block) (control, error) {
 }
 
 func (in *Interp) execStmt(fr *frame, s ir.Stmt) (control, error) {
+	if err := in.cancelled(); err != nil {
+		return ctlNormal, err
+	}
 	switch x := s.(type) {
 	case *ir.AssignStmt:
 		v, err := in.eval(fr, x.RHS)

@@ -231,7 +231,9 @@ func (in *Interp) execDoallConcurrent(fr *frame, d *ir.DoStmt, init, step, n int
 		}
 		// Worker-local interpreter: shares program, model, commons;
 		// private cycle counters.
-		wi := &Interp{Prog: in.Prog, Model: in.Model, Cost: in.Cost, commons: in.commons, inDoall: true}
+		// ctx is propagated so workers honor cancellation; each worker
+		// owns its poll counter, so polling never races.
+		wi := &Interp{Prog: in.Prog, Model: in.Model, Cost: in.Cost, commons: in.commons, inDoall: true, ctx: in.ctx}
 		wfr := &frame{unit: fr.unit, scalars: map[string]*cell{}, arrays: map[string]*Array{}}
 		for name, c := range fr.scalars {
 			wfr.scalars[name] = c

@@ -31,6 +31,9 @@ type Token struct {
 	Kind Kind
 	Text string
 	Line int
+	// Col is the 1-based source column of the token's first
+	// character (0 for synthesized NEWLINE/EOF tokens).
+	Col int
 }
 
 func (t Token) String() string {
@@ -44,9 +47,10 @@ func (t Token) String() string {
 	}
 }
 
-// Error is a lexical error with a line number.
+// Error is a lexical error with a source position.
 type Error struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
@@ -127,7 +131,7 @@ func lexLine(s string, line int, cont bool) ([]Token, error) {
 		if j < n && (s[j] == ' ' || s[j] == '\t') {
 			rest := strings.TrimSpace(s[j:])
 			if rest != "" && !isExprStart(rest) {
-				toks = append(toks, Token{Kind: LABEL, Text: s[i:j], Line: line})
+				toks = append(toks, Token{Kind: LABEL, Text: s[i:j], Line: line, Col: i + 1})
 				i = j
 			}
 		}
@@ -144,7 +148,7 @@ func lexLine(s string, line int, cont bool) ([]Token, error) {
 			for j < n && (isAlpha(s[j]) || isDigit(s[j]) || s[j] == '_') {
 				j++
 			}
-			toks = append(toks, Token{Kind: IDENT, Text: strings.ToUpper(s[i:j]), Line: line})
+			toks = append(toks, Token{Kind: IDENT, Text: strings.ToUpper(s[i:j]), Line: line, Col: i + 1})
 			i = j
 		case isDigit(c) || (c == '.' && i+1 < n && isDigit(s[i+1]) && !startsDotOp(s[i:])):
 			tok, j, err := lexNumber(s, i, line)
@@ -166,49 +170,49 @@ func lexLine(s string, line int, cont bool) ([]Token, error) {
 					if word == "TRUE" || word == "FALSE" {
 						kind = LOGICAL
 					}
-					toks = append(toks, Token{Kind: kind, Text: "." + word + ".", Line: line})
+					toks = append(toks, Token{Kind: kind, Text: "." + word + ".", Line: line, Col: i + 1})
 					i = j + 1
 					continue
 				}
 			}
-			return nil, &Error{Line: line, Msg: fmt.Sprintf("unexpected '.' at column %d", i+1)}
+			return nil, &Error{Line: line, Col: i + 1, Msg: "unexpected '.'"}
 		case c == '*':
 			if i+1 < n && s[i+1] == '*' {
-				toks = append(toks, Token{Kind: OP, Text: "**", Line: line})
+				toks = append(toks, Token{Kind: OP, Text: "**", Line: line, Col: i + 1})
 				i += 2
 			} else {
-				toks = append(toks, Token{Kind: OP, Text: "*", Line: line})
+				toks = append(toks, Token{Kind: OP, Text: "*", Line: line, Col: i + 1})
 				i++
 			}
 		case c == '<' || c == '>':
 			if i+1 < n && s[i+1] == '=' {
-				toks = append(toks, Token{Kind: OP, Text: map[byte]string{'<': ".LE.", '>': ".GE."}[c], Line: line})
+				toks = append(toks, Token{Kind: OP, Text: map[byte]string{'<': ".LE.", '>': ".GE."}[c], Line: line, Col: i + 1})
 				i += 2
 			} else {
-				toks = append(toks, Token{Kind: OP, Text: map[byte]string{'<': ".LT.", '>': ".GT."}[c], Line: line})
+				toks = append(toks, Token{Kind: OP, Text: map[byte]string{'<': ".LT.", '>': ".GT."}[c], Line: line, Col: i + 1})
 				i++
 			}
 		case c == '=':
 			if i+1 < n && s[i+1] == '=' {
-				toks = append(toks, Token{Kind: OP, Text: ".EQ.", Line: line})
+				toks = append(toks, Token{Kind: OP, Text: ".EQ.", Line: line, Col: i + 1})
 				i += 2
 			} else {
-				toks = append(toks, Token{Kind: OP, Text: "=", Line: line})
+				toks = append(toks, Token{Kind: OP, Text: "=", Line: line, Col: i + 1})
 				i++
 			}
 		case c == '/':
 			if i+1 < n && s[i+1] == '=' {
-				toks = append(toks, Token{Kind: OP, Text: ".NE.", Line: line})
+				toks = append(toks, Token{Kind: OP, Text: ".NE.", Line: line, Col: i + 1})
 				i += 2
 			} else {
-				toks = append(toks, Token{Kind: OP, Text: "/", Line: line})
+				toks = append(toks, Token{Kind: OP, Text: "/", Line: line, Col: i + 1})
 				i++
 			}
 		case strings.IndexByte("+-(),:", c) >= 0:
-			toks = append(toks, Token{Kind: OP, Text: string(c), Line: line})
+			toks = append(toks, Token{Kind: OP, Text: string(c), Line: line, Col: i + 1})
 			i++
 		default:
-			return nil, &Error{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+			return nil, &Error{Line: line, Col: i + 1, Msg: fmt.Sprintf("unexpected character %q", c)}
 		}
 	}
 	return toks, nil
@@ -247,7 +251,7 @@ func lexNumber(s string, i, line int) (Token, int, error) {
 	if isReal {
 		kind = REAL
 	}
-	return Token{Kind: kind, Text: text, Line: line}, j, nil
+	return Token{Kind: kind, Text: text, Line: line, Col: i + 1}, j, nil
 }
 
 // startsDotOp reports whether s (starting with '.') begins a .XX.

@@ -9,6 +9,7 @@
 package parser
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -17,13 +18,27 @@ import (
 	"polaris/internal/lexer"
 )
 
-// Error is a parse error with a source line.
-type Error struct {
+// ParseError is a parse (or lexical) error with a source position.
+// It is the package's boundary error type: callers match it with
+// errors.As and inspect Line/Col/Msg. Col is 1-based and 0 when the
+// failing construct has no single column (for example a missing END).
+type ParseError struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("line %d: parse: %s", e.Line, e.Msg) }
+func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d:%d: parse: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("line %d: parse: %s", e.Line, e.Msg)
+}
+
+// Error is the former name of ParseError.
+//
+// Deprecated: use ParseError.
+type Error = ParseError
 
 type parser struct {
 	toks []lexer.Token
@@ -39,6 +54,12 @@ type parser struct {
 func ParseProgram(src string) (*ir.Program, error) {
 	toks, err := lexer.Lex(src)
 	if err != nil {
+		// Lexical failures cross the package boundary as ParseError
+		// too, so callers have one error type to match.
+		var lerr *lexer.Error
+		if errors.As(err, &lerr) {
+			return nil, &ParseError{Line: lerr.Line, Col: lerr.Col, Msg: lerr.Msg}
+		}
 		return nil, err
 	}
 	p := &parser{toks: toks, funcs: map[string]bool{}}
@@ -139,7 +160,7 @@ func (p *parser) skipNewlines() {
 }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
-	return &Error{Line: p.cur().Line, Msg: fmt.Sprintf(format, args...)}
+	return &ParseError{Line: p.cur().Line, Col: p.cur().Col, Msg: fmt.Sprintf(format, args...)}
 }
 
 // parseUnit parses one program unit up to its END.

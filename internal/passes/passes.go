@@ -1,0 +1,189 @@
+// Package passes implements the instrumented pass manager that drives
+// the Polaris pipeline. Each compiler technique is a named Pass; a
+// Manager runs a registered sequence over a program, recording per-pass
+// wall time and IR-mutation counts, emitting structured trace events
+// (JSON lines) to an optional writer, and aggregating everything into a
+// PipelineReport.
+//
+// The package is deliberately generic: it knows nothing about the
+// individual techniques. Package core registers its passes here, and
+// the public polaris API surfaces the report.
+package passes
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"polaris/internal/ir"
+)
+
+// Context is handed to every pass invocation. It carries the program
+// under transformation, the cancellation context, and the mutation
+// counter sink for the currently running pass.
+type Context struct {
+	ctx     context.Context
+	Program *ir.Program
+	metrics map[string]int64
+}
+
+// Context returns the cancellation context (never nil).
+func (c *Context) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// Err returns the context's error, if any. Long-running passes should
+// poll it (for example once per loop analyzed) and return it promptly.
+func (c *Context) Err() error { return c.Context().Err() }
+
+// Count adds delta to the named mutation counter of the running pass
+// (for example "calls_inlined" or "loops_annotated"). Counters reset
+// between passes; the manager snapshots them into the pass's Event.
+func (c *Context) Count(metric string, delta int64) {
+	if c.metrics == nil {
+		c.metrics = map[string]int64{}
+	}
+	c.metrics[metric] += delta
+}
+
+// Pass is one named pipeline stage.
+type Pass interface {
+	Name() string
+	Run(*Context) error
+}
+
+type funcPass struct {
+	name string
+	run  func(*Context) error
+}
+
+func (p funcPass) Name() string         { return p.name }
+func (p funcPass) Run(c *Context) error { return p.run(c) }
+
+// Func adapts a function to the Pass interface.
+func Func(name string, run func(*Context) error) Pass {
+	return funcPass{name: name, run: run}
+}
+
+// Error reports a pass failure and supports errors.Is/errors.As
+// chains through Unwrap. Package core aliases it as PipelineError.
+type Error struct {
+	Pass string
+	Err  error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("pass %s: %v", e.Pass, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
+
+// Manager runs a registered pass sequence with instrumentation.
+type Manager struct {
+	// Label tags the compilation in trace events and the report
+	// (typically the program name); may be empty.
+	Label string
+	// Trace, when non-nil, receives one JSONL event per pass. The
+	// writer is synchronized, so one TraceWriter may be shared by many
+	// concurrently running managers.
+	Trace *TraceWriter
+
+	passes []Pass
+}
+
+// NewManager returns an empty manager. label and trace may be zero.
+func NewManager(label string, trace *TraceWriter) *Manager {
+	return &Manager{Label: label, Trace: trace}
+}
+
+// Add registers passes in pipeline order.
+func (m *Manager) Add(ps ...Pass) { m.passes = append(m.passes, ps...) }
+
+// Passes returns the registered pass names in order.
+func (m *Manager) Passes() []string {
+	names := make([]string, len(m.passes))
+	for i, p := range m.passes {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// Run executes the registered passes in order over prog. Cancellation
+// is checked between passes (and inside cooperating passes via
+// Context.Err); on cancellation ctx.Err() is returned promptly. A pass
+// failure is wrapped in *Error and aborts the pipeline. The report
+// covers every pass that ran, including a failed final one.
+func (m *Manager) Run(ctx context.Context, prog *ir.Program) (*PipelineReport, error) {
+	rep := &PipelineReport{Label: m.Label}
+	for i, p := range m.passes {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		pc := &Context{ctx: ctx, Program: prog, metrics: map[string]int64{}}
+		start := time.Now()
+		err := p.Run(pc)
+		elapsed := time.Since(start)
+		ev := Event{
+			Seq:        i,
+			Label:      m.Label,
+			Pass:       p.Name(),
+			DurationNS: elapsed.Nanoseconds(),
+		}
+		if len(pc.metrics) > 0 {
+			ev.Mutations = pc.metrics
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		rep.Events = append(rep.Events, ev)
+		rep.TotalNS += ev.DurationNS
+		if m.Trace != nil {
+			m.Trace.Emit(ev)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				// A cooperating pass bailed out on cancellation: report
+				// the context error itself, as callers expect.
+				return rep, ctx.Err()
+			}
+			return rep, &Error{Pass: p.Name(), Err: err}
+		}
+	}
+	return rep, nil
+}
+
+// PipelineReport aggregates the instrumentation of one pipeline run.
+type PipelineReport struct {
+	Label   string
+	Events  []Event
+	TotalNS int64
+}
+
+// Total returns the summed pass wall time.
+func (r *PipelineReport) Total() time.Duration { return time.Duration(r.TotalNS) }
+
+// Event returns the event for the named pass, or nil.
+func (r *PipelineReport) Event(pass string) *Event {
+	for i := range r.Events {
+		if r.Events[i].Pass == pass {
+			return &r.Events[i]
+		}
+	}
+	return nil
+}
+
+// String renders an aligned per-pass table (name, time, mutations).
+func (r *PipelineReport) String() string {
+	var b strings.Builder
+	if r.Label != "" {
+		fmt.Fprintf(&b, "pipeline %s: %v\n", r.Label, r.Total().Round(time.Microsecond))
+	} else {
+		fmt.Fprintf(&b, "pipeline: %v\n", r.Total().Round(time.Microsecond))
+	}
+	for _, ev := range r.Events {
+		fmt.Fprintf(&b, "  %-22s %10v  %s\n",
+			ev.Pass, time.Duration(ev.DurationNS).Round(time.Microsecond), ev.MutationSummary())
+	}
+	return b.String()
+}

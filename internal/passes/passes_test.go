@@ -1,0 +1,148 @@
+package passes
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"polaris/internal/ir"
+)
+
+func TestManagerRunsInOrderAndRecords(t *testing.T) {
+	var order []string
+	m := NewManager("demo", nil)
+	m.Add(
+		Func("a", func(c *Context) error { order = append(order, "a"); c.Count("x", 2); return nil }),
+		Func("b", func(c *Context) error { order = append(order, "b"); return nil }),
+	)
+	rep, err := m.Run(context.Background(), ir.NewProgram())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+	if len(rep.Events) != 2 {
+		t.Fatalf("events = %+v", rep.Events)
+	}
+	if rep.Events[0].Mutations["x"] != 2 {
+		t.Errorf("pass a mutations = %v", rep.Events[0].Mutations)
+	}
+	if rep.Events[1].Mutations != nil {
+		t.Errorf("pass b should have no mutations, got %v", rep.Events[1].Mutations)
+	}
+	if rep.Event("b") == nil || rep.Event("nope") != nil {
+		t.Error("Event lookup broken")
+	}
+	if got := len(m.Passes()); got != 2 {
+		t.Errorf("Passes() = %d", got)
+	}
+}
+
+func TestManagerWrapsPassErrors(t *testing.T) {
+	sentinel := errors.New("boom")
+	m := NewManager("", nil)
+	ran := false
+	m.Add(
+		Func("fails", func(c *Context) error { return sentinel }),
+		Func("never", func(c *Context) error { ran = true; return nil }),
+	)
+	rep, err := m.Run(context.Background(), ir.NewProgram())
+	if ran {
+		t.Error("pass after failure still ran")
+	}
+	var perr *Error
+	if !errors.As(err, &perr) || perr.Pass != "fails" {
+		t.Fatalf("want *Error{Pass: fails}, got %v", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Error("wrapped error not reachable via errors.Is")
+	}
+	// The failed pass is still in the report, with its error recorded.
+	if len(rep.Events) != 1 || rep.Events[0].Err != "boom" {
+		t.Errorf("report = %+v", rep.Events)
+	}
+}
+
+func TestManagerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewManager("", nil)
+	m.Add(
+		Func("first", func(c *Context) error { cancel(); return nil }),
+		Func("second", func(c *Context) error { t.Error("second ran after cancel"); return nil }),
+	)
+	if _, err := m.Run(ctx, ir.NewProgram()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// A cooperating pass that returns c.Err() mid-flight also yields
+	// the bare context error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	m2 := NewManager("", nil)
+	m2.Add(Func("coop", func(c *Context) error {
+		cancel2()
+		return c.Err()
+	}))
+	if _, err := m2.Run(ctx2, ir.NewProgram()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from cooperating pass, got %v", err)
+	}
+}
+
+func TestTraceWriterConcurrentLinesIntact(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tw.Emit(Event{Seq: i, Label: fmt.Sprintf("g%d", g), Pass: "p",
+					Mutations: map[string]int64{"n": int64(i)}})
+			}
+		}(g)
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d corrupt: %v", n, err)
+		}
+		n++
+	}
+	if n != 8*50 {
+		t.Fatalf("lines = %d, want %d", n, 8*50)
+	}
+}
+
+func TestNilTraceWriter(t *testing.T) {
+	if tw := NewTraceWriter(nil); tw != nil {
+		t.Fatal("NewTraceWriter(nil) should be nil")
+	}
+	var tw *TraceWriter
+	if err := tw.Emit(Event{}); err != nil {
+		t.Fatalf("nil Emit: %v", err)
+	}
+}
+
+func TestEventMutationSummaryAndReportString(t *testing.T) {
+	ev := Event{Pass: "p", Mutations: map[string]int64{"b": 2, "a": 1}}
+	if got := ev.MutationSummary(); got != "a=1 b=2" {
+		t.Errorf("MutationSummary = %q", got)
+	}
+	if got := (Event{}).MutationSummary(); got != "-" {
+		t.Errorf("empty MutationSummary = %q", got)
+	}
+	rep := &PipelineReport{Label: "x", Events: []Event{ev}, TotalNS: 1500}
+	s := rep.String()
+	if !bytes.Contains([]byte(s), []byte("pipeline x:")) || !bytes.Contains([]byte(s), []byte("a=1 b=2")) {
+		t.Errorf("String() = %q", s)
+	}
+}

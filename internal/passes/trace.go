@@ -1,0 +1,83 @@
+package passes
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event is one structured trace record: a single pass execution during
+// a single compilation. Serialized as one JSON line.
+type Event struct {
+	// Seq is the pass's position in its pipeline, starting at 0.
+	Seq int `json:"seq"`
+	// Label identifies the compilation (typically the program name).
+	Label string `json:"label,omitempty"`
+	// Pass is the pass name.
+	Pass string `json:"pass"`
+	// DurationNS is the pass wall time in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+	// Mutations counts IR changes by kind (calls_inlined,
+	// variables_substituted, loops_annotated, verdict_flips, ...).
+	Mutations map[string]int64 `json:"mutations,omitempty"`
+	// Err is the pass failure message, empty on success.
+	Err string `json:"error,omitempty"`
+}
+
+// MutationSummary renders the counters as "k=v k=v" with sorted keys.
+func (e Event) MutationSummary() string {
+	if len(e.Mutations) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(e.Mutations))
+	for k := range e.Mutations {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+itoa(e.Mutations[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func itoa(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TraceWriter emits events as JSON lines to an underlying writer. It
+// is safe for concurrent use: compilations running on different
+// goroutines may share one TraceWriter, each line staying intact.
+type TraceWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTraceWriter wraps w. A nil w yields a nil TraceWriter, which
+// every emit site treats as "tracing disabled".
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	if w == nil {
+		return nil
+	}
+	return &TraceWriter{w: w}
+}
+
+// Emit writes one event as a JSON line. Write errors are returned but
+// the manager ignores them: a full trace disk must not fail a compile.
+func (t *TraceWriter) Emit(e Event) error {
+	if t == nil {
+		return nil
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err = t.w.Write(line)
+	return err
+}

@@ -1,6 +1,7 @@
 package suite
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -49,22 +50,64 @@ func ablations() []struct {
 }
 
 // Ablation measures each single-technique removal across the whole
-// suite on the given processor count.
-func Ablation(procs int) ([]AblationRow, error) {
-	full, err := speedupsWith(procs, nil)
+// suite on the given processor count, fanning the full
+// (configuration x program) grid across the worker pool. The compile
+// cache shares the full-pipeline compilations with Figure7 when run on
+// the same Runner.
+func (r *Runner) Ablation(ctx context.Context, procs int) ([]AblationRow, error) {
+	abls := ablations()
+	// Configuration 0 is the unmodified full pipeline; 1..n the
+	// single-technique removals.
+	mods := make([]func(*core.Options), 1+len(abls))
+	for i, a := range abls {
+		mods[i+1] = a.mod
+	}
+	progs := All()
+	// Grid job (ci, pi) writes results[ci*len(progs)+pi]: a flat slice
+	// keeps the concurrent writers index-disjoint.
+	results := make([]float64, len(mods)*len(progs))
+	err := forEach(ctx, r.Workers, len(results), func(ctx context.Context, i int) error {
+		ci, pi := i/len(progs), i%len(progs)
+		p := progs[pi]
+		serial, _, err := r.serialTime(ctx, p)
+		if err != nil {
+			return err
+		}
+		opt := r.polarisOptions(p.Name)
+		if mods[ci] != nil {
+			mods[ci](&opt)
+		}
+		compiled, err := r.cache.compile(p, opt, func() (*core.Result, error) {
+			return core.CompileContext(ctx, p.Parse(), opt)
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+		in := interp.New(execProgram(compiled), machine.Default().WithProcessors(procs))
+		in.Parallel = true
+		if err := in.RunContext(ctx); err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+		results[i] = float64(serial) / float64(in.Time())
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	speeds := make([]map[string]float64, len(mods))
+	for ci := range mods {
+		speeds[ci] = make(map[string]float64, len(progs))
+		for pi, p := range progs {
+			speeds[ci][p.Name] = results[ci*len(progs)+pi]
+		}
+	}
+	full := speeds[0]
 	fullGeo := geoMean(full)
 	var rows []AblationRow
-	for _, a := range ablations() {
-		speeds, err := speedupsWith(procs, a.mod)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", a.name, err)
-		}
-		row := AblationRow{Technique: a.name, GeoMean: geoMean(speeds), FullGeoMean: fullGeo}
-		for _, p := range All() {
-			if speeds[p.Name] < full[p.Name]*0.8 {
+	for i, a := range abls {
+		row := AblationRow{Technique: a.name, GeoMean: geoMean(speeds[i+1]), FullGeoMean: fullGeo}
+		for _, p := range progs {
+			if speeds[i+1][p.Name] < full[p.Name]*0.8 {
 				row.Hurt++
 				row.HurtPrograms = append(row.HurtPrograms, p.Name)
 			}
@@ -74,31 +117,10 @@ func Ablation(procs int) ([]AblationRow, error) {
 	return rows, nil
 }
 
-// speedupsWith runs the suite with the full options modified by mod
-// (nil = full pipeline).
-func speedupsWith(procs int, mod func(*core.Options)) (map[string]float64, error) {
-	out := map[string]float64{}
-	for _, p := range All() {
-		serial, _, err := SerialTime(p)
-		if err != nil {
-			return nil, err
-		}
-		opt := core.PolarisOptions()
-		if mod != nil {
-			mod(&opt)
-		}
-		compiled, err := core.Compile(p.Parse(), opt)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-		in := interp.New(compiled.Program, machine.Default().WithProcessors(procs))
-		in.Parallel = true
-		if err := in.Run(); err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-		out[p.Name] = float64(serial) / float64(in.Time())
-	}
-	return out, nil
+// Ablation measures each single-technique removal across the whole
+// suite on the given processor count.
+func Ablation(procs int) ([]AblationRow, error) {
+	return NewRunner().Ablation(context.Background(), procs)
 }
 
 func geoMean(m map[string]float64) float64 {

@@ -1,0 +1,129 @@
+package suite
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"polaris/internal/core"
+	"polaris/internal/ir"
+	"polaris/internal/pfa"
+)
+
+// cacheKey identifies one compilation: the content hash of the Fortran
+// source plus a fingerprint of the technique configuration.
+type cacheKey struct {
+	src  [32]byte
+	opts string
+}
+
+// optKey fingerprints the technique-selection fields of core.Options.
+// Instrumentation fields (Stats, Trace, TraceLabel) are deliberately
+// excluded: they do not change the compiled program.
+func optKey(o core.Options) string {
+	return fmt.Sprintf("%t%t%t%t%t%t%t%t%t%t%t%t",
+		o.Inline, o.Induction, o.SimpleInduction, o.Reductions,
+		o.HistogramReduction, o.ArrayPrivatization, o.RangeTest,
+		o.Permutation, o.LRPD, o.StrengthReduction, o.Normalize,
+		o.InterprocConstants)
+}
+
+// serialEntry caches one serial execution outcome.
+type serialEntry struct {
+	cycles int64
+	sum    float64
+}
+
+// compileCache memoizes compilations (Polaris configurations and the
+// PFA baseline) and serial executions, keyed by source content hash.
+// It is safe for concurrent use. Cached compiled programs are shared;
+// executions receive a fresh Clone so concurrent interpreter runs
+// never touch the same IR.
+type compileCache struct {
+	mu       sync.Mutex
+	compiled map[cacheKey]*core.Result
+	baseline map[[32]byte]*pfa.Result
+	serial   map[[32]byte]serialEntry
+}
+
+func newCompileCache() *compileCache {
+	return &compileCache{
+		compiled: map[cacheKey]*core.Result{},
+		baseline: map[[32]byte]*pfa.Result{},
+		serial:   map[[32]byte]serialEntry{},
+	}
+}
+
+func srcHash(src string) [32]byte { return sha256.Sum256([]byte(src)) }
+
+// compile returns the cached compilation of p under opt, compiling on
+// miss. Two goroutines missing the same key may both compile; the
+// result is deterministic, so either insertion wins harmlessly.
+func (c *compileCache) compile(p Program, opt core.Options, compile func() (*core.Result, error)) (*core.Result, error) {
+	key := cacheKey{src: srcHash(p.Source), opts: optKey(opt)}
+	c.mu.Lock()
+	res, ok := c.compiled[key]
+	c.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	res, err := compile()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.compiled[key]; ok {
+		res = prev
+	} else {
+		c.compiled[key] = res
+	}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// compileBaseline is the PFA analogue of compile.
+func (c *compileCache) compileBaseline(p Program) (*pfa.Result, error) {
+	key := srcHash(p.Source)
+	c.mu.Lock()
+	res, ok := c.baseline[key]
+	c.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	res, err := pfa.Compile(p.Parse())
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.baseline[key]; ok {
+		res = prev
+	} else {
+		c.baseline[key] = res
+	}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// execProgram returns a private deep copy of a cached compiled
+// program, ready for one interpreter run.
+func execProgram(res *core.Result) *ir.Program { return res.Program.Clone() }
+
+// serialRun returns the cached serial (cycles, checksum) of p, running
+// it on miss.
+func (c *compileCache) serialRun(p Program, run func() (int64, float64, error)) (int64, float64, error) {
+	key := srcHash(p.Source)
+	c.mu.Lock()
+	e, ok := c.serial[key]
+	c.mu.Unlock()
+	if ok {
+		return e.cycles, e.sum, nil
+	}
+	cycles, sum, err := run()
+	if err != nil {
+		return 0, 0, err
+	}
+	c.mu.Lock()
+	c.serial[key] = serialEntry{cycles: cycles, sum: sum}
+	c.mu.Unlock()
+	return cycles, sum, nil
+}

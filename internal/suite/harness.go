@@ -1,13 +1,40 @@
 package suite
 
 import (
+	"context"
 	"fmt"
 
 	"polaris/internal/core"
 	"polaris/internal/interp"
+	"polaris/internal/ir"
 	"polaris/internal/machine"
-	"polaris/internal/pfa"
+	"polaris/internal/passes"
 )
+
+// Runner executes suite workloads (Table 1, Figures 6/7, the ablation
+// grid) across a bounded worker pool, memoizing compilations and
+// serial runs in a content-hash keyed cache. A zero Workers value uses
+// one worker per CPU; Trace, when set, streams per-pass JSONL events
+// from every Polaris compilation (cache hits compile once, trace
+// once). A Runner is safe for concurrent use.
+type Runner struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Trace receives pass-manager events from Polaris compilations.
+	Trace *passes.TraceWriter
+
+	cache *compileCache
+}
+
+// NewRunner returns a Runner with an empty compile cache.
+func NewRunner() *Runner { return &Runner{cache: newCompileCache()} }
+
+func (r *Runner) polarisOptions(label string) core.Options {
+	opt := core.PolarisOptions()
+	opt.Trace = r.Trace
+	opt.TraceLabel = label
+	return opt
+}
 
 // Table1Row is one row of the paper's Table 1 for the synthetic suite:
 // origin, source lines, and serial execution time (simulated cycles
@@ -22,23 +49,28 @@ type Table1Row struct {
 	Checksum float64
 }
 
-// Table1 runs every program serially and reports the rows.
-func Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, p := range All() {
-		prog := p.Parse()
-		in := interp.New(prog, machine.Default())
-		if err := in.Run(); err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+// Table1 runs every program serially (concurrently across the worker
+// pool) and reports the rows in suite order.
+func (r *Runner) Table1(ctx context.Context) ([]Table1Row, error) {
+	progs := All()
+	rows := make([]Table1Row, len(progs))
+	err := forEach(ctx, r.Workers, len(progs), func(ctx context.Context, i int) error {
+		p := progs[i]
+		cycles, sum, err := r.serialTime(ctx, p)
+		if err != nil {
+			return err
 		}
-		sum, _ := in.Probe("OUT", "RESULT")
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			Name:         p.Name,
 			Origin:       p.Origin,
 			Lines:        p.Lines(),
-			SerialCycles: in.Time(),
+			SerialCycles: cycles,
 			Checksum:     sum,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -57,77 +89,88 @@ type Fig7Row struct {
 	SerialChecksum  float64
 }
 
-// RunOne executes one program under one compiler configuration on p
-// processors and returns (time, checksum).
-func RunOne(p Program, procs int, polaris bool) (int64, float64, error) {
-	prog := p.Parse()
-	var compiled *core.Result
-	var err error
-	model := machine.Default().WithProcessors(procs)
-	if polaris {
-		compiled, err = core.Compile(prog, core.PolarisOptions())
-	} else {
-		var pres *pfa.Result
-		pres, err = pfa.Compile(prog)
-		if err == nil {
-			compiled = pres.Result
-			model = model.WithCodegenFactor(pres.Factor)
-		}
-	}
-	if err != nil {
-		return 0, 0, fmt.Errorf("%s: compile: %w", p.Name, err)
-	}
-	in := interp.New(compiled.Program, model)
-	in.Parallel = true
-	// Reversed iteration order with fresh private copies: any unsound
-	// parallelization surfaces as a checksum mismatch in the callers'
-	// comparisons.
-	in.Validate = true
-	if err := in.Run(); err != nil {
-		return 0, 0, fmt.Errorf("%s: run: %w", p.Name, err)
-	}
-	sum, _ := in.Probe("OUT", "RESULT")
-	return in.Time(), sum, nil
-}
-
-// SerialTime runs a program serially and returns (time, checksum).
-func SerialTime(p Program) (int64, float64, error) {
-	prog := p.Parse()
-	in := interp.New(prog, machine.Default())
-	if err := in.Run(); err != nil {
-		return 0, 0, fmt.Errorf("%s: serial run: %w", p.Name, err)
-	}
-	sum, _ := in.Probe("OUT", "RESULT")
-	return in.Time(), sum, nil
-}
-
 // Figure7 regenerates the Polaris-vs-PFA speedup comparison on the
-// given processor count (8 in the paper).
-func Figure7(procs int) ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, p := range All() {
-		serial, serialSum, err := SerialTime(p)
+// given processor count (8 in the paper), fanning the programs across
+// the worker pool.
+func (r *Runner) Figure7(ctx context.Context, procs int) ([]Fig7Row, error) {
+	progs := All()
+	rows := make([]Fig7Row, len(progs))
+	err := forEach(ctx, r.Workers, len(progs), func(ctx context.Context, i int) error {
+		p := progs[i]
+		serial, serialSum, err := r.serialTime(ctx, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		polT, polSum, err := RunOne(p, procs, true)
+		polT, polSum, err := r.runOne(ctx, p, procs, true, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pfaT, pfaSum, err := RunOne(p, procs, false)
+		pfaT, pfaSum, err := r.runOne(ctx, p, procs, false, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig7Row{
+		rows[i] = Fig7Row{
 			Name:            p.Name,
 			Polaris:         float64(serial) / float64(polT),
 			PFA:             float64(serial) / float64(pfaT),
 			PolarisChecksum: polSum,
 			PFAChecksum:     pfaSum,
 			SerialChecksum:  serialSum,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// serialTime runs a program serially, memoized by source hash.
+func (r *Runner) serialTime(ctx context.Context, p Program) (int64, float64, error) {
+	return r.cache.serialRun(p, func() (int64, float64, error) {
+		in := interp.New(p.Parse(), machine.Default())
+		if err := in.RunContext(ctx); err != nil {
+			return 0, 0, fmt.Errorf("%s: serial run: %w", p.Name, err)
+		}
+		sum, _ := in.Probe("OUT", "RESULT")
+		return in.Time(), sum, nil
+	})
+}
+
+// runOne executes one program under one compiler configuration on
+// procs processors and returns (time, checksum). The compilation comes
+// from the cache; execution always gets a private clone of the
+// compiled program, so concurrent runs never share IR.
+func (r *Runner) runOne(ctx context.Context, p Program, procs int, polaris, validate bool) (int64, float64, error) {
+	model := machine.Default().WithProcessors(procs)
+	var prog *ir.Program
+	if polaris {
+		res, err := r.cache.compile(p, r.polarisOptions(p.Name), func() (*core.Result, error) {
+			return core.CompileContext(ctx, p.Parse(), r.polarisOptions(p.Name))
+		})
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s: compile: %w", p.Name, err)
+		}
+		prog = execProgram(res)
+	} else {
+		res, err := r.cache.compileBaseline(p)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s: compile: %w", p.Name, err)
+		}
+		prog = res.Result.Program.Clone()
+		model = model.WithCodegenFactor(res.Factor)
+	}
+	in := interp.New(prog, model)
+	in.Parallel = true
+	// Reversed iteration order with fresh private copies: any unsound
+	// parallelization surfaces as a checksum mismatch in the callers'
+	// comparisons.
+	in.Validate = validate
+	if err := in.RunContext(ctx); err != nil {
+		return 0, 0, fmt.Errorf("%s: run: %w", p.Name, err)
+	}
+	sum, _ := in.Probe("OUT", "RESULT")
+	return in.Time(), sum, nil
 }
 
 // Fig6Row is one point of the paper's Figure 6 pair, both measured at
@@ -143,31 +186,34 @@ type Fig6Row struct {
 	Failures int64
 }
 
-// Figure6 regenerates both TRACK plots for processor counts 1..maxP.
-func Figure6(maxP int) ([]Fig6Row, error) {
+// Figure6 regenerates both TRACK plots for processor counts 1..maxP,
+// one pool worker per processor count.
+func (r *Runner) Figure6(ctx context.Context, maxP int) ([]Fig6Row, error) {
 	p := Track()
-	_, serialSum, err := SerialTime(p)
+	_, serialSum, err := r.serialTime(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig6Row
-	for procs := 1; procs <= maxP; procs++ {
-		prog := p.Parse()
-		compiled, err := core.Compile(prog, core.PolarisOptions())
+	rows := make([]Fig6Row, maxP)
+	err = forEach(ctx, r.Workers, maxP, func(ctx context.Context, i int) error {
+		procs := i + 1
+		compiled, err := r.cache.compile(p, r.polarisOptions(p.Name), func() (*core.Result, error) {
+			return core.CompileContext(ctx, p.Parse(), r.polarisOptions(p.Name))
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		in := interp.New(compiled.Program, machine.Default().WithProcessors(procs))
+		in := interp.New(execProgram(compiled), machine.Default().WithProcessors(procs))
 		in.Parallel = true
-		if err := in.Run(); err != nil {
-			return nil, err
+		if err := in.RunContext(ctx); err != nil {
+			return err
 		}
 		sum, _ := in.Probe("OUT", "RESULT")
 		if sum != serialSum {
-			return nil, fmt.Errorf("track checksum mismatch: %v vs %v", sum, serialSum)
+			return fmt.Errorf("track checksum mismatch: %v vs %v", sum, serialSum)
 		}
 		if in.LRPDTime == 0 || in.LRPDBodyWork == 0 {
-			return nil, fmt.Errorf("track: no speculative executions recorded")
+			return fmt.Errorf("track: no speculative executions recorded")
 		}
 		row := Fig6Row{
 			Procs:    procs,
@@ -177,23 +223,51 @@ func Figure6(maxP int) ([]Fig6Row, error) {
 		}
 		// Potential slowdown: a variant whose invocations all fail —
 		// (T_seq + T_pdt) / T_seq at the loop level.
-		slowProg := failingTrack.Parse()
-		slowCompiled, err := core.Compile(slowProg, core.PolarisOptions())
+		slowCompiled, err := r.cache.compile(failingTrack, r.polarisOptions(failingTrack.Name), func() (*core.Result, error) {
+			return core.CompileContext(ctx, failingTrack.Parse(), r.polarisOptions(failingTrack.Name))
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		slowIn := interp.New(slowCompiled.Program, machine.Default().WithProcessors(procs))
+		slowIn := interp.New(execProgram(slowCompiled), machine.Default().WithProcessors(procs))
 		slowIn.Parallel = true
-		if err := slowIn.Run(); err != nil {
-			return nil, err
+		if err := slowIn.RunContext(ctx); err != nil {
+			return err
 		}
 		if slowIn.LRPDFailures == 0 || slowIn.LRPDBodyWork == 0 {
-			return nil, fmt.Errorf("failing track variant did not fail speculation")
+			return fmt.Errorf("failing track variant did not fail speculation")
 		}
 		row.Slowdown = float64(slowIn.LRPDTime) / float64(slowIn.LRPDBodyWork)
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// Compatibility wrappers: the original serial entry points, now backed
+// by a fresh concurrent Runner with a background context.
+
+// Table1 runs every program serially and reports the rows.
+func Table1() ([]Table1Row, error) { return NewRunner().Table1(context.Background()) }
+
+// Figure7 regenerates the Polaris-vs-PFA speedup comparison.
+func Figure7(procs int) ([]Fig7Row, error) { return NewRunner().Figure7(context.Background(), procs) }
+
+// Figure6 regenerates both TRACK plots for processor counts 1..maxP.
+func Figure6(maxP int) ([]Fig6Row, error) { return NewRunner().Figure6(context.Background(), maxP) }
+
+// RunOne executes one program under one compiler configuration on p
+// processors and returns (time, checksum).
+func RunOne(p Program, procs int, polaris bool) (int64, float64, error) {
+	return NewRunner().runOne(context.Background(), p, procs, polaris, true)
+}
+
+// SerialTime runs a program serially and returns (time, checksum).
+func SerialTime(p Program) (int64, float64, error) {
+	return NewRunner().serialTime(context.Background(), p)
 }
 
 // failingTrack is TRACK with every invocation carrying a dependence

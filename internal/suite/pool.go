@@ -1,0 +1,72 @@
+package suite
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// forEach runs fn(ctx, i) for every i in [0, n) across a bounded
+// worker pool. workers <= 0 means one worker per available CPU. The
+// first error cancels the remaining work and is returned; fn calls for
+// distinct i may run concurrently, so fn must only write to
+// index-disjoint state (the callers fill indexed slices).
+func forEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain remaining indices after cancellation
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,232 @@
+package suite
+
+// Tests for the concurrent Runner: worker-pool semantics, compile-cache
+// reuse, cancellation, and concurrent-vs-serial result equality. CI
+// runs these under -race.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"polaris/internal/core"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 100
+	var hits [n]int32
+	err := forEach(context.Background(), 7, n, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("index %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var after int32
+	err := forEach(context.Background(), 2, 50, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			// Jobs observing the cancelled pool context must not run work.
+			atomic.AddInt32(&after, 1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if after != 0 {
+		t.Errorf("%d jobs saw a live context after cancellation reported it", after)
+	}
+}
+
+func TestForEachCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := forEach(ctx, 4, 10, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d jobs ran despite pre-cancelled context", ran)
+	}
+}
+
+func TestCompileCacheMemoizes(t *testing.T) {
+	r := NewRunner()
+	p, _ := ByName("trfd")
+	var compiles int32
+	build := func() (*core.Result, error) {
+		atomic.AddInt32(&compiles, 1)
+		return core.Compile(p.Parse(), core.PolarisOptions())
+	}
+	var wg sync.WaitGroup
+	results := make([]*core.Result, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.cache.compile(p, core.PolarisOptions(), build)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("cache returned distinct results for identical keys")
+		}
+	}
+	// Concurrent first fills may race benignly, but once warm the cache
+	// must not compile again.
+	warm := compiles
+	if _, err := r.cache.compile(p, core.PolarisOptions(), build); err != nil {
+		t.Fatal(err)
+	}
+	if compiles != warm {
+		t.Errorf("warm cache recompiled (%d -> %d)", warm, compiles)
+	}
+	// A different option fingerprint is a different entry.
+	opt := core.PolarisOptions()
+	opt.Inline = false
+	other, err := r.cache.compile(p, opt, func() (*core.Result, error) {
+		return core.Compile(p.Parse(), opt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == results[0] {
+		t.Errorf("distinct options shared a cache entry")
+	}
+}
+
+// TestRunnerConcurrentMatchesSerial runs Figure 7 with a wide pool and
+// a single-worker pool and demands identical rows: concurrency (and the
+// shared compile cache) must be invisible in the results.
+func TestRunnerConcurrentMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	wide := NewRunner()
+	wide.Workers = 8
+	narrow := NewRunner()
+	narrow.Workers = 1
+	wideRows, err := wide.Figure7(ctx, 8)
+	if err != nil {
+		t.Fatalf("wide: %v", err)
+	}
+	narrowRows, err := narrow.Figure7(ctx, 8)
+	if err != nil {
+		t.Fatalf("narrow: %v", err)
+	}
+	if len(wideRows) != len(narrowRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(wideRows), len(narrowRows))
+	}
+	for i := range wideRows {
+		if wideRows[i] != narrowRows[i] {
+			t.Errorf("row %d differs:\nwide:   %+v\nnarrow: %+v", i, wideRows[i], narrowRows[i])
+		}
+	}
+	// A second pass on the warm cache must agree with the first.
+	again, err := wide.Figure7(ctx, 8)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	for i := range again {
+		if again[i] != wideRows[i] {
+			t.Errorf("warm-cache row %d differs: %+v vs %+v", i, again[i], wideRows[i])
+		}
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	r := NewRunner()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Table1(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Table1: want context.Canceled, got %v", err)
+	}
+	if _, err := r.Figure7(ctx, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("Figure7: want context.Canceled, got %v", err)
+	}
+	if _, err := r.Figure6(ctx, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("Figure6: want context.Canceled, got %v", err)
+	}
+	if _, err := r.Ablation(ctx, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("Ablation: want context.Canceled, got %v", err)
+	}
+}
+
+// TestRunnerMidFlightCancellation cancels while the pool is running and
+// checks the error surfaces as context.Canceled rather than a partial
+// result.
+func TestRunnerMidFlightCancellation(t *testing.T) {
+	r := NewRunner()
+	r.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	// Warm nothing; instead cancel as soon as the first serial run
+	// begins, via a goroutine watching the signal below.
+	go func() {
+		<-started
+		cancel()
+	}()
+	progs := All()
+	err := forEach(ctx, r.Workers, len(progs), func(ctx context.Context, i int) error {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		_, _, err := r.serialTime(ctx, progs[i])
+		return err
+	})
+	if err == nil {
+		t.Fatal("mid-flight cancellation returned nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		// Cached serial runs may complete before polling; the pool must
+		// still report cancellation at the end.
+		t.Errorf("want context.Canceled in chain, got %v", err)
+	}
+}
+
+// TestRunOneValidateFlag pins the compile cache's key discipline: the
+// validate flag changes execution, not compilation, so both settings
+// hit one cache entry yet produce their own interpreter state.
+func TestRunOneValidateFlag(t *testing.T) {
+	r := NewRunner()
+	p, _ := ByName("trfd")
+	ctx := context.Background()
+	t1, s1, err := r.runOne(ctx, p, 8, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, s2, err := r.runOne(ctx, p, 8, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Errorf("validate flag changed timing: %d vs %d", t1, t2)
+	}
+	if fmt.Sprintf("%.6g", s1) != fmt.Sprintf("%.6g", s2) {
+		t.Errorf("validate flag changed checksum beyond float drift: %v vs %v", s1, s2)
+	}
+}

@@ -1,0 +1,109 @@
+package polaris
+
+import (
+	"io"
+
+	"polaris/internal/core"
+	"polaris/internal/deps"
+	"polaris/internal/passes"
+)
+
+// Option configures a Compile call. Options follow the functional-
+// options pattern: zero options compile with the paper's full
+// technique set and no instrumentation.
+type Option func(*compileConfig)
+
+type compileConfig struct {
+	baseline   bool
+	techniques Techniques
+	stats      *Stats
+	trace      *passes.TraceWriter
+	traceLabel string
+	processors int
+}
+
+func defaultCompileConfig() compileConfig {
+	return compileConfig{techniques: FullTechniques()}
+}
+
+// WithTechniques selects an explicit technique set (the ablation
+// studies use this); the default is FullTechniques.
+func WithTechniques(t Techniques) Option {
+	return func(c *compileConfig) { c.techniques = t }
+}
+
+// WithBaseline compiles at the 1996-vendor (PFA) capability level the
+// paper compares against, including its modelled back-end
+// code-quality factor. Technique selection and tracing do not apply
+// to the baseline compiler.
+func WithBaseline() Option {
+	return func(c *compileConfig) { c.baseline = true }
+}
+
+// WithStats accumulates dependence-test counts into s during
+// compilation.
+func WithStats(s *Stats) Option {
+	return func(c *compileConfig) { c.stats = s }
+}
+
+// WithTrace streams one JSON line per executed pass to w: the pass
+// name, wall-clock duration, and IR-mutation counts (the schema is
+// documented in DESIGN.md). The writer is synchronized internally, so
+// concurrent Compile calls may share one w.
+func WithTrace(w io.Writer) Option {
+	return func(c *compileConfig) { c.trace = passes.NewTraceWriter(w) }
+}
+
+// WithTraceLabel tags trace events and the pipeline report with a
+// compilation label (typically the program name), distinguishing
+// interleaved events when concurrent compilations share a trace
+// writer.
+func WithTraceLabel(label string) Option {
+	return func(c *compileConfig) { c.traceLabel = label }
+}
+
+// WithProcessors sets the simulated processor count that Execute uses
+// for this result when ExecOptions.Processors is zero (default 8).
+func WithProcessors(n int) Option {
+	return func(c *compileConfig) { c.processors = n }
+}
+
+// Stats counts dependence-test work during one compilation.
+type Stats struct {
+	// PairsTested counts array access pairs submitted to the
+	// dependence tester.
+	PairsTested int
+	// LinearDecided counts pairs settled by the linear (GCD/Banerjee
+	// class) tests.
+	LinearDecided int
+	// RangeTests counts pairs that needed the symbolic range test.
+	RangeTests int
+	// Permutations counts loop-order permutations attempted.
+	Permutations int
+}
+
+func (s *Stats) fill(d deps.Stats) {
+	s.PairsTested = d.PairsTested
+	s.LinearDecided = d.LinearDecided
+	s.RangeTests = d.RangeTests
+	s.Permutations = d.Permutations
+}
+
+// coreOptions lowers the public technique selection to the internal
+// driver's option set.
+func coreOptions(t Techniques) core.Options {
+	return core.Options{
+		Inline:             t.Inline,
+		Induction:          t.Induction,
+		SimpleInduction:    t.SimpleInduction,
+		Reductions:         t.Reductions,
+		HistogramReduction: t.HistogramReductions,
+		ArrayPrivatization: t.ArrayPrivatization,
+		RangeTest:          t.RangeTest,
+		Permutation:        t.LoopPermutation,
+		LRPD:               t.RunTimeTest,
+		StrengthReduction:  t.StrengthReduction,
+		Normalize:          t.LoopNormalization,
+		InterprocConstants: t.InterproceduralConstants,
+	}
+}

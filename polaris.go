@@ -7,18 +7,25 @@
 // flow is:
 //
 //	prog, err := polaris.Parse(src)
-//	res, err := polaris.Parallelize(prog)        // full technique set
+//	res, err := polaris.Compile(ctx, prog)       // full technique set
 //	fmt.Print(res.AnnotatedSource())             // restructured Fortran
 //	run, err := polaris.Execute(res, polaris.ExecOptions{Processors: 8})
 //	fmt.Println(run.Speedup)                     // vs serial execution
 //
-// Technique sets: Parallelize applies everything the paper describes —
+// Compile takes functional options: WithTechniques selects a subset of
+// passes, WithBaseline compiles at the 1996 vendor (PFA) level the
+// paper compares against, WithTrace streams per-pass JSONL events,
+// WithStats collects dependence-test counts, and WithProcessors picks
+// the default simulated machine size. Every compilation runs through
+// the instrumented pass manager, so Result.Report carries per-pass
+// wall time and mutation counts.
+//
+// Technique sets: the default applies everything the paper describes —
 // inline expansion, generalized induction-variable substitution,
 // reduction recognition (single-address and histogram), scalar and
 // array privatization, symbolic dependence analysis with the range
 // test and loop-order permutation, and LRPD (run-time PD test)
-// candidate flagging. ParallelizeBaseline applies the 1996
-// vendor-compiler level the paper compares against.
+// candidate flagging.
 //
 // Hardware substitution: execution happens on a simulated
 // shared-memory multiprocessor (package internal/machine) with a
@@ -27,10 +34,13 @@
 package polaris
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"polaris/internal/codegen"
 	"polaris/internal/core"
+	"polaris/internal/deps"
 	"polaris/internal/interp"
 	"polaris/internal/ir"
 	"polaris/internal/machine"
@@ -43,7 +53,8 @@ type Program struct {
 	ir *ir.Program
 }
 
-// Parse parses Fortran-subset source into a Program.
+// Parse parses Fortran-subset source into a Program. Failures are
+// *parser.ParseError values carrying line and column.
 func Parse(src string) (*Program, error) {
 	p, err := parser.ParseProgram(src)
 	if err != nil {
@@ -67,6 +78,29 @@ type LoopInfo struct {
 	Reason      string
 }
 
+// PassEvent reports one pipeline pass of a compilation.
+type PassEvent struct {
+	// Pass is the pass name (for example "inline" or
+	// "dependence-analysis").
+	Pass string
+	// Duration is the pass's wall-clock time.
+	Duration time.Duration
+	// Mutations counts IR changes by kind (calls_inlined,
+	// variables_substituted, loops_annotated, verdict_flips, ...).
+	Mutations map[string]int64
+}
+
+// PipelineReport is the pass manager's instrumentation for one
+// compilation, in pipeline order.
+type PipelineReport struct {
+	// Label is the compilation label set by WithTraceLabel.
+	Label string
+	// Events lists the executed passes in order.
+	Events []PassEvent
+	// Total is the summed pass wall time.
+	Total time.Duration
+}
+
 // Result is a compiled (restructured and annotated) program.
 type Result struct {
 	inner *core.Result
@@ -80,6 +114,13 @@ type Result struct {
 	// InductionVariables lists substituted induction variables
 	// (qualified by unit).
 	InductionVariables []string
+	// Report carries the pass manager's per-pass timings and mutation
+	// counts (nil for baseline compilations, which bypass the Polaris
+	// pipeline).
+	Report *PipelineReport
+
+	// processors is the WithProcessors default for Execute.
+	processors int
 }
 
 func wrapResult(res *core.Result, factor float64) *Result {
@@ -91,42 +132,91 @@ func wrapResult(res *core.Result, factor float64) *Result {
 			Parallel: lr.Parallel, RunTimeTest: lr.LRPD, Reason: lr.Reason,
 		})
 	}
+	if res.Report != nil {
+		rep := &PipelineReport{Label: res.Report.Label, Total: res.Report.Total()}
+		for _, ev := range res.Report.Events {
+			rep.Events = append(rep.Events, PassEvent{
+				Pass:      ev.Pass,
+				Duration:  time.Duration(ev.DurationNS),
+				Mutations: ev.Mutations,
+			})
+		}
+		out.Report = rep
+	}
 	return out
 }
 
-// Parallelize runs the full Polaris pipeline on the program. The input
-// program is not modified.
-func Parallelize(p *Program) (*Result, error) {
-	res, err := core.Compile(p.ir, core.PolarisOptions())
+// Compile runs the restructuring pipeline on the program under ctx and
+// returns the annotated result. The input program is not modified.
+// With no options it applies the paper's full technique set; see
+// Option for technique selection, baseline mode, tracing, and stats.
+//
+// Cancellation is honored between and inside passes: when ctx is
+// canceled, Compile returns ctx.Err() promptly. Pass failures surface
+// as *core.PipelineError naming the failed pass.
+func Compile(ctx context.Context, p *Program, opts ...Option) (*Result, error) {
+	cfg := defaultCompileConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.baseline {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := pfa.Compile(p.ir)
+		if err != nil {
+			return nil, err
+		}
+		out := wrapResult(res.Result, res.Factor)
+		// The baseline reuses the pipeline machinery internally, but its
+		// instrumentation describes the vendor model, not the Polaris
+		// pipeline; keep the documented "nil for baseline" contract.
+		out.Report = nil
+		out.processors = cfg.processors
+		return out, nil
+	}
+	copt := coreOptions(cfg.techniques)
+	var dstats deps.Stats
+	if cfg.stats != nil {
+		copt.Stats = &dstats
+	}
+	copt.Trace = cfg.trace
+	copt.TraceLabel = cfg.traceLabel
+	res, err := core.CompileContext(ctx, p.ir, copt)
 	if err != nil {
 		return nil, err
 	}
-	return wrapResult(res, 1.0), nil
+	if cfg.stats != nil {
+		cfg.stats.fill(dstats)
+	}
+	out := wrapResult(res, 1.0)
+	out.processors = cfg.processors
+	return out, nil
+}
+
+// Parallelize runs the full Polaris pipeline on the program.
+//
+// Deprecated: use Compile(ctx, p).
+func Parallelize(p *Program) (*Result, error) {
+	return Compile(context.Background(), p)
 }
 
 // ParallelizeWith runs the pipeline with an explicit technique set.
+//
+// Deprecated: use Compile(ctx, p, WithTechniques(opt)).
 func ParallelizeWith(p *Program, opt Techniques) (*Result, error) {
-	res, err := core.Compile(p.ir, core.Options{
-		Inline:             opt.Inline,
-		Induction:          opt.Induction,
-		SimpleInduction:    opt.SimpleInduction,
-		Reductions:         opt.Reductions,
-		HistogramReduction: opt.HistogramReductions,
-		ArrayPrivatization: opt.ArrayPrivatization,
-		RangeTest:          opt.RangeTest,
-		Permutation:        opt.LoopPermutation,
-		LRPD:               opt.RunTimeTest,
-		StrengthReduction:  opt.StrengthReduction,
-		Normalize:          opt.LoopNormalization,
-		InterprocConstants: opt.InterproceduralConstants,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return wrapResult(res, 1.0), nil
+	return Compile(context.Background(), p, WithTechniques(opt))
 }
 
-// Techniques selects individual passes for ParallelizeWith.
+// ParallelizeBaseline runs the 1996-vendor (PFA) capability level,
+// including its modelled back-end code-quality factor.
+//
+// Deprecated: use Compile(ctx, p, WithBaseline()).
+func ParallelizeBaseline(p *Program) (*Result, error) {
+	return Compile(context.Background(), p, WithBaseline())
+}
+
+// Techniques selects individual passes for WithTechniques.
 type Techniques struct {
 	Inline                   bool
 	Induction                bool
@@ -153,16 +243,6 @@ func FullTechniques() Techniques {
 	}
 }
 
-// ParallelizeBaseline runs the 1996-vendor (PFA) capability level,
-// including its modelled back-end code-quality factor.
-func ParallelizeBaseline(p *Program) (*Result, error) {
-	res, err := pfa.Compile(p.ir)
-	if err != nil {
-		return nil, err
-	}
-	return wrapResult(res.Result, res.Factor), nil
-}
-
 // AnnotatedSource emits the restructured Fortran with parallel
 // directives and the compilation report header.
 func (r *Result) AnnotatedSource() string { return codegen.Emit(r.inner) }
@@ -175,7 +255,8 @@ func (r *Result) ParallelLoops() int { return r.inner.ParallelLoops() }
 
 // ExecOptions configures simulated execution.
 type ExecOptions struct {
-	// Processors on the simulated machine (default 8).
+	// Processors on the simulated machine (default: the result's
+	// WithProcessors value, or 8).
 	Processors int
 	// Serial disables parallel execution (baseline timing).
 	Serial bool
@@ -207,16 +288,31 @@ type RunResult struct {
 
 // Execute runs a compiled program on the simulated machine.
 func Execute(r *Result, opt ExecOptions) (*RunResult, error) {
-	return execute(r.inner.Program, r.CodegenFactor, opt)
+	return ExecuteContext(context.Background(), r, opt)
+}
+
+// ExecuteContext runs a compiled program on the simulated machine
+// under ctx; a canceled context aborts the execution loop promptly.
+func ExecuteContext(ctx context.Context, r *Result, opt ExecOptions) (*RunResult, error) {
+	if opt.Processors <= 0 {
+		opt.Processors = r.processors
+	}
+	return execute(ctx, r.inner.Program, r.CodegenFactor, opt)
 }
 
 // ExecuteProgram runs an unrestructured program (serial semantics
 // unless its loops carry annotations).
 func ExecuteProgram(p *Program, opt ExecOptions) (*RunResult, error) {
-	return execute(p.ir, 1.0, opt)
+	return ExecuteProgramContext(context.Background(), p, opt)
 }
 
-func execute(prog *ir.Program, factor float64, opt ExecOptions) (*RunResult, error) {
+// ExecuteProgramContext is ExecuteProgram under a cancellation
+// context.
+func ExecuteProgramContext(ctx context.Context, p *Program, opt ExecOptions) (*RunResult, error) {
+	return execute(ctx, p.ir, 1.0, opt)
+}
+
+func execute(ctx context.Context, prog *ir.Program, factor float64, opt ExecOptions) (*RunResult, error) {
 	procs := opt.Processors
 	if procs <= 0 {
 		procs = 8
@@ -236,7 +332,10 @@ func execute(prog *ir.Program, factor float64, opt ExecOptions) (*RunResult, err
 	in.Parallel = !opt.Serial
 	in.Validate = opt.Validate
 	in.Concurrent = opt.Concurrent
-	if err := in.Run(); err != nil {
+	if err := in.RunContext(ctx); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("polaris: execution: %w", err)
 	}
 	return &RunResult{
@@ -253,6 +352,7 @@ func execute(prog *ir.Program, factor float64, opt ExecOptions) (*RunResult, err
 // on p processors and returns serial-cycles / parallel-cycles — the
 // quantity Figure 7 plots.
 func Speedup(src string, processors int) (float64, error) {
+	ctx := context.Background()
 	prog, err := Parse(src)
 	if err != nil {
 		return 0, err
@@ -261,7 +361,7 @@ func Speedup(src string, processors int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := Parallelize(prog)
+	res, err := Compile(ctx, prog)
 	if err != nil {
 		return 0, err
 	}
