@@ -1,0 +1,150 @@
+// Command polaris-fuzz soaks the compiler against the differential
+// soundness oracle: it generates seeded random programs in the Fortran
+// subset (internal/fuzzgen), runs each through the four-way execution
+// grid and metamorphic invariants (internal/oracle), minimizes any
+// failure, and writes replayable JSONL artifacts.
+//
+// Typical runs:
+//
+//	polaris-fuzz -n 500 -seed 1                 # soak 500 programs
+//	polaris-fuzz -n 2000 -j 8 -out bad.jsonl    # long soak, save failures
+//	polaris-fuzz -replay bad.jsonl              # re-check saved failures
+//
+// The exit status is 1 when any discrepancy is found (or still
+// reproduces, for -replay), 0 otherwise.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+
+	"polaris/internal/fuzzgen"
+	"polaris/internal/oracle"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 200, "number of programs to generate and check")
+		seed    = flag.Uint64("seed", 1, "base seed; program i uses seed+i")
+		workers = flag.Int("j", 4, "concurrent checks")
+		blocks  = flag.Int("blocks", 0, "idiom blocks per program (0 = generator default)")
+		trips   = flag.Int("trips", 0, "max loop trip count (0 = generator default)")
+		alen    = flag.Int("len", 0, "working array length (0 = generator default)")
+		out     = flag.String("out", "", "append discrepancy artifacts to this JSONL file")
+		replay  = flag.String("replay", "", "re-check artifacts from this JSONL file instead of generating")
+		tol     = flag.Float64("tol", 0, "relative state tolerance (generated programs are exact; keep 0)")
+		procs   = flag.Int("p", 8, "primary simulated processor count")
+		noAbl   = flag.Bool("no-ablation", false, "skip the ablation grid (faster)")
+		noMeta  = flag.Bool("no-metamorphic", false, "skip processor-count and trace invariants (faster)")
+		noMin   = flag.Bool("no-minimize", false, "report failures without shrinking them")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := oracle.Config{
+		Processors:      *procs,
+		Tolerance:       *tol,
+		SkipAblation:    *noAbl,
+		SkipMetamorphic: *noMeta,
+		SkipMinimize:    *noMin,
+	}
+
+	if *replay != "" {
+		os.Exit(replayArtifacts(ctx, *replay, cfg))
+	}
+
+	var artifacts *os.File
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polaris-fuzz:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		artifacts = f
+	}
+
+	rc := oracle.RunConfig{
+		Seed:    *seed,
+		Count:   *n,
+		Workers: *workers,
+		Gen:     fuzzgen.Config{Blocks: *blocks, MaxTrips: *trips, ArrayLen: *alen},
+		Check:   cfg,
+		Progress: func(done, bad int) {
+			if done%50 == 0 || done == *n {
+				fmt.Fprintf(os.Stderr, "\r%d/%d checked, %d discrepancies", done, *n, bad)
+			}
+		},
+	}
+	if artifacts != nil {
+		rc.Artifacts = artifacts
+	}
+	rep, err := oracle.Run(ctx, rc)
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris-fuzz:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%d programs checked (seed %d..%d), %d discrepancies\n",
+		rep.Programs, *seed, *seed+uint64(*n)-1, len(rep.Discrepancies))
+	idioms := make([]string, 0, len(rep.IdiomCounts))
+	for id := range rep.IdiomCounts {
+		idioms = append(idioms, id)
+	}
+	sort.Strings(idioms)
+	fmt.Println("idiom coverage:")
+	for _, id := range idioms {
+		fmt.Printf("  %-22s %5d\n", id, rep.IdiomCounts[id])
+	}
+	for _, d := range rep.Discrepancies {
+		fmt.Printf("\nFAIL %s mode %s: %s\n", d.Label, d.Mode, d.Detail)
+		if d.Minimized != "" {
+			fmt.Printf("minimized to %d lines:\n%s\n", d.MinimizedLines, d.Minimized)
+		}
+	}
+	if len(rep.Discrepancies) > 0 {
+		os.Exit(1)
+	}
+}
+
+// replayArtifacts re-runs saved failures and reports which still
+// reproduce. Exit 0 means every recorded bug is fixed.
+func replayArtifacts(ctx context.Context, path string, cfg oracle.Config) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris-fuzz:", err)
+		return 2
+	}
+	defer f.Close()
+	arts, err := oracle.ReadArtifacts(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris-fuzz:", err)
+		return 2
+	}
+	still := 0
+	for i, a := range arts {
+		ds, err := oracle.Replay(ctx, a, cfg)
+		switch {
+		case err != nil:
+			fmt.Printf("artifact %d (%s): replay error: %v\n", i, a.Label, err)
+			still++
+		case len(ds) > 0:
+			fmt.Printf("artifact %d (%s): still fails — %s: %s\n", i, a.Label, ds[0].Mode, ds[0].Detail)
+			still++
+		default:
+			fmt.Printf("artifact %d (%s): fixed\n", i, a.Label)
+		}
+	}
+	fmt.Printf("%d/%d artifacts still reproduce\n", still, len(arts))
+	if still > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,658 @@
+// Package fuzzgen generates random, well-formed programs in the
+// compiler's Fortran-77 subset for differential soundness testing
+// (package oracle). Every generated program is seeded and reproducible,
+// parses cleanly, executes without run-time errors (all subscripts are
+// constructed in bounds), and composes the idioms the Polaris paper
+// builds its techniques around: triangular loop nests, cascaded
+// induction variables, reductions in every style the paper names
+// (single-address scalar and array-element, product, MAX/MIN,
+// histogram), the BDNA gather/compress privatization pattern,
+// subscripted subscripts (run-time PD-test candidates), and IF-guarded
+// control flow.
+//
+// # Exact-arithmetic discipline
+//
+// The oracle asserts bit-identical results across execution modes that
+// reassociate reduction accumulations (concurrent per-worker partials,
+// Validate-mode reversed iteration order). Floating-point addition is
+// only associative when every partial sum is exactly representable, so
+// the generator enforces a global invariant: every REAL value a
+// generated program computes is a dyadic rational k*2^-24 with
+// magnitude below 2^22. Concretely:
+//
+//   - real constants are multiples of 0.25 with magnitude <= 4;
+//   - multiplication only pairs an array/scalar read with a power-of-two
+//     constant (0.5, 0.25) or a small integer (a loop index or a
+//     constant <= 8);
+//   - in-place array updates lose at most two bits of resolution per
+//     idiom block, and the block count is bounded (<= 12);
+//   - the single product reduction per program draws its factors from
+//     {0.5, 1.0, 1.5} over at most 20 trips, so the accumulated
+//     significand stays under 21 bits.
+//
+// Under this discipline every sum or product the program forms —
+// including the final checksum sweep — spans fewer than 52 significand
+// bits, so IEEE-754 double addition is exact and therefore associative:
+// any iteration order and any partial-merge tree produces bit-identical
+// state. A verdict that is sound therefore reproduces serial results
+// exactly, and any inexactness observed by the oracle is a compiler
+// bug, not numeric noise.
+package fuzzgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config sets the generator knobs. The zero value of every field picks
+// the default noted on it.
+type Config struct {
+	// Seed selects the program; equal configs generate identical
+	// source.
+	Seed uint64
+	// Blocks is the number of random idiom blocks (default 5, max 12:
+	// the exactness budget of the package comment).
+	Blocks int
+	// MaxTrips bounds loop trip counts (default 24, clamped to
+	// [8, 28]).
+	MaxTrips int
+	// ArrayLen is the 1-D working array length (default 64, min 32).
+	ArrayLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Blocks <= 0 {
+		c.Blocks = 5
+	}
+	if c.Blocks > 12 {
+		c.Blocks = 12
+	}
+	if c.MaxTrips <= 0 {
+		c.MaxTrips = 24
+	}
+	if c.MaxTrips < 8 {
+		c.MaxTrips = 8
+	}
+	if c.MaxTrips > 28 {
+		c.MaxTrips = 28
+	}
+	if c.ArrayLen <= 0 {
+		c.ArrayLen = 64
+	}
+	if c.ArrayLen < 32 {
+		c.ArrayLen = 32
+	}
+	return c
+}
+
+// Program is one generated benchmark.
+type Program struct {
+	Seed   uint64
+	Source string
+	// Idioms lists the emitted idiom block names in program order.
+	Idioms []string
+}
+
+// matDim is the fixed side of the 2-D work array GM.
+const matDim = 16
+
+// gen is the generator state: a splitmix64 stream plus the emission
+// buffer and loop-context stack.
+type gen struct {
+	cfg   Config
+	state uint64
+	buf   strings.Builder
+	depth int
+	// loops is the enclosing DO stack, innermost last.
+	loops []loopCtx
+	// productUsed caps the program at one product reduction (the
+	// significand-budget argument in the package comment).
+	productUsed bool
+	idioms      []string
+}
+
+type loopCtx struct {
+	index  string
+	lo, hi int
+}
+
+// rnd returns a uniform value in [0, n).
+func (g *gen) rnd(n int) int {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(n))
+}
+
+func (g *gen) pick(xs ...string) string { return xs[g.rnd(len(xs))] }
+
+// Generate emits one program for the configuration.
+func Generate(cfg Config) *Program {
+	cfg = cfg.withDefaults()
+	g := &gen{cfg: cfg, state: cfg.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+	g.program()
+	return &Program{Seed: cfg.Seed, Source: g.buf.String(), Idioms: g.idioms}
+}
+
+func (g *gen) w(format string, args ...interface{}) {
+	g.buf.WriteString(strings.Repeat("  ", g.depth) + "      ")
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteByte('\n')
+}
+
+// loop emits DO idx = lo, hi ... END DO around body().
+func (g *gen) loop(idx string, lo, hi string, loN, hiN int, body func()) {
+	g.w("DO %s = %s, %s", idx, lo, hi)
+	g.loops = append(g.loops, loopCtx{index: idx, lo: loN, hi: hiN})
+	g.depth++
+	body()
+	g.depth--
+	g.loops = g.loops[:len(g.loops)-1]
+	g.w("END DO")
+}
+
+func (g *gen) inner() loopCtx { return g.loops[len(g.loops)-1] }
+
+// nextIndex returns the first unused loop index name.
+func (g *gen) nextIndex() string {
+	names := []string{"I1", "I2", "I3"}
+	return names[len(g.loops)]
+}
+
+// dyadic formats a multiple of 0.25 in [lo, hi] (quarters).
+func (g *gen) dyadic(loQ, hiQ int) string {
+	q := loQ + g.rnd(hiQ-loQ+1)
+	v := float64(q) * 0.25
+	s := fmt.Sprintf("%g", v)
+	if !strings.ContainsAny(s, ".") {
+		s += ".0"
+	}
+	return s
+}
+
+// c4 is a positive constant in [0.25, 4].
+func (g *gen) c4() string { return g.dyadic(1, 16) }
+
+// pow2 is a power-of-two scale factor.
+func (g *gen) pow2() string { return g.pick("0.5", "0.25") }
+
+// program emits the full source: header, deterministic initialization,
+// cfg.Blocks idiom blocks, and the checksum sweep.
+func (g *gen) program() {
+	nn := g.cfg.ArrayLen
+	g.w("PROGRAM FUZZ")
+	g.w("REAL RESULT")
+	g.w("COMMON /OUT/ RESULT")
+	g.w("INTEGER NN")
+	g.w("PARAMETER (NN=%d)", nn)
+	g.w("REAL QA(NN), QB(NN), QC(NN), WT(NN)")
+	g.w("REAL GM(%d,%d)", matDim, matDim)
+	g.w("INTEGER IX(NN), KA(NN)")
+	g.w("COMMON /STATE/ QA, QB, QC, WT, GM, IX, KA")
+	g.w("REAL S1, S2, S3, T1, T2")
+	g.w("INTEGER K9, K8, P9")
+	g.w("COMMON /SCL/ S1, S2, S3, T1, T2, K9, K8, P9")
+	g.w("REAL A9(NN)")
+	g.w("INTEGER J9(NN)")
+	g.w("INTEGER I1, I2, I3")
+
+	// Deterministic initialization: every array holds dyadic values of
+	// resolution >= 2^-3 and magnitude <= 2^6.
+	g.loop("I1", "1", "NN", 1, nn, func() {
+		g.w("QA(I1) = 0.5 * I1")
+		g.w("QB(I1) = 1.0 + 0.125 * I1")
+		g.w("QC(I1) = 2.0 - 0.25 * I1")
+		g.w("WT(I1) = 0.0")
+		g.w("A9(I1) = 0.25 * I1")
+		g.w("IX(I1) = I1")
+		g.w("KA(I1) = 0")
+		g.w("J9(I1) = 0")
+	})
+	g.loop("I2", "1", fmt.Sprintf("%d", matDim), 1, matDim, func() {
+		g.loop("I1", "1", fmt.Sprintf("%d", matDim), 1, matDim, func() {
+			g.w("GM(I1,I2) = 0.25 * I1 - 0.125 * I2")
+		})
+	})
+	g.w("S1 = 0.0")
+	g.w("S2 = 1.0")
+	g.w("S3 = 0.0")
+	g.w("T1 = 0.5")
+	g.w("T2 = 0.25")
+	g.w("K9 = 0")
+	g.w("K8 = 0")
+	g.w("P9 = 0")
+
+	for i := 0; i < g.cfg.Blocks; i++ {
+		g.block()
+	}
+
+	// Checksum sweep. S2 (the product accumulator) is deliberately
+	// excluded: its value is exact and mode-invariant on its own, but
+	// its ulp can sit far below the other terms and would break the
+	// sum-span budget; the oracle compares it directly through the
+	// /SCL/ COMMON snapshot instead.
+	g.w("RESULT = S1 + S3 + T1 + T2 + K9 + K8 + P9")
+	g.loop("I1", "1", "NN", 1, nn, func() {
+		g.w("RESULT = RESULT + QA(I1) + QB(I1) + QC(I1) + WT(I1)")
+		g.w("RESULT = RESULT + KA(I1) + IX(I1) * 0.125")
+	})
+	g.loop("I2", "1", fmt.Sprintf("%d", matDim), 1, matDim, func() {
+		g.loop("I1", "1", fmt.Sprintf("%d", matDim), 1, matDim, func() {
+			g.w("RESULT = RESULT + GM(I1,I2)")
+		})
+	})
+	g.w("END")
+}
+
+// block picks and emits one idiom.
+func (g *gen) block() {
+	type idiom struct {
+		name   string
+		weight int
+		emit   func()
+	}
+	idioms := []idiom{
+		{"loop-nest", 3, g.loopNest},
+		{"triangular-nest", 2, g.triangularNest},
+		{"cascaded-induction", 2, g.cascadedInduction},
+		{"sum-reduction", 2, g.sumReduction},
+		{"product-reduction", 1, g.productReduction},
+		{"minmax-reduction", 1, g.minmaxReduction},
+		{"histogram-reduction", 2, g.histogramReduction},
+		{"gather-compress", 2, g.gatherCompress},
+		{"subscripted-subscript", 2, g.subscriptedSubscript},
+		{"guarded-flow", 2, g.guardedFlow},
+		{"scalar-privatization", 2, g.scalarPrivatization},
+	}
+	total := 0
+	for _, id := range idioms {
+		total += id.weight
+	}
+	n := g.rnd(total)
+	for _, id := range idioms {
+		n -= id.weight
+		if n < 0 {
+			if id.name == "product-reduction" {
+				if g.productUsed {
+					id = idioms[3] // fall back to sum-reduction
+				} else {
+					g.productUsed = true
+				}
+			}
+			g.idioms = append(g.idioms, id.name)
+			id.emit()
+			return
+		}
+	}
+}
+
+// bounds picks random 1-D loop bounds with hi <= min(MaxTrips+lo-1,
+// ArrayLen/2) so every subscript form stays inside the arrays.
+func (g *gen) bounds() (int, int) {
+	lo := 1 + g.rnd(3)
+	span := 4 + g.rnd(g.cfg.MaxTrips-4)
+	hi := lo + span - 1
+	if max := g.cfg.ArrayLen / 2; hi > max {
+		hi = max
+	}
+	return lo, hi
+}
+
+// sub1 returns an in-bounds subscript over the innermost loop index
+// for a 1-D array of length ArrayLen, and whether the form is injective
+// in the loop index (each element written at most once per sweep).
+func (g *gen) sub1() (string, bool) {
+	nn := g.cfg.ArrayLen
+	if len(g.loops) == 0 {
+		return fmt.Sprintf("%d", 1+g.rnd(nn)), false
+	}
+	l := g.inner()
+	switch g.rnd(5) {
+	case 0:
+		return l.index, true
+	case 1:
+		k := 1 + g.rnd(nn-l.hi)
+		return fmt.Sprintf("%s + %d", l.index, k), true
+	case 2:
+		if 2*l.hi-1 <= nn {
+			return fmt.Sprintf("2*%s - 1", l.index), true
+		}
+		return l.index, true
+	case 3:
+		return fmt.Sprintf("NN + 1 - %s", l.index), true
+	default:
+		return fmt.Sprintf("%d", 1+g.rnd(nn)), false
+	}
+}
+
+// read returns a clean (dyadic-invariant) value source.
+func (g *gen) read() string {
+	arrs := []string{"QA", "QB", "QC", "A9"}
+	switch g.rnd(6) {
+	case 0:
+		return g.c4()
+	case 1:
+		if len(g.loops) > 0 {
+			return fmt.Sprintf("0.25 * %s", g.inner().index)
+		}
+		return "T2"
+	case 2:
+		return g.pick("T1", "T2")
+	case 3:
+		if len(g.loops) >= 2 {
+			return fmt.Sprintf("GM(%s,%s)", g.loops[len(g.loops)-1].index, g.loops[len(g.loops)-2].index)
+		}
+		return fmt.Sprintf("GM(%d,%d)", 1+g.rnd(matDim), 1+g.rnd(matDim))
+	default:
+		sub, _ := g.sub1()
+		return fmt.Sprintf("%s(%s)", arrs[g.rnd(len(arrs))], sub)
+	}
+}
+
+// expr builds a clean expression: a read, or two reads combined with
+// +/- where at most one side keeps its full magnitude. Per expression
+// the resolution drops at most two bits and the magnitude grows at
+// most 1.5x plus a constant, so value chains through all idiom blocks
+// stay within the package's significand-span budget.
+func (g *gen) expr() string {
+	switch g.rnd(4) {
+	case 0:
+		return g.read()
+	case 1:
+		return fmt.Sprintf("%s * 0.5 + %s", g.read(), g.read())
+	case 2:
+		return fmt.Sprintf("%s - %s * %s", g.read(), g.read(), g.pow2())
+	default:
+		return fmt.Sprintf("%s * %s + %s", g.read(), g.pow2(), g.c4())
+	}
+}
+
+// write emits one in-bounds array write in a clean form. unique means
+// the element is provably written at most once while this block runs
+// (injective subscript in a depth-1 loop); only then are scaling
+// in-place updates allowed — repeated X = X*0.5 + c at one element
+// accumulates a significand bit per execution and would break the
+// exactness budget. Non-unique positions get fresh overwrites or
+// additive constant bumps, both of which keep resolution flat.
+func (g *gen) write(target, sub string, unique bool) {
+	switch g.rnd(4) {
+	case 0:
+		l := "0.25"
+		if len(g.loops) > 0 {
+			l = fmt.Sprintf("0.25 * %s", g.inner().index)
+		}
+		g.w("%s(%s) = %s + %s", target, sub, l, g.c4())
+	case 1:
+		g.w("%s(%s) = %s", target, sub, g.expr())
+	case 2:
+		if !unique {
+			g.w("%s(%s) = %s(%s) + %s", target, sub, target, sub, g.c4())
+			return
+		}
+		g.w("%s(%s) = %s(%s) * %s + %s", target, sub, target, sub, g.pow2(), g.c4())
+	default:
+		if !unique {
+			g.w("%s(%s) = %s(%s) + %s", target, sub, target, sub, g.c4())
+			return
+		}
+		g.w("%s(%s) = %s(%s) + %s", target, sub, target, sub, g.read())
+	}
+}
+
+// loopNest emits a 1-3 deep rectangular nest of array writes; inner
+// levels write the matrix, the innermost the 1-D arrays. One variant
+// plants a loop-carried dependence (a genuinely serial loop keeps the
+// differential honest on the not-parallel path).
+func (g *gen) loopNest() {
+	lo, hi := g.bounds()
+	levels := 1 + g.rnd(2)
+	var body func(level int)
+	body = func(level int) {
+		if level < levels {
+			l, h := 1, matDim
+			g.loop(g.nextIndex(), "1", fmt.Sprintf("%d", h), l, h, func() { body(level + 1) })
+			return
+		}
+		arrs := []string{"QA", "QB", "QC", "WT"}
+		n := 1 + g.rnd(2)
+		for i := 0; i < n; i++ {
+			if len(g.loops) >= 2 && g.rnd(2) == 0 {
+				in, out := g.loops[len(g.loops)-1], g.loops[len(g.loops)-2]
+				g.w("GM(%s,%s) = %s", in.index, out.index, g.expr())
+				continue
+			}
+			sub, injective := g.sub1()
+			g.write(arrs[g.rnd(len(arrs))], sub, injective && len(g.loops) == 1)
+		}
+		if g.rnd(4) == 0 {
+			// Loop-carried flow dependence: serial verdict expected. The
+			// additive recurrence is order-sensitive (reversed or
+			// concurrent execution reads stale neighbors) but keeps
+			// resolution flat no matter how often the chain re-runs.
+			l := g.inner()
+			if l.hi+1 <= g.cfg.ArrayLen {
+				g.w("QC(%s + 1) = QC(%s) + %s", l.index, l.index, g.c4())
+			}
+		}
+	}
+	if levels == 1 {
+		g.loop("I1", fmt.Sprintf("%d", lo), fmt.Sprintf("%d", hi), lo, hi, func() { body(levels) })
+		return
+	}
+	g.loop("I1", "1", fmt.Sprintf("%d", matDim), 1, matDim, func() { body(1) })
+}
+
+// triangularNest writes the strict lower or upper triangle of GM — the
+// range test's home turf (Section 3.3 of the paper).
+func (g *gen) triangularNest() {
+	upper := g.rnd(2) == 0
+	g.loop("I2", "2", fmt.Sprintf("%d", matDim), 2, matDim, func() {
+		g.loop("I1", "1", "I2 - 1", 1, matDim-1, func() {
+			if upper {
+				g.w("GM(I1,I2) = %s", g.expr())
+			} else {
+				g.w("GM(I2,I1) = %s", g.expr())
+			}
+			if g.rnd(3) == 0 {
+				// Additive: QA(I1) is hit once per enclosing I2 value,
+				// so a scaling update would stack one bit per sweep.
+				g.w("QA(I1) = QA(I1) + %s", g.c4())
+			}
+		})
+	})
+}
+
+// cascadedInduction is the paper's Figure 1 idiom: an induction
+// variable advanced in a (possibly triangular) nest and used as a
+// subscript. Closed-form substitution must preserve exact integer
+// semantics in every mode.
+func (g *gen) cascadedInduction() {
+	g.w("K9 = 0")
+	if g.rnd(2) == 0 {
+		// Triangular cascade: K9 totals m*(m+1)/2 <= ArrayLen.
+		m := 4 + g.rnd(5) // m <= 8 -> 36 <= 64
+		for m*(m+1)/2 > g.cfg.ArrayLen {
+			m--
+		}
+		g.loop("I2", "1", fmt.Sprintf("%d", m), 1, m, func() {
+			g.loop("I1", "1", "I2", 1, m, func() {
+				g.w("K9 = K9 + 1")
+				g.w("QC(K9) = %s", g.expr())
+			})
+		})
+		return
+	}
+	step := 1 + g.rnd(2)
+	trips := 4 + g.rnd(g.cfg.MaxTrips-4)
+	for step*trips > g.cfg.ArrayLen {
+		trips--
+	}
+	g.w("K8 = %d", g.rnd(2))
+	g.loop("I1", "1", fmt.Sprintf("%d", trips), 1, trips, func() {
+		g.w("K9 = K9 + %d", step)
+		g.w("QB(K9) = %s", g.expr())
+		if g.rnd(2) == 0 {
+			g.w("K8 = K8 + 1")
+			g.w("KA(K8) = KA(K8) + 1")
+		}
+	})
+}
+
+// sumReduction accumulates clean addends into S1 or a fixed array
+// element (the paper's single-address forms).
+func (g *gen) sumReduction() {
+	lo, hi := g.bounds()
+	fixed := g.rnd(3) == 0
+	elem := 1 + g.rnd(g.cfg.ArrayLen)
+	g.loop("I1", fmt.Sprintf("%d", lo), fmt.Sprintf("%d", hi), lo, hi, func() {
+		if fixed {
+			g.w("WT(%d) = WT(%d) + %s", elem, elem, g.expr())
+		} else {
+			g.w("S1 = S1 + %s", g.expr())
+		}
+		if g.rnd(3) == 0 {
+			g.w("S1 = S1 - %s", g.read())
+		}
+	})
+}
+
+// productReduction multiplies S2 by factors from {0.5, 1.0, 1.5} over
+// at most 20 trips (exactness budget: <= 20 significand bits).
+func (g *gen) productReduction() {
+	trips := 6 + g.rnd(15) // <= 20
+	g.loop("I1", "1", fmt.Sprintf("%d", trips), 1, trips, func() {
+		if g.rnd(2) == 0 {
+			g.w("S2 = S2 * %s", g.pick("0.5", "1.5"))
+		} else {
+			g.w("IF (QA(I1) .GT. %s) THEN", g.c4())
+			g.depth++
+			g.w("S2 = S2 * 1.5")
+			g.depth--
+			g.w("ELSE")
+			g.depth++
+			g.w("S2 = S2 * 0.5")
+			g.depth--
+			g.w("END IF")
+		}
+	})
+}
+
+// minmaxReduction tracks an extremum through the MAX/MIN intrinsic
+// idiom.
+func (g *gen) minmaxReduction() {
+	lo, hi := g.bounds()
+	op := g.pick("MAX", "MIN")
+	g.loop("I1", fmt.Sprintf("%d", lo), fmt.Sprintf("%d", hi), lo, hi, func() {
+		g.w("S3 = %s(S3, %s)", op, g.expr())
+	})
+}
+
+// histogramReduction scatters additive updates across WT (real) or KA
+// (integer) through an iteration-variant subscript.
+func (g *gen) histogramReduction() {
+	lo, hi := g.bounds()
+	p := 2 + g.rnd(5)
+	q := 5 + g.rnd(g.cfg.ArrayLen-8)
+	sub := fmt.Sprintf("MOD(I1 * %d, %d) + 1", p, q)
+	g.loop("I1", fmt.Sprintf("%d", lo), fmt.Sprintf("%d", hi), lo, hi, func() {
+		if g.rnd(2) == 0 {
+			g.w("WT(%s) = WT(%s) + %s", sub, sub, g.expr())
+		} else {
+			g.w("KA(%s) = KA(%s) + 1", sub, sub)
+		}
+	})
+}
+
+// gatherCompress is the BDNA Figure 5 pattern: a guarded gather into
+// private work arrays, a compress pass reusing the index array, and a
+// scatter through the compressed indices. Parallelizing the outer loop
+// requires privatizing A9/J9/P9 via monotonic-variable analysis.
+func (g *gen) gatherCompress() {
+	cut := g.c4()
+	g.loop("I2", "2", fmt.Sprintf("%d", matDim), 2, matDim, func() {
+		g.loop("I1", "1", "I2 - 1", 1, matDim-1, func() {
+			g.w("A9(I1) = QB(I1) - GM(I1,I2) * 0.5")
+			g.w("J9(I1) = 0")
+			g.w("IF (A9(I1) .GT. %s) J9(I1) = 1", cut)
+		})
+		g.w("P9 = 0")
+		g.loop("I1", "1", "I2 - 1", 1, matDim-1, func() {
+			g.w("IF (J9(I1) .NE. 0) THEN")
+			g.depth++
+			g.w("P9 = P9 + 1")
+			g.w("J9(P9) = I1")
+			g.depth--
+			g.w("END IF")
+		})
+		g.loop("I1", "1", "P9", 1, matDim-1, func() {
+			g.w("GM(J9(I1),I2) = A9(J9(I1)) + %s", g.c4())
+		})
+	})
+}
+
+// subscriptedSubscript fills IX with a run-time permutation (sometimes
+// spoiled with a duplicate) and updates through it — the LRPD test's
+// target idiom, Figure 6 of the paper.
+func (g *gen) subscriptedSubscript() {
+	n := 8 + g.rnd(g.cfg.MaxTrips-4)
+	// Stride coprime with NN (NN is even; any odd stride works).
+	k := 3 + 2*g.rnd(8)
+	g.loop("I1", "1", fmt.Sprintf("%d", n), 1, n, func() {
+		g.w("IX(I1) = MOD((I1 - 1) * %d, NN) + 1", k)
+	})
+	if g.rnd(3) == 0 {
+		// Duplicate entry: the PD test must fail and re-execute
+		// serially, which still has to reproduce serial results.
+		g.w("IX(2) = IX(1)")
+	}
+	target := g.pick("QC", "WT")
+	g.loop("I1", "1", fmt.Sprintf("%d", n), 1, n, func() {
+		g.w("%s(IX(I1)) = %s(IX(I1)) + %s", target, target, g.expr())
+	})
+}
+
+// guardedFlow wraps clean writes in IF/ELSE arms conditioned on array
+// values.
+func (g *gen) guardedFlow() {
+	lo, hi := g.bounds()
+	g.loop("I1", fmt.Sprintf("%d", lo), fmt.Sprintf("%d", hi), lo, hi, func() {
+		if g.rnd(3) == 0 {
+			g.w("IF (QB(I1) .LT. %s) QC(I1) = %s", g.c4(), g.expr())
+			return
+		}
+		g.w("IF (QA(I1) .GT. %s) THEN", g.c4())
+		g.depth++
+		sub, injective := g.sub1()
+		g.write("QC", sub, injective && len(g.loops) == 1)
+		g.depth--
+		g.w("ELSE")
+		g.depth++
+		g.write("WT", g.inner().index, len(g.loops) == 1)
+		g.depth--
+		g.w("END IF")
+	})
+}
+
+// scalarPrivatization stages a temporary per iteration. The
+// def-before-use variant is privatizable; the use-before-def variant is
+// live-in and must serialize the loop.
+func (g *gen) scalarPrivatization() {
+	lo, hi := g.bounds()
+	liveIn := g.rnd(4) == 0
+	g.loop("I1", fmt.Sprintf("%d", lo), fmt.Sprintf("%d", hi), lo, hi, func() {
+		if liveIn {
+			g.w("QA(I1) = T1 * 0.5 + %s", g.c4())
+			g.w("T1 = %s", g.expr())
+			return
+		}
+		g.w("T1 = %s", g.expr())
+		if g.rnd(2) == 0 {
+			g.w("T2 = T1 + %s", g.c4())
+			g.w("QB(I1) = T2 * 0.5")
+		} else {
+			g.w("QB(I1) = T1 * 0.25 + %s", g.c4())
+		}
+	})
+}

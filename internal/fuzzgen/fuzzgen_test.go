@@ -1,0 +1,67 @@
+package fuzzgen_test
+
+import (
+	"testing"
+
+	"polaris/internal/fuzzgen"
+	"polaris/internal/parser"
+)
+
+// Same seed, same program — the whole point of a seeded generator.
+func TestDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		b := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+		if len(a.Idioms) == 0 {
+			t.Fatalf("seed %d: no idiom blocks recorded", seed)
+		}
+	}
+}
+
+// Every generated program must parse (the generator's first contract).
+func TestGeneratedProgramsParse(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		if _, err := parser.ParseProgram(p.Source); err != nil {
+			t.Fatalf("seed %d does not parse: %v\n%s", seed, err, p.Source)
+		}
+	}
+}
+
+// The knobs change the output and stay within their documented caps.
+func TestKnobs(t *testing.T) {
+	small := fuzzgen.Generate(fuzzgen.Config{Seed: 7, Blocks: 2})
+	big := fuzzgen.Generate(fuzzgen.Config{Seed: 7, Blocks: 8})
+	if len(small.Idioms) != 2 || len(big.Idioms) != 8 {
+		t.Fatalf("Blocks knob ignored: %d and %d idioms", len(small.Idioms), len(big.Idioms))
+	}
+	capped := fuzzgen.Generate(fuzzgen.Config{Seed: 7, Blocks: 99})
+	if len(capped.Idioms) > 12 {
+		t.Fatalf("Blocks cap violated: %d idioms", len(capped.Idioms))
+	}
+}
+
+// Across a modest seed range the generator exercises every idiom.
+func TestIdiomCoverage(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := uint64(0); seed < 300; seed++ {
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed, Blocks: 6})
+		for _, id := range p.Idioms {
+			seen[id] = true
+		}
+	}
+	want := []string{
+		"loop-nest", "triangular-nest", "cascaded-induction",
+		"sum-reduction", "product-reduction", "minmax-reduction",
+		"histogram-reduction", "gather-compress",
+		"subscripted-subscript", "guarded-flow", "scalar-privatization",
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("idiom %q never generated in 300 seeds", w)
+		}
+	}
+}

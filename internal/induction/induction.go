@@ -140,9 +140,14 @@ func findCandidates(u *ir.ProgramUnit, loop *ir.DoStmt) []*candidate {
 		bad        bool
 	}
 	infos := map[string]*info{}
+	// order records first encounter: candidates must come out in
+	// program order, or the exit-value assignments the solver inserts
+	// after the loop would shuffle between compilations.
+	var order []string
 	get := func(n string) *info {
 		if infos[n] == nil {
 			infos[n] = &info{}
+			order = append(order, n)
 		}
 		return infos[n]
 	}
@@ -188,7 +193,8 @@ func findCandidates(u *ir.ProgramUnit, loop *ir.DoStmt) []*candidate {
 	get(loop.Index).bad = true
 
 	var out []*candidate
-	for name, in := range infos {
+	for _, name := range order {
+		in := infos[name]
 		if in.bad {
 			continue
 		}

@@ -1,0 +1,32 @@
+package interp
+
+import "sort"
+
+// CommonState snapshots every COMMON-block variable after execution as
+// "BLOCK.NAME" -> values (scalars become one-element slices, arrays
+// their flattened contents as float64). The differential oracle uses
+// this to compare final memory states across execution modes; programs
+// under test keep their observable state in COMMON, which is also the
+// storage the suite's Probe convention reads.
+func (in *Interp) CommonState() map[string][]float64 {
+	out := map[string][]float64{}
+	blocks := make([]string, 0, len(in.commons))
+	for name := range in.commons {
+		blocks = append(blocks, name)
+	}
+	sort.Strings(blocks)
+	for _, bname := range blocks {
+		blk := in.commons[bname]
+		for sname, c := range blk.scalars {
+			out[bname+"."+sname] = []float64{c.load().AsFloat()}
+		}
+		for aname, a := range blk.arrays {
+			vals := make([]float64, a.Total())
+			for i := range vals {
+				vals[i] = a.Get(i).AsFloat()
+			}
+			out[bname+"."+aname] = vals
+		}
+	}
+	return out
+}

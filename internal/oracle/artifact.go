@@ -1,0 +1,65 @@
+package oracle
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteArtifact appends one discrepancy as a JSONL line (the schema is
+// the Discrepancy struct's JSON tags).
+func WriteArtifact(w io.Writer, d Discrepancy) error {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadArtifacts parses a JSONL artifact stream, skipping blank lines.
+func ReadArtifacts(r io.Reader) ([]Discrepancy, error) {
+	var out []Discrepancy
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var d Discrepancy
+		if err := json.Unmarshal([]byte(text), &d); err != nil {
+			return out, fmt.Errorf("artifact line %d: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Replay re-runs the oracle on an artifact's program — the minimized
+// reproducer when present, else the full source — and returns the
+// discrepancies the current compiler still produces. An empty result
+// means the bug the artifact recorded is fixed.
+func Replay(ctx context.Context, d Discrepancy, cfg Config) ([]Discrepancy, error) {
+	src := d.Source
+	if d.Minimized != "" {
+		src = d.Minimized
+	}
+	ds, err := Check(ctx, d.Label, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ds {
+		ds[i].Seed = d.Seed
+	}
+	return ds, nil
+}

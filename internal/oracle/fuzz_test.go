@@ -1,0 +1,34 @@
+package oracle_test
+
+import (
+	"context"
+	"testing"
+
+	"polaris/internal/fuzzgen"
+	"polaris/internal/oracle"
+)
+
+// FuzzDifferential feeds generator seeds to the full oracle grid: any
+// input where a pipeline mode, processor count, iteration order, or
+// ablation row changes the final state is a compiler bug. Run with
+//
+//	go test -fuzz=FuzzDifferential -fuzztime=30s ./internal/oracle
+//
+// Failing seeds land in testdata/fuzz/FuzzDifferential/ as regression
+// inputs; the checked-in seed-* files are the starting corpus.
+func FuzzDifferential(f *testing.F) {
+	for _, seed := range []uint64{1, 7, 42, 1996, 31337} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		ds, err := oracle.Check(context.Background(), "fuzz", p.Source, oracle.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range ds {
+			t.Errorf("seed %d mode %s: %s\nminimized (%d lines):\n%s",
+				seed, d.Mode, d.Detail, d.MinimizedLines, d.Minimized)
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package oracle_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"polaris/internal/core"
+	"polaris/internal/fuzzgen"
+	"polaris/internal/interp"
+	"polaris/internal/machine"
+	"polaris/internal/oracle"
+	"polaris/internal/parser"
+	"polaris/internal/suite"
+)
+
+// TestOracleSmoke runs a handful of generated programs through the full
+// grid (fast inner-loop signal; the thousand-program run below is the
+// acceptance gate).
+func TestOracleSmoke(t *testing.T) {
+	ctx := context.Background()
+	for seed := uint64(1); seed <= 8; seed++ {
+		p := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		ds, err := oracle.Check(ctx, "smoke", p.Source, oracle.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, p.Source)
+		}
+		for _, d := range ds {
+			t.Errorf("seed %d mode %s: %s\nminimized (%d lines):\n%s",
+				seed, d.Mode, d.Detail, d.MinimizedLines, d.Minimized)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+// TestOracleThousand is the acceptance gate: 1,000 generated programs
+// at a fixed seed, zero discrepancies across every mode and invariant.
+func TestOracleThousand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak; run without -short")
+	}
+	count := 1000
+	if raceEnabled {
+		// The race build keeps a meaningful concurrent-execution soak
+		// but trades count for its ~10x slowdown; the full thousand is
+		// the regular build's acceptance gate.
+		count = 120
+	}
+	var buf bytes.Buffer
+	rep, err := oracle.Run(context.Background(), oracle.RunConfig{
+		Seed:      1996,
+		Count:     count,
+		Workers:   8,
+		Check:     oracle.Config{SkipMinimize: true},
+		Artifacts: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Discrepancies) != 0 {
+		for _, d := range rep.Discrepancies[:min(len(rep.Discrepancies), 5)] {
+			t.Errorf("%s mode %s: %s", d.Label, d.Mode, d.Detail)
+		}
+		t.Fatalf("%d discrepancies in %d programs", len(rep.Discrepancies), rep.Programs)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("artifacts written despite zero discrepancies: %s", buf.String())
+	}
+	// The soak must exercise the full idiom vocabulary.
+	for _, id := range []string{"triangular-nest", "cascaded-induction", "histogram-reduction",
+		"gather-compress", "subscripted-subscript", "product-reduction"} {
+		if rep.IdiomCounts[id] == 0 {
+			t.Errorf("idiom %q never generated in the soak", id)
+		}
+	}
+}
+
+// TestSuiteOracle runs the 16-program benchmark suite through the
+// oracle end-to-end. Suite programs use real (inexact) arithmetic, so
+// the comparison uses the suite's established relative tolerance.
+func TestSuiteOracle(t *testing.T) {
+	ctx := context.Background()
+	cfg := oracle.Config{
+		Tolerance: 1e-9,
+		// The metamorphic sweep and ablation grid multiply 16 programs
+		// by ~20 modes; the smoke grid (parallel, validate, concurrent)
+		// is the per-PR gate, the full grid runs in the fuzz soak.
+		SkipAblation: testing.Short(),
+		SkipMinimize: true,
+	}
+	for _, p := range suite.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			ds, err := oracle.Check(ctx, p.Name, p.Source, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range ds {
+				t.Errorf("mode %s: %s", d.Mode, d.Detail)
+			}
+		})
+	}
+}
+
+// TestInjectedFlipCaughtAndMinimized flips one DOALL verdict on a loop
+// with a genuine loop-carried dependence and asserts the differential
+// harness (a) detects the wrong verdict and (b) shrinks the reproducer
+// to at most 15 lines.
+func TestInjectedFlipCaughtAndMinimized(t *testing.T) {
+	const fixture = `      PROGRAM FLIP
+      REAL A(64), CHK
+      COMMON /OUT/ A, CHK
+      INTEGER I, J
+      DO I = 1, 64
+        A(I) = 0.25 * I
+      END DO
+      DO J = 1, 63
+        A(J + 1) = A(J) * 0.5 + 0.25
+      END DO
+      CHK = A(64)
+      END
+`
+	ctx := context.Background()
+
+	// failsWithFlip: compile cand, force the J loop parallel, and check
+	// whether reversed-order (Validate) or concurrent execution diverges
+	// from the serial run of the same flipped program.
+	failsWithFlip := func(ctx context.Context, cand string) bool {
+		ref := runFlipped(ctx, t, cand, "serial")
+		if ref == nil {
+			return false
+		}
+		for _, mode := range []string{"validate", "concurrent"} {
+			got := runFlipped(ctx, t, cand, mode)
+			if got == nil {
+				return true
+			}
+			if oracle.Diff(ref, got, 0) != "" {
+				return true
+			}
+		}
+		return false
+	}
+
+	if !failsWithFlip(ctx, fixture) {
+		t.Fatal("injected verdict flip not detected")
+	}
+	min := oracle.MinimizeSource(ctx, fixture, failsWithFlip)
+	if !failsWithFlip(ctx, min) {
+		t.Fatalf("minimized program no longer fails:\n%s", min)
+	}
+	lines := 0
+	for _, l := range strings.Split(min, "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines++
+		}
+	}
+	if lines > 15 {
+		t.Fatalf("minimized to %d lines, want <= 15:\n%s", lines, min)
+	}
+	if !strings.Contains(strings.ReplaceAll(min, " ", ""), "A(J+1)=A(J)*0.5+0.25") {
+		t.Fatalf("minimized program lost the dependent loop:\n%s", min)
+	}
+}
+
+// runFlipped compiles cand, flips the J-loop verdict to parallel, and
+// executes in the named mode, returning the final COMMON state (nil on
+// any failure).
+func runFlipped(ctx context.Context, t *testing.T, cand, mode string) oracle.State {
+	t.Helper()
+	prog, err := parser.ParseProgram(cand)
+	if err != nil {
+		return nil
+	}
+	res, err := core.CompileContext(ctx, prog, core.PolarisOptions())
+	if err != nil {
+		return nil
+	}
+	compiled := res.Program.Clone()
+	if !oracle.FlipVerdict(compiled, "J") {
+		return nil
+	}
+	in := interp.New(compiled, machine.Default().WithProcessors(8))
+	switch mode {
+	case "serial":
+		in.Parallel = false
+	case "validate":
+		in.Parallel = true
+		in.Validate = true
+	case "concurrent":
+		in.Parallel = true
+		in.Concurrent = true
+	}
+	if err := in.RunContext(ctx); err != nil {
+		return nil
+	}
+	return oracle.State(in.CommonState())
+}
+
+// TestArtifactRoundTrip checks the JSONL artifact encoding and Replay.
+func TestArtifactRoundTrip(t *testing.T) {
+	d := oracle.Discrepancy{
+		Label: "fuzz-9", Seed: 9, Mode: "pipeline-validate",
+		Detail: "OUT.RESULT[0]: want 1, got 2",
+		Source: "      PROGRAM P\n      END\n",
+	}
+	var buf bytes.Buffer
+	if err := oracle.WriteArtifact(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.WriteArtifact(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := oracle.ReadArtifacts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != d || got[1] != d {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// Replaying a healthy program reports no discrepancies: the
+	// recorded bug would be "fixed".
+	ds, err := oracle.Replay(context.Background(), got[0], oracle.Config{SkipAblation: true, SkipMetamorphic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("replay of trivial program found discrepancies: %+v", ds)
+	}
+}
+
+// TestDiff pins the comparison semantics the whole oracle rests on.
+func TestDiff(t *testing.T) {
+	a := oracle.State{"B.X": {1, 2}, "B.S": {3}}
+	if d := oracle.Diff(a, oracle.State{"B.X": {1, 2}, "B.S": {3}}, 0); d != "" {
+		t.Fatalf("equal states diff: %s", d)
+	}
+	if d := oracle.Diff(a, oracle.State{"B.X": {1, 2.5}, "B.S": {3}}, 0); d == "" {
+		t.Fatal("value change not detected")
+	}
+	if d := oracle.Diff(a, oracle.State{"B.X": {1, 2}}, 0); d == "" {
+		t.Fatal("missing variable not detected")
+	}
+	if d := oracle.Diff(a, oracle.State{"B.X": {1}, "B.S": {3}}, 0); d == "" {
+		t.Fatal("length change not detected")
+	}
+	if d := oracle.Diff(a, oracle.State{"B.X": {1, 2 + 1e-12}, "B.S": {3}}, 1e-9); d != "" {
+		t.Fatalf("within-tolerance difference reported: %s", d)
+	}
+}

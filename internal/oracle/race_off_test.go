@@ -1,0 +1,5 @@
+//go:build !race
+
+package oracle_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package oracle_test
+
+// raceEnabled scales the long soak down under the race detector, whose
+// ~10x interpreter slowdown would turn the thousand-program run into
+// a quarter hour. The full count runs in the regular test pass.
+const raceEnabled = true

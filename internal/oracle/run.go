@@ -1,0 +1,117 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"polaris/internal/fuzzgen"
+)
+
+// RunConfig configures a soak run over generated programs.
+type RunConfig struct {
+	// Seed is the base seed; program i uses Seed+i.
+	Seed uint64
+	// Count is the number of programs to generate and check.
+	Count int
+	// Workers bounds concurrent checks (default 4).
+	Workers int
+	// Gen sets the generator knobs (Seed is overridden per program).
+	Gen fuzzgen.Config
+	// Check sets the per-program oracle config.
+	Check Config
+	// Artifacts, when non-nil, receives one JSONL line per discrepancy.
+	Artifacts io.Writer
+	// Progress, when non-nil, is called after each program with the
+	// number checked so far and its discrepancy count.
+	Progress func(done, bad int)
+}
+
+// Report summarizes a soak run.
+type Report struct {
+	Programs      int
+	Discrepancies []Discrepancy
+	// IdiomCounts tallies generated idiom blocks, a coverage signal.
+	IdiomCounts map[string]int
+}
+
+// Run generates rc.Count seeded programs and oracles each one,
+// collecting discrepancies (including infrastructure errors, reported
+// with Mode "check (error)"). The returned error is only for context
+// cancellation; compiler bugs surface as Discrepancies.
+func Run(ctx context.Context, rc RunConfig) (*Report, error) {
+	workers := rc.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > rc.Count {
+		workers = rc.Count
+	}
+	rep := &Report{Programs: rc.Count, IdiomCounts: map[string]int{}}
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		done int
+	)
+	jobs := make(chan int)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				gcfg := rc.Gen
+				gcfg.Seed = rc.Seed + uint64(i)
+				p := fuzzgen.Generate(gcfg)
+				label := labelFor(p.Seed)
+				ds, err := Check(ctx, label, p.Source, rc.Check)
+				if err != nil && ctx.Err() == nil {
+					ds = append(ds, Discrepancy{
+						Label: label, Seed: p.Seed,
+						Mode: "check (error)", Detail: err.Error(), Source: p.Source,
+					})
+				}
+				mu.Lock()
+				for j := range ds {
+					ds[j].Seed = p.Seed
+				}
+				rep.Discrepancies = append(rep.Discrepancies, ds...)
+				for _, id := range p.Idioms {
+					rep.IdiomCounts[id]++
+				}
+				if rc.Artifacts != nil {
+					for _, d := range ds {
+						WriteArtifact(rc.Artifacts, d)
+					}
+				}
+				done++
+				if rc.Progress != nil {
+					rc.Progress(done, len(rep.Discrepancies))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < rc.Count; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	// Workers finish in arbitrary order; sort for reproducible reports.
+	sort.Slice(rep.Discrepancies, func(a, b int) bool {
+		da, db := rep.Discrepancies[a], rep.Discrepancies[b]
+		if da.Seed != db.Seed {
+			return da.Seed < db.Seed
+		}
+		return da.Mode < db.Mode
+	})
+	return rep, ctx.Err()
+}
+
+func labelFor(seed uint64) string { return fmt.Sprintf("fuzz-%d", seed) }

@@ -79,9 +79,21 @@ func ParseProgram(src string) (*ir.Program, error) {
 		if err != nil {
 			return nil, err
 		}
+		if prog.Unit(u.Name) != nil {
+			// Program.Add panics on duplicates (an IR consistency
+			// invariant); source-level duplicates are a parse error.
+			return nil, &ParseError{Line: 1, Msg: fmt.Sprintf("duplicate program unit %s", u.Name)}
+		}
 		prog.Add(u)
 	}
 	if err := prog.Check(); err != nil {
+		// Semantic validation failures cross the boundary as
+		// ParseError too — same contract as lexical errors above. The
+		// consistency checker has no token positions; Col stays 0.
+		var cerr *ir.ConsistencyError
+		if errors.As(err, &cerr) {
+			return nil, &ParseError{Line: 1, Msg: cerr.Msg}
+		}
 		return nil, err
 	}
 	return prog, nil

@@ -8,6 +8,7 @@ package rng
 
 import (
 	"math/big"
+	"sort"
 
 	"polaris/internal/ir"
 	"polaris/internal/symbolic"
@@ -315,13 +316,18 @@ func (a *Analyzer) isIntExpr(e ir.Expr) bool {
 	return ok
 }
 
-// AddFactGE folds the fact e >= 0 into the environment as a variable
-// bound when e has the shape  +v + rest  or  -v + rest  with v a plain
-// variable of degree one not already carrying a tighter bound on that
-// side. Facts that do not decompose are dropped (the prover works from
-// bounds only).
+// AddFactGE folds the fact e >= 0 into the environment as variable
+// bounds: for every variable v where e has the shape  +v + rest  or
+// -v + rest  with v of degree one, the implied bound on v is recorded
+// unless a tighter one already exists on that side. Facts that do not
+// decompose are dropped (the prover works from bounds only).
 func AddFactGE(env *symbolic.Env, e *symbolic.Expr) {
+	vars := make([]string, 0, len(e.Vars()))
 	for v := range e.Vars() {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
 		coeffs, ok := e.CoeffsIn(v)
 		if !ok || len(coeffs) != 2 {
 			continue
@@ -340,7 +346,6 @@ func AddFactGE(env *symbolic.Env, e *symbolic.Expr) {
 			if better(env, lo, b.Lo, true) {
 				b.Lo = lo
 				env.Push(v, b)
-				return
 			}
 		case c.Cmp(negOne) == 0:
 			// -v + rest >= 0  =>  v <= rest
@@ -348,7 +353,6 @@ func AddFactGE(env *symbolic.Env, e *symbolic.Expr) {
 			if better(env, hi, b.Hi, false) {
 				b.Hi = hi
 				env.Push(v, b)
-				return
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"polaris/internal/core"
 	"polaris/internal/interp"
@@ -28,15 +29,18 @@ type AblationRow struct {
 	HurtPrograms []string
 }
 
-// ablations enumerates the single-technique removals.
-func ablations() []struct {
-	name string
-	mod  func(*core.Options)
-} {
-	return []struct {
-		name string
-		mod  func(*core.Options)
-	}{
+// AblationSpec is one single-technique removal from the full pipeline:
+// Mod flips the technique off in a full-pipeline Options value.
+type AblationSpec struct {
+	Name string
+	Mod  func(*core.Options)
+}
+
+// Ablations enumerates the single-technique removals — the rows of the
+// paper's Table 2 grid. The differential oracle reuses this list so new
+// ablations are automatically soundness-checked.
+func Ablations() []AblationSpec {
+	return []AblationSpec{
 		{"inline expansion", func(o *core.Options) { o.Inline = false }},
 		{"generalized induction", func(o *core.Options) { o.Induction = false; o.SimpleInduction = true }},
 		{"reductions", func(o *core.Options) { o.Reductions = false }},
@@ -55,12 +59,12 @@ func ablations() []struct {
 // cache shares the full-pipeline compilations with Figure7 when run on
 // the same Runner.
 func (r *Runner) Ablation(ctx context.Context, procs int) ([]AblationRow, error) {
-	abls := ablations()
+	abls := Ablations()
 	// Configuration 0 is the unmodified full pipeline; 1..n the
 	// single-technique removals.
 	mods := make([]func(*core.Options), 1+len(abls))
 	for i, a := range abls {
-		mods[i+1] = a.mod
+		mods[i+1] = a.Mod
 	}
 	progs := All()
 	// Grid job (ci, pi) writes results[ci*len(progs)+pi]: a flat slice
@@ -105,7 +109,7 @@ func (r *Runner) Ablation(ctx context.Context, procs int) ([]AblationRow, error)
 	fullGeo := geoMean(full)
 	var rows []AblationRow
 	for i, a := range abls {
-		row := AblationRow{Technique: a.name, GeoMean: geoMean(speeds[i+1]), FullGeoMean: fullGeo}
+		row := AblationRow{Technique: a.Name, GeoMean: geoMean(speeds[i+1]), FullGeoMean: fullGeo}
 		for _, p := range progs {
 			if speeds[i+1][p.Name] < full[p.Name]*0.8 {
 				row.Hurt++
@@ -124,14 +128,20 @@ func Ablation(procs int) ([]AblationRow, error) {
 }
 
 func geoMean(m map[string]float64) float64 {
-	prod := 1.0
-	n := 0
-	for _, v := range m {
-		prod *= v
-		n++
+	// Multiply in sorted key order: float multiplication is not
+	// associative at the ulp level, so map-iteration order would make
+	// the mean differ between otherwise identical runs.
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
 	}
-	if n == 0 {
+	sort.Strings(names)
+	prod := 1.0
+	for _, k := range names {
+		prod *= m[k]
+	}
+	if len(names) == 0 {
 		return 0
 	}
-	return math.Pow(prod, 1.0/float64(n))
+	return math.Pow(prod, 1.0/float64(len(names)))
 }
