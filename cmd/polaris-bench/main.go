@@ -12,17 +12,30 @@
 // compile cache shared by all figures. With -trace FILE, every Polaris
 // compilation streams one JSONL event per pipeline pass (name,
 // duration, mutation counts) to FILE.
+//
+// Observability surfaces:
+//
+//	-json FILE     machine-readable benchmark trajectory (per-program
+//	               speedups, parallel coverage, geomeans); "-" = stdout
+//	-trace2 FILE   trace-schema v2 JSONL: per-pass spans, per-loop
+//	               decision records, and runtime metrics from every
+//	               compilation and execution
+//	-pprof FILE    CPU profile of the whole run (go tool pprof)
+//	-metrics       dump the observer's event counters as JSON on exit
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
+	"polaris/internal/obsv"
 	"polaris/internal/passes"
 	"polaris/internal/suite"
 )
@@ -36,14 +49,30 @@ func main() {
 	procs := flag.Int("p", 8, "processors for Figure 7 / max processors for Figure 6")
 	workers := flag.Int("j", 0, "suite compile/run worker pool size (0 = one per CPU)")
 	tracePath := flag.String("trace", "", "write per-pass JSONL trace events to this file")
+	jsonPath := flag.String("json", "", "write the machine-readable benchmark report to this file (\"-\" = stdout)")
+	trace2Path := flag.String("trace2", "", "write trace-schema v2 JSONL (spans, decisions, run metrics) to this file")
+	pprofPath := flag.String("pprof", "", "write a CPU profile of the run to this file")
+	metrics := flag.Bool("metrics", false, "print the observer's event counters as JSON on exit")
 	flag.Parse()
-	if !*table1 && !*fig7 && !*fig6 && !*ablation && !*all {
+	if !*table1 && !*fig7 && !*fig6 && !*ablation && !*all && *jsonPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	runner := suite.NewRunner()
 	runner.Workers = *workers
@@ -54,6 +83,18 @@ func main() {
 		}
 		defer f.Close()
 		runner.Trace = passes.NewTraceWriter(f)
+	}
+	obs := obsv.NewObserver()
+	runner.Observer = obs
+	var trace2 *obsv.TraceWriter
+	if *trace2Path != "" {
+		f, err := os.Create(*trace2Path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		trace2 = obsv.NewTraceWriter(f)
+		obs.SetTrace(trace2)
 	}
 
 	if *table1 || *all {
@@ -76,6 +117,42 @@ func main() {
 			fail(err)
 		}
 	}
+	if *jsonPath != "" {
+		if err := writeBenchJSON(ctx, runner, *procs, *jsonPath); err != nil {
+			fail(err)
+		}
+	}
+	if trace2 != nil {
+		if err := trace2.Err(); err != nil {
+			fail(fmt.Errorf("trace2: %w", err))
+		}
+	}
+	if *metrics {
+		out, err := json.MarshalIndent(obs.Counters(), "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %s\n", out)
+	}
+}
+
+// writeBenchJSON assembles the machine-readable benchmark trajectory
+// and writes it to path ("-" = stdout).
+func writeBenchJSON(ctx context.Context, r *suite.Runner, procs int, path string) error {
+	rep, err := r.Bench(ctx, procs)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 func printAblation(ctx context.Context, r *suite.Runner, procs int) error {
@@ -117,9 +194,10 @@ func printFigure7(ctx context.Context, r *suite.Runner, procs int) error {
 		return err
 	}
 	fmt.Printf("Figure 7: Speedup on %d simulated processors — Polaris vs PFA baseline\n", procs)
-	fmt.Printf("%-10s %8s %8s   %s\n", "Program", "Polaris", "PFA", "")
+	fmt.Printf("%-10s %8s %8s %6s   %s\n", "Program", "Polaris", "PFA", "Cov%", "")
 	for _, row := range rows {
-		fmt.Printf("%-10s %8.2f %8.2f   %s\n", strings.ToUpper(row.Name), row.Polaris, row.PFA, bars(row.Polaris, row.PFA))
+		fmt.Printf("%-10s %8.2f %8.2f %5.0f%%   %s\n",
+			strings.ToUpper(row.Name), row.Polaris, row.PFA, 100*row.Coverage, bars(row.Polaris, row.PFA))
 	}
 	fmt.Println()
 	return nil

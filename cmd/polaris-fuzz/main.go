@@ -20,7 +20,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"sort"
+	"sync"
+	"time"
 
 	"polaris/internal/fuzzgen"
 	"polaris/internal/oracle"
@@ -38,14 +41,30 @@ func main() {
 		replay  = flag.String("replay", "", "re-check artifacts from this JSONL file instead of generating")
 		tol     = flag.Float64("tol", 0, "relative state tolerance (generated programs are exact; keep 0)")
 		procs   = flag.Int("p", 8, "primary simulated processor count")
-		noAbl   = flag.Bool("no-ablation", false, "skip the ablation grid (faster)")
-		noMeta  = flag.Bool("no-metamorphic", false, "skip processor-count and trace invariants (faster)")
-		noMin   = flag.Bool("no-minimize", false, "report failures without shrinking them")
+		noAbl    = flag.Bool("no-ablation", false, "skip the ablation grid (faster)")
+		noMeta   = flag.Bool("no-metamorphic", false, "skip processor-count and trace invariants (faster)")
+		noMin    = flag.Bool("no-minimize", false, "report failures without shrinking them")
+		progress = flag.Duration("progress", 10*time.Second, "soak progress-line interval (0 disables)")
+		pprofOut = flag.String("pprof", "", "write a CPU profile of the soak to this file")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polaris-fuzz:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "polaris-fuzz:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := oracle.Config{
 		Processors:      *procs,
@@ -70,6 +89,12 @@ func main() {
 		artifacts = f
 	}
 
+	// Soak progress: one line per -progress interval with throughput
+	// (execs/sec over the whole soak), corpus size (programs checked so
+	// far), and the running mismatch count.
+	start := time.Now()
+	var progMu sync.Mutex
+	lastLine := start
 	rc := oracle.RunConfig{
 		Seed:    *seed,
 		Count:   *n,
@@ -77,16 +102,29 @@ func main() {
 		Gen:     fuzzgen.Config{Blocks: *blocks, MaxTrips: *trips, ArrayLen: *alen},
 		Check:   cfg,
 		Progress: func(done, bad int) {
-			if done%50 == 0 || done == *n {
-				fmt.Fprintf(os.Stderr, "\r%d/%d checked, %d discrepancies", done, *n, bad)
+			if *progress <= 0 && done != *n {
+				return
 			}
+			progMu.Lock()
+			defer progMu.Unlock()
+			now := time.Now()
+			if done != *n && now.Sub(lastLine) < *progress {
+				return
+			}
+			lastLine = now
+			elapsed := now.Sub(start).Seconds()
+			rate := 0.0
+			if elapsed > 0 {
+				rate = float64(done) / elapsed
+			}
+			fmt.Fprintf(os.Stderr, "soak: %d/%d checked, %.1f execs/sec, corpus %d, %d mismatches\n",
+				done, *n, rate, done, bad)
 		},
 	}
 	if artifacts != nil {
 		rc.Artifacts = artifacts
 	}
 	rep, err := oracle.Run(ctx, rc)
-	fmt.Fprintln(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polaris-fuzz:", err)
 		os.Exit(2)

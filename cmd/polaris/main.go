@@ -6,11 +6,19 @@
 //
 //	polaris [-baseline] [-summary] [-report] [-trace file.jsonl]
 //	        [-suite name] [file.f]
+//	polaris explain [-v] [-suite name] [file.f] [loop]
 //
 // With -suite, the named embedded benchmark program is compiled
 // instead of reading a file. -report prints the pass manager's
 // per-pass wall time and mutation counts; -trace streams the same
 // instrumentation as JSON lines.
+//
+// The explain subcommand prints one human-readable line per loop
+// naming the verdict and the enabling technique or blocking dependence
+// ("MAIN/L30 DO I: DOALL — independence proved by the range test;
+// array privatization of WRK"). With a loop argument (a stable ID like
+// MAIN/L30, a bare label like L30, or an index variable) it explains
+// just that loop; -v adds the full per-pass decision trail.
 package main
 
 import (
@@ -27,6 +35,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		os.Exit(runExplain(os.Args[2:]))
+	}
 	baseline := flag.Bool("baseline", false, "use the 1996 vendor-compiler (PFA) technique level")
 	summary := flag.Bool("summary", false, "print only the per-loop report, not the program")
 	report := flag.Bool("report", false, "print per-pass timings and mutation counts")
@@ -70,6 +81,107 @@ func main() {
 	}
 	if !*report {
 		fmt.Print(res.AnnotatedSource())
+	}
+}
+
+// runExplain compiles the program with an observer attached and
+// renders the per-loop decision provenance.
+func runExplain(args []string) int {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	suiteName := fs.String("suite", "", "explain the named embedded benchmark (e.g. trfd, ocean, bdna)")
+	verbose := fs.Bool("v", false, "print the full per-pass decision trail, not just the verdict line")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: polaris explain [-v] [-suite name | file.f] [loop]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	rest := fs.Args()
+
+	var srcArgs []string
+	query := ""
+	switch {
+	case *suiteName != "":
+		if len(rest) > 1 {
+			fs.Usage()
+			return 2
+		}
+		if len(rest) == 1 {
+			query = rest[0]
+		}
+	case len(rest) >= 1 && len(rest) <= 2:
+		srcArgs = rest[:1]
+		if len(rest) == 2 {
+			query = rest[1]
+		}
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	label, src, err := readSource(*suiteName, srcArgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris explain:", err)
+		return 2
+	}
+	prog, err := polaris.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris explain: parse:", err)
+		return 1
+	}
+	obs := polaris.NewObserver()
+	if _, err := polaris.Compile(ctx, prog, polaris.WithTraceLabel(label), polaris.WithObserver(obs)); err != nil {
+		fmt.Fprintln(os.Stderr, "polaris explain: compile:", err)
+		return 1
+	}
+
+	if query != "" {
+		line := obs.Explain(label, query)
+		if line == "" {
+			fmt.Fprintf(os.Stderr, "polaris explain: no loop matches %q\n", query)
+			return 1
+		}
+		fmt.Println(line)
+		if *verbose {
+			printTrail(obs.Trail(label, query))
+		}
+		return 0
+	}
+	lines := obs.Explanations(label)
+	if len(lines) == 0 {
+		fmt.Fprintln(os.Stderr, "polaris explain: no loops found")
+		return 1
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if *verbose {
+		printTrail(obs.Trail(label, ""))
+	}
+	return 0
+}
+
+// printTrail renders per-pass decision records beneath the verdict
+// lines: pass name, detail, and the supporting evidence.
+func printTrail(trail []polaris.LoopDecision) {
+	fmt.Println()
+	for _, d := range trail {
+		head := fmt.Sprintf("%s [%s]", d.Loop, d.Pass)
+		if d.Verdict != "" {
+			head += " " + d.Verdict
+		}
+		fmt.Printf("%s: %s\n", head, d.Detail)
+		if d.Technique != "" {
+			fmt.Printf("    technique: %s\n", d.Technique)
+		}
+		if d.Blocker != "" {
+			fmt.Printf("    blocker:   %s\n", d.Blocker)
+		}
+		for _, ev := range d.Evidence {
+			fmt.Printf("    - %s\n", ev)
+		}
 	}
 }
 

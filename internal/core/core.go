@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"polaris/internal/deps"
 	"polaris/internal/induction"
@@ -24,6 +25,7 @@ import (
 	"polaris/internal/interproc"
 	"polaris/internal/ir"
 	"polaris/internal/normalize"
+	"polaris/internal/obsv"
 	"polaris/internal/passes"
 	"polaris/internal/priv"
 	"polaris/internal/reduction"
@@ -62,6 +64,12 @@ type Options struct {
 	// TraceLabel tags this compilation's trace events and report
 	// (typically the program name).
 	TraceLabel string
+	// Observer, when non-nil, receives per-pass spans and structured
+	// per-loop decision records: for every loop each analysis pass
+	// examines, the verdict it contributed, the blocking dependence or
+	// symbolic fact involved, and the technique that ultimately enabled
+	// or vetoed DOALL. Safe to share between concurrent compilations.
+	Observer *obsv.Observer
 }
 
 // PolarisOptions enables the full technique set of the paper.
@@ -83,7 +91,10 @@ func PolarisOptions() Options {
 
 // LoopReport records the verdict for one loop.
 type LoopReport struct {
-	Loop     *ir.DoStmt
+	Loop *ir.DoStmt
+	// ID is the loop's stable identity ("MAIN/L30"), shared with the
+	// decision records and the interpreter's runtime metrics.
+	ID       string
 	Unit     string
 	Index    string
 	Depth    int
@@ -153,6 +164,7 @@ func CompileContext(ctx context.Context, prog *ir.Program, opt Options) (*Result
 	res := &Result{Program: work, Unit: unit, InlineSkipped: map[string]string{}}
 
 	m := passes.NewManager(opt.TraceLabel, opt.Trace)
+	m.Obs = opt.Observer
 	m.Add(buildPipeline(work, unit, res, opt)...)
 	report, err := m.Run(ctx, work)
 	res.Report = report
@@ -167,6 +179,8 @@ func CompileContext(ctx context.Context, prog *ir.Program, opt Options) (*Result
 // reports mutation counts through the pass Context.
 func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Options) []passes.Pass {
 	var ps []passes.Pass
+	obs := opt.Observer
+	label := opt.TraceLabel
 
 	// 0. Interprocedural constant propagation (subroutine
 	// specialization; reaches callees the inliner skips).
@@ -175,6 +189,22 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 			irep := interproc.Propagate(work)
 			res.InterprocConstants = irep.Propagated
 			c.Count("constants_propagated", int64(len(irep.Propagated)))
+			if len(irep.Propagated) > 0 {
+				keys := make([]string, 0, len(irep.Propagated))
+				for k := range irep.Propagated {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				ev := make([]string, len(keys))
+				for i, k := range keys {
+					ev[i] = fmt.Sprintf("%s = %d", k, irep.Propagated[k])
+				}
+				obs.Decision(obsv.Decision{
+					Label: label, Pass: "interproc-constants",
+					Detail:   "constant actual arguments propagated into callees",
+					Evidence: ev,
+				})
+			}
 			return nil
 		}))
 	}
@@ -187,6 +217,22 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 			res.InlineSkipped = rep.Skipped
 			c.Count("calls_inlined", int64(rep.Expanded))
 			c.Count("calls_skipped", int64(len(rep.Skipped)))
+			if rep.Expanded > 0 || len(rep.Skipped) > 0 {
+				callees := make([]string, 0, len(rep.Skipped))
+				for name := range rep.Skipped {
+					callees = append(callees, name)
+				}
+				sort.Strings(callees)
+				ev := make([]string, len(callees))
+				for i, name := range callees {
+					ev[i] = fmt.Sprintf("skipped %s: %s", name, rep.Skipped[name])
+				}
+				obs.Decision(obsv.Decision{
+					Label: label, Unit: unit.Name, Pass: "inline",
+					Detail:   fmt.Sprintf("%d call sites expanded", rep.Expanded),
+					Evidence: ev,
+				})
+			}
 			return nil
 		}))
 	}
@@ -200,6 +246,12 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 				nres := normalize.Run(u, rng.New(u))
 				res.NormalizedLoops += nres.Normalized
 				c.Count("loops_normalized", int64(nres.Normalized))
+				if nres.Normalized > 0 {
+					obs.Decision(obsv.Decision{
+						Label: label, Unit: u.Name, Pass: "normalize",
+						Detail: fmt.Sprintf("%d loops rewritten to unit step", nres.Normalized),
+					})
+				}
 			}
 			return nil
 		}))
@@ -217,10 +269,19 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 					return err
 				}
 				ires := induction.RunWith(u, rng.New(u), iopt)
+				var solved []string
 				for _, s := range ires.Solved {
 					res.InductionVars = append(res.InductionVars, u.Name+"."+s.Name)
+					solved = append(solved, s.Name)
 				}
 				c.Count("variables_substituted", int64(len(ires.Solved)))
+				if len(solved) > 0 {
+					obs.Decision(obsv.Decision{
+						Label: label, Unit: u.Name, Pass: "induction",
+						Detail:   "induction variables replaced by closed forms",
+						Evidence: solved,
+					})
+				}
 			}
 			return nil
 		}))
@@ -231,6 +292,7 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 	// the ParInfo annotation on every loop.
 	ps = append(ps, passes.Func("dependence-analysis", func(c *passes.Context) error {
 		for _, u := range work.Units {
+			assignLoopIDs(u)
 			ranges := rng.New(u)
 			tester := deps.NewTester(u, ranges)
 			// Innermost-first, so a loop's LRPD decision can see whether
@@ -263,6 +325,9 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 		c.Count("loops_annotated", int64(len(res.Loops)))
 		c.Count("loops_parallel", parallel)
 		c.Count("loops_lrpd", lrpd)
+		obs.Count("loops_analyzed", int64(len(res.Loops)))
+		obs.Count("loops_doall", parallel)
+		obs.Count("loops_lrpd", lrpd)
 		return nil
 	}))
 
@@ -281,6 +346,23 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 						if lr.Unit == u.Name && lr.Loop.Par != nil {
 							if lr.Parallel != lr.Loop.Par.Parallel {
 								c.Count("verdict_flips", 1)
+								// Supersede the analysis verdict: FinalDecisions
+								// keeps the latest final record per loop.
+								d := obsv.Decision{
+									Label: label, Unit: u.Name, Loop: lr.Loop.ID,
+									Index: lr.Index, Depth: lr.Depth,
+									Pass:   "strength-reduction",
+									Detail: lr.Loop.Par.Reason,
+									Final:  true,
+								}
+								if lr.Loop.Par.Parallel {
+									d.Verdict = "doall"
+									d.Technique = lr.Loop.Par.Reason
+								} else {
+									d.Verdict = "serial"
+									d.Blocker = lr.Loop.Par.Reason
+								}
+								obs.Decision(d)
 							}
 							lr.Parallel = lr.Loop.Par.Parallel
 							lr.Reason = lr.Loop.Par.Reason
@@ -305,8 +387,16 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 // analyzeLoop runs reductions + privatization + dependence analysis on
 // one loop and writes its ParInfo annotation.
 func analyzeLoop(unit *ir.ProgramUnit, ranges *rng.Analyzer, tester *deps.Tester, loop *ir.DoStmt, opt Options) LoopReport {
+	obs := opt.Observer
+	label := opt.TraceLabel
 	depth := len(ir.EnclosingLoops(unit.Body, loop))
-	rep := LoopReport{Loop: loop, Index: loop.Index, Depth: depth}
+	rep := LoopReport{Loop: loop, ID: loop.ID, Index: loop.Index, Depth: depth}
+	// loopDecision pre-fills the identity fields common to every record
+	// this loop produces.
+	loopDecision := func(d obsv.Decision) obsv.Decision {
+		d.Label, d.Unit, d.Loop, d.Index, d.Depth = label, unit.Name, loop.ID, loop.Index, depth
+		return d
+	}
 
 	// Reduction recognition (candidates; validated by the dependence
 	// pass masking them — the paper's flag-then-verify order).
@@ -324,6 +414,24 @@ func analyzeLoop(unit *ir.ProgramUnit, ranges *rng.Analyzer, tester *deps.Tester
 			reds.Candidates = kept
 		}
 		skip = reds.SkipSet()
+		if len(reds.Candidates) > 0 {
+			ev := make([]string, len(reds.Candidates))
+			for i := range reds.Candidates {
+				cand := &reds.Candidates[i]
+				kind := "scalar"
+				if cand.Histogram {
+					kind = "histogram"
+				} else if cand.IsArray() {
+					kind = "array"
+				}
+				ev[i] = fmt.Sprintf("%s %s reduction on %s", kind, reductionOpName(cand.Op), cand.Target)
+			}
+			obs.Decision(loopDecision(obsv.Decision{
+				Pass:     "reduction",
+				Detail:   "reduction candidates flagged, update statements masked for the dependence pass",
+				Evidence: ev,
+			}))
+		}
 	}
 
 	// Privatization.
@@ -347,6 +455,31 @@ func analyzeLoop(unit *ir.ProgramUnit, ranges *rng.Analyzer, tester *deps.Tester
 			delete(blocked, c.Target)
 		}
 	}
+	if len(pres.PrivateScalars)+len(usableArrays)+len(pres.Blocked) > 0 {
+		var ev []string
+		for _, s := range pres.PrivateScalars {
+			ev = append(ev, "private scalar "+s)
+		}
+		for _, s := range pres.LastValue {
+			ev = append(ev, "last-value copy-out of "+s)
+		}
+		for _, a := range usableArrays {
+			ev = append(ev, "private array "+a)
+		}
+		bnames := make([]string, 0, len(pres.Blocked))
+		for n := range pres.Blocked {
+			bnames = append(bnames, n)
+		}
+		sort.Strings(bnames)
+		for _, n := range bnames {
+			ev = append(ev, fmt.Sprintf("not privatizable %s: %s", n, pres.Blocked[n]))
+		}
+		obs.Decision(loopDecision(obsv.Decision{
+			Pass:     "privatization",
+			Detail:   "privatization analysis of assigned variables",
+			Evidence: ev,
+		}))
+	}
 	// Arrays blocked by the privatizer are not fatal by themselves:
 	// the dependence test decides whether their accesses conflict
 	// across iterations. Scalars are: an unprivatizable assigned
@@ -357,6 +490,13 @@ func analyzeLoop(unit *ir.ProgramUnit, ranges *rng.Analyzer, tester *deps.Tester
 		}
 		loop.Par = &ir.ParInfo{Parallel: false, Reason: fmt.Sprintf("scalar %s: %s", name, why)}
 		rep.Reason = loop.Par.Reason
+		obs.Decision(loopDecision(obsv.Decision{
+			Pass:    "verdict",
+			Verdict: "serial",
+			Blocker: fmt.Sprintf("unprivatizable scalar %s (%s)", name, why),
+			Detail:  loop.Par.Reason,
+			Final:   true,
+		}))
 		return rep
 	}
 
@@ -369,6 +509,21 @@ func analyzeLoop(unit *ir.ProgramUnit, ranges *rng.Analyzer, tester *deps.Tester
 		Stats:         opt.Stats,
 	}
 	verdict := tester.AnalyzeLoop(loop, cfg)
+	{
+		d := obsv.Decision{
+			Pass:      "dependence",
+			Detail:    verdict.Reason,
+			Technique: verdict.DecidedBy,
+			Blocker:   verdict.Blocker,
+		}
+		for _, a := range verdict.Unanalyzable {
+			d.Evidence = append(d.Evidence, "unanalyzable subscripts on "+a)
+		}
+		if len(verdict.Permutation) > 0 {
+			d.Evidence = append(d.Evidence, fmt.Sprintf("proving loop order %v", verdict.Permutation))
+		}
+		obs.Decision(loopDecision(d))
+	}
 
 	par := &ir.ParInfo{
 		Private:       pres.PrivateScalars,
@@ -415,6 +570,12 @@ func analyzeLoop(unit *ir.ProgramUnit, ranges *rng.Analyzer, tester *deps.Tester
 				}
 				sort.Strings(par.LRPD)
 				par.Reason = fmt.Sprintf("speculative: PD test on %v", par.LRPD)
+				obs.Decision(loopDecision(obsv.Decision{
+					Pass:      "lrpd",
+					Technique: "speculative run-time PD test on " + strings.Join(par.LRPD, ", "),
+					Detail:    "loop independent except for the unanalyzable arrays; speculation placed here",
+					Evidence:  append([]string(nil), par.LRPD...),
+				}))
 				break
 			}
 			if len(retry.Unanalyzable) == 0 {
@@ -444,7 +605,87 @@ func analyzeLoop(unit *ir.ProgramUnit, ranges *rng.Analyzer, tester *deps.Tester
 	rep.Parallel = par.Parallel
 	rep.LRPD = par.LRPD
 	rep.Reason = par.Reason
+	{
+		d := obsv.Decision{Pass: "verdict", Detail: par.Reason, Final: true}
+		switch {
+		case par.Parallel:
+			d.Verdict = "doall"
+			d.Technique = verdictTechnique(par, verdict)
+		case len(par.LRPD) > 0:
+			d.Verdict = "lrpd"
+			d.Technique = verdictTechnique(par, verdict)
+		default:
+			d.Verdict = "serial"
+			d.Blocker = par.Reason
+			for _, a := range verdict.Unanalyzable {
+				d.Evidence = append(d.Evidence, "unanalyzable subscripts on "+a)
+			}
+		}
+		obs.Decision(loopDecision(d))
+	}
 	return rep
+}
+
+// assignLoopIDs stamps every loop in the unit with its stable identity
+// ("MAIN/L30"): pre-order position numbered like Fortran statement
+// labels. IDs are assigned here — after inlining and normalization, on
+// the loop structure the verdicts describe — and survive Clone, so the
+// interpreter's runtime metrics key to the same IDs as the decision
+// records.
+func assignLoopIDs(u *ir.ProgramUnit) {
+	for i, d := range ir.Loops(u.Body) {
+		d.ID = fmt.Sprintf("%s/L%d", u.Name, 10*(i+1))
+	}
+}
+
+// reductionOpName renders a reduction operator for explanations.
+func reductionOpName(op string) string {
+	switch op {
+	case "+":
+		return "sum"
+	case "*":
+		return "product"
+	case "MAX":
+		return "max"
+	case "MIN":
+		return "min"
+	}
+	return op
+}
+
+// verdictTechnique renders the enabling-technique clause of a final
+// decision record: the deciding dependence test plus every transform
+// (privatization, reduction, speculation) the verdict relied on.
+func verdictTechnique(par *ir.ParInfo, verdict deps.Verdict) string {
+	var parts []string
+	switch verdict.DecidedBy {
+	case "linear tests":
+		parts = append(parts, "independence proved by the linear dependence tests")
+	case "range test":
+		parts = append(parts, "independence proved by the range test")
+	case "permuted range test":
+		parts = append(parts, fmt.Sprintf("independence proved by the range test under permuted loop order %v", verdict.Permutation))
+	}
+	if len(par.LRPD) > 0 {
+		parts = append(parts, "speculative run-time PD test on "+strings.Join(par.LRPD, ", "))
+	}
+	if len(par.PrivateArrays) > 0 {
+		parts = append(parts, "array privatization of "+strings.Join(par.PrivateArrays, ", "))
+	}
+	if len(par.Private) > 0 {
+		parts = append(parts, "scalar privatization of "+strings.Join(par.Private, ", "))
+	}
+	for _, r := range par.Reductions {
+		kind := "reduction"
+		if r.Histogram {
+			kind = "histogram reduction"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s on %s", reductionOpName(r.Op), kind, r.Target))
+	}
+	if len(parts) == 0 {
+		return par.Reason
+	}
+	return strings.Join(parts, "; ")
 }
 
 // dropProvenIndependent re-tests each array-reduction candidate with

@@ -47,6 +47,19 @@ type Verdict struct {
 	Unanalyzable []string
 	// HasCall reports an un-inlined CALL in the body.
 	HasCall bool
+
+	// Provenance for decision records (package obsv). These refine
+	// Reason without changing it.
+
+	// DecidedBy names the deciding test for Parallel verdicts:
+	// "linear tests", "range test", or "permuted range test".
+	DecidedBy string
+	// Blocker names the specific blocking construct for serial
+	// verdicts: the dependence-carrying array, or "CALL".
+	Blocker string
+	// Permutation is the proving loop order when DecidedBy is
+	// "permuted range test".
+	Permutation []string
 }
 
 // AnalyzeLoop determines whether the loop carries any data dependence
@@ -55,7 +68,7 @@ type Verdict struct {
 // fixed symbols.
 func (t *Tester) AnalyzeLoop(loop *ir.DoStmt, cfg Config) Verdict {
 	if hasCall(loop, cfg.SkipStmts) {
-		return Verdict{Parallel: false, Reason: "CALL statement in loop body", HasCall: true}
+		return Verdict{Parallel: false, Reason: "CALL statement in loop body", HasCall: true, Blocker: "CALL"}
 	}
 	accesses := CollectAccesses(loop, cfg.SkipStmts)
 	ranged := map[string]bool{}
@@ -69,7 +82,12 @@ func (t *Tester) AnalyzeLoop(loop *ir.DoStmt, cfg Config) Verdict {
 	// Identity order failed: try the permuted whole-nest test over the
 	// perfect chain rooted here; success proves full independence.
 	if ok, perm := t.permutedNestTest(loop, accesses, cfg); ok {
-		return Verdict{Parallel: true, Reason: fmt.Sprintf("range test with permuted loop order %v", perm)}
+		return Verdict{
+			Parallel:    true,
+			Reason:      fmt.Sprintf("range test with permuted loop order %v", perm),
+			DecidedBy:   "permuted range test",
+			Permutation: perm,
+		}
 	}
 	return v
 }
@@ -89,6 +107,7 @@ func (t *Tester) analyzeTarget(root, target *ir.DoStmt, ranged map[string]bool, 
 	}
 	sort.Strings(names)
 	unanalyzable := map[string]bool{}
+	var tr analysisTrace
 	for _, name := range names {
 		accs := byArray[name]
 		hasWrite := false
@@ -111,12 +130,12 @@ func (t *Tester) analyzeTarget(root, target *ir.DoStmt, ranged map[string]bool, 
 				if i == j {
 					// A single access pairs with itself across
 					// iterations (write-write on the same subscript).
-					if !t.pairIndependent(root, target, ranged, a, a, cfg, unanalyzable) {
+					if !t.pairIndependent(root, target, ranged, a, a, cfg, unanalyzable, &tr) {
 						return t.failVerdict(name, unanalyzable)
 					}
 					continue
 				}
-				if !t.pairIndependent(root, target, ranged, a, b, cfg, unanalyzable) {
+				if !t.pairIndependent(root, target, ranged, a, b, cfg, unanalyzable, &tr) {
 					return t.failVerdict(name, unanalyzable)
 				}
 			}
@@ -126,7 +145,11 @@ func (t *Tester) analyzeTarget(root, target *ir.DoStmt, ranged map[string]bool, 
 	if !cfg.LinearOnly {
 		reason = "no carried dependences (linear + range test)"
 	}
-	return Verdict{Parallel: true, Reason: reason}
+	decidedBy := "linear tests"
+	if tr.usedRange {
+		decidedBy = "range test"
+	}
+	return Verdict{Parallel: true, Reason: reason, DecidedBy: decidedBy}
 }
 
 func (t *Tester) failVerdict(array string, unanalyzable map[string]bool) Verdict {
@@ -139,12 +162,20 @@ func (t *Tester) failVerdict(array string, unanalyzable map[string]bool) Verdict
 	if unanalyzable[array] {
 		reason = fmt.Sprintf("unanalyzable subscripts on %s (run-time test candidate)", array)
 	}
-	return Verdict{Parallel: false, Reason: reason, Unanalyzable: list}
+	return Verdict{Parallel: false, Reason: reason, Unanalyzable: list, Blocker: array}
+}
+
+// analysisTrace accumulates provenance across the pair tests of one
+// analyzeTarget call: whether any pair needed the range test (versus
+// the linear tests alone deciding everything).
+type analysisTrace struct {
+	usedRange bool
 }
 
 // pairIndependent proves no dependence between a and b carried by
-// target. It records unanalyzable arrays as a side effect.
-func (t *Tester) pairIndependent(root, target *ir.DoStmt, ranged map[string]bool, a, b Access, cfg Config, unanalyzable map[string]bool) bool {
+// target. It records unanalyzable arrays, and range-test usage in tr,
+// as side effects.
+func (t *Tester) pairIndependent(root, target *ir.DoStmt, ranged map[string]bool, a, b Access, cfg Config, unanalyzable map[string]bool, tr *analysisTrace) bool {
 	if cfg.Stats != nil {
 		cfg.Stats.PairsTested++
 	}
@@ -191,6 +222,9 @@ func (t *Tester) pairIndependent(root, target *ir.DoStmt, ranged map[string]bool
 		cfg.Stats.RangeTests++
 	}
 	if t.RangeTestPair(root, target, ranged, a, b) {
+		if tr != nil {
+			tr.usedRange = true
+		}
 		return true
 	}
 	// Subscripted subscripts (IND(I) with a read-only index array) are
@@ -270,7 +304,7 @@ func (t *Tester) permutedNestTest(root *ir.DoStmt, accesses []Access, cfg Config
 					if b.Write && j < i {
 						continue
 					}
-					if !t.pairIndependent(root, target, ranged, a, b, cfg, unanalyzable) {
+					if !t.pairIndependent(root, target, ranged, a, b, cfg, unanalyzable, nil) {
 						ok = false
 					}
 				}

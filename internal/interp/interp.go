@@ -7,6 +7,7 @@ import (
 	"polaris/internal/ir"
 	"polaris/internal/lrpd"
 	"polaris/internal/machine"
+	"polaris/internal/obsv"
 )
 
 // Interp executes a program on the simulated machine.
@@ -32,6 +33,14 @@ type Interp struct {
 	// saved accumulates work - simulatedParallelTime per parallel
 	// region (negative entries model failed speculation).
 	saved int64
+	// parallelWork counts the cycles executed inside successful parallel
+	// regions (DOALL bodies and passing speculative runs). Its ratio to
+	// work is the run's parallel-coverage fraction.
+	parallelWork int64
+	// loopStats accumulates per-loop execution metrics keyed by the
+	// stable loop ID the analysis driver assigned (decision records use
+	// the same IDs, so compile-time verdicts and runtime behaviour join).
+	loopStats map[string]*obsv.LoopMetric
 
 	// Stats.
 	ParallelLoopExecs int64
@@ -99,6 +108,64 @@ func (in *Interp) Time() int64 {
 }
 
 func (in *Interp) charge(n int64) { in.work += n }
+
+// ParallelWork returns the cycles executed inside successful parallel
+// regions; ParallelWork()/Work() is the parallel-coverage fraction.
+func (in *Interp) ParallelWork() int64 { return in.parallelWork }
+
+// Coverage returns the fraction of total work executed in parallel
+// regions (0 when nothing ran).
+func (in *Interp) Coverage() float64 {
+	if in.work == 0 {
+		return 0
+	}
+	return float64(in.parallelWork) / float64(in.work)
+}
+
+// recordLoop accumulates one parallel-region execution into the
+// per-loop metrics. kind is "doall" or "lrpd"; bodyWork is the
+// serial-equivalent body work, parTime the simulated parallel time.
+func (in *Interp) recordLoop(d *ir.DoStmt, kind string, bodyWork, parTime int64) *obsv.LoopMetric {
+	if in.loopStats == nil {
+		in.loopStats = map[string]*obsv.LoopMetric{}
+	}
+	key := d.ID
+	if key == "" {
+		key = "DO " + d.Index
+	}
+	lm := in.loopStats[key]
+	if lm == nil {
+		lm = &obsv.LoopMetric{Loop: key, Kind: kind}
+		in.loopStats[key] = lm
+	}
+	lm.Execs++
+	lm.SerialCycles += bodyWork
+	lm.ParallelCycles += parTime
+	return lm
+}
+
+// Metrics summarizes the run as an obsv.RunMetrics record: total and
+// parallel work, coverage, speculation outcomes, and the per-loop
+// breakdown in stable order.
+func (in *Interp) Metrics(label string) obsv.RunMetrics {
+	m := obsv.RunMetrics{
+		Label:        label,
+		Processors:   in.Model.Processors,
+		TotalCycles:  in.Time(),
+		TotalWork:    in.work,
+		ParallelWork: in.parallelWork,
+		Coverage:     in.Coverage(),
+		PDPasses:     in.LRPDPasses,
+		PDFailures:   in.LRPDFailures,
+	}
+	for _, lm := range in.loopStats {
+		cp := *lm
+		cp.Label = label
+		m.Loops = append(m.Loops, cp)
+	}
+	obsv.SortLoopMetrics(m.Loops)
+	return m
+}
 
 // Probe returns the value of a scalar in a COMMON block, the
 // convention programs use to expose results to the harness and tests.

@@ -75,6 +75,8 @@ func (in *Interp) execDoall(fr *frame, d *ir.DoStmt, init, step, n int64) (contr
 
 	parTime := in.parallelTime(perProc, par, p, 0)
 	in.saved += bodyWork - parTime
+	in.parallelWork += bodyWork
+	in.recordLoop(d, "doall", bodyWork, parTime)
 	return ctlNormal, nil
 }
 
@@ -345,6 +347,8 @@ func (in *Interp) execDoallConcurrent(fr *frame, d *ir.DoStmt, init, step, n int
 	in.ParallelLoopExecs++
 	parTime := in.parallelTime(perProc, par, p, 0)
 	in.saved += bodyWork - parTime
+	in.parallelWork += bodyWork
+	in.recordLoop(d, "doall", bodyWork, parTime)
 	return ctlNormal, nil
 }
 
@@ -420,6 +424,8 @@ func (in *Interp) execLRPD(fr *frame, d *ir.DoStmt, init, step, n int64) (contro
 		in.LRPDPasses++
 		in.LRPDTime += specTime
 		in.saved += bodyWork - specTime
+		in.parallelWork += bodyWork
+		in.recordLoop(d, "lrpd", bodyWork, specTime).PDPasses++
 		return ctlNormal, nil
 	}
 	// Failed speculation: restore (already consistent — execution was
@@ -429,5 +435,6 @@ func (in *Interp) execLRPD(fr *frame, d *ir.DoStmt, init, step, n int64) (contro
 	in.LRPDFailures++
 	in.LRPDTime += specTime + bodyWork
 	in.saved -= specTime
+	in.recordLoop(d, "lrpd", bodyWork, specTime+bodyWork).PDFailures++
 	return ctlNormal, nil
 }

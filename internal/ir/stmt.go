@@ -144,6 +144,10 @@ type DoStmt struct {
 	Step  Expr
 	Body  *Block
 	Par   *ParInfo
+	// ID is the stable loop identity ("MAIN/L30") assigned by the
+	// analysis driver, linking compile-time decision records to runtime
+	// execution metrics. Empty until analysis runs; preserved by Clone.
+	ID string
 }
 
 // IfStmt is a block IF; Else may be nil. A logical IF is represented
@@ -186,9 +190,10 @@ func (*CommentStmt) stmtNode()  {}
 // Clone returns a deep copy.
 func (s *AssignStmt) Clone() Stmt { return &AssignStmt{LHS: s.LHS.Clone(), RHS: s.RHS.Clone()} }
 
-// Clone returns a deep copy, including the parallel annotation.
+// Clone returns a deep copy, including the parallel annotation and the
+// loop ID.
 func (s *DoStmt) Clone() Stmt {
-	c := &DoStmt{Index: s.Index, Init: s.Init.Clone(), Limit: s.Limit.Clone(), Body: s.Body.Clone(), Par: s.Par.Clone()}
+	c := &DoStmt{Index: s.Index, Init: s.Init.Clone(), Limit: s.Limit.Clone(), Body: s.Body.Clone(), Par: s.Par.Clone(), ID: s.ID}
 	if s.Step != nil {
 		c.Step = s.Step.Clone()
 	}

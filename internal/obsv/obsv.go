@@ -1,0 +1,360 @@
+// Package obsv is the observability core of the Polaris reproduction:
+// a lightweight event and metrics layer shared by the compiler pipeline,
+// the interpreter, and the suite runner.
+//
+// Three record kinds flow through an Observer:
+//
+//   - Decision: one structured per-loop decision record from an analysis
+//     pass — which technique contributed what verdict, the blocking
+//     dependence or symbolic fact involved, and (for final records) the
+//     technique that ultimately enabled or vetoed DOALL. These are the
+//     provenance behind every verdict in the paper's evaluation.
+//   - Span: one pass execution (name, wall time, mutation counts) — the
+//     pass manager's instrumentation, re-emitted on trace schema v2.
+//   - Run/LoopMetric: runtime execution metrics from the interpreter —
+//     per-loop serial and parallel cycles, parallel coverage fraction,
+//     and LRPD pass/fail counts.
+//
+// An Observer aggregates everything in memory (for `polaris explain`
+// and the metrics-reconciliation tests) and optionally streams each
+// record as one JSON line through a TraceWriter (trace schema v2, see
+// trace.go). Both are safe for concurrent use: compilations and
+// executions running on different goroutines may share one Observer and
+// one TraceWriter, with a single writer-side sequence number keeping
+// the emitted lines totally ordered.
+package obsv
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Decision is one per-loop decision record contributed by an analysis
+// pass. Records with Final set carry the loop's overall verdict; the
+// others are the per-pass evidence trail behind it.
+type Decision struct {
+	// Label identifies the compilation (typically the program name).
+	Label string `json:"label,omitempty"`
+	// Unit is the program unit holding the loop.
+	Unit string `json:"unit,omitempty"`
+	// Loop is the stable loop ID ("MAIN/L30"); empty for unit-level
+	// records (inline expansion, induction substitution).
+	Loop string `json:"loop,omitempty"`
+	// Index is the loop index variable.
+	Index string `json:"index,omitempty"`
+	// Depth is the loop nesting depth (0 = outermost).
+	Depth int `json:"depth,omitempty"`
+	// Pass names the contributing pass ("dependence", "privatization",
+	// "reduction", "lrpd", "induction", "inline", "strength-reduction",
+	// or "verdict" for final records).
+	Pass string `json:"pass"`
+	// Verdict is "doall", "serial", or "lrpd" on final records.
+	Verdict string `json:"verdict,omitempty"`
+	// Technique names what enabled the verdict ("range test with
+	// permuted loop order [K J I]; array privatization of WRK").
+	Technique string `json:"technique,omitempty"`
+	// Blocker names the specific blocking dependence or fact for serial
+	// verdicts ("assumed dependence on X").
+	Blocker string `json:"blocker,omitempty"`
+	// Detail is the free-form reason string of the deciding pass.
+	Detail string `json:"detail,omitempty"`
+	// Evidence lists the facts behind the record: privatized variables,
+	// reduction clauses, unanalyzable arrays, solved induction
+	// variables.
+	Evidence []string `json:"evidence,omitempty"`
+	// Final marks the loop's overall verdict record.
+	Final bool `json:"final,omitempty"`
+}
+
+// Span is one pass execution inside one compilation.
+type Span struct {
+	// Label identifies the compilation.
+	Label string `json:"label,omitempty"`
+	// Pass is the pass name.
+	Pass string `json:"pass"`
+	// Seq is the pass position in its pipeline.
+	Seq int `json:"seq"`
+	// DurationNS is the pass wall time in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+	// Mutations counts IR changes by kind.
+	Mutations map[string]int64 `json:"mutations,omitempty"`
+	// Err is the pass failure message, empty on success.
+	Err string `json:"error,omitempty"`
+}
+
+// LoopMetric is the runtime execution metric of one loop across one
+// interpreter run: how it executed and what it cost.
+type LoopMetric struct {
+	// Label identifies the run (typically the program name).
+	Label string `json:"label,omitempty"`
+	// Loop is the stable loop ID matching the compile-time Decision.
+	Loop string `json:"loop"`
+	// Kind is "doall", "lrpd", or "serial".
+	Kind string `json:"kind"`
+	// Execs counts loop executions (a loop inside another loop executes
+	// many times).
+	Execs int64 `json:"execs"`
+	// SerialCycles is the serial-equivalent body work executed.
+	SerialCycles int64 `json:"serial_cycles"`
+	// ParallelCycles is the simulated time actually charged (equals
+	// SerialCycles for serial execution).
+	ParallelCycles int64 `json:"parallel_cycles"`
+	// PDPasses / PDFailures count speculative LRPD outcomes.
+	PDPasses   int64 `json:"pd_passes,omitempty"`
+	PDFailures int64 `json:"pd_failures,omitempty"`
+}
+
+// RunMetrics aggregates one interpreter run.
+type RunMetrics struct {
+	// Label identifies the run.
+	Label string `json:"label,omitempty"`
+	// Processors is the simulated machine size.
+	Processors int `json:"processors,omitempty"`
+	// TotalCycles is the simulated execution time.
+	TotalCycles int64 `json:"total_cycles"`
+	// TotalWork is the serial-equivalent work executed.
+	TotalWork int64 `json:"total_work"`
+	// ParallelWork is the portion of TotalWork executed inside DOALL
+	// regions or successfully speculated LRPD regions.
+	ParallelWork int64 `json:"parallel_work"`
+	// Coverage is ParallelWork / TotalWork (0 when TotalWork is 0) —
+	// the parallel-coverage fraction the paper's speedups rest on.
+	Coverage float64 `json:"parallel_coverage"`
+	// PDPasses / PDFailures count speculative loop outcomes.
+	PDPasses   int64 `json:"pd_passes,omitempty"`
+	PDFailures int64 `json:"pd_failures,omitempty"`
+	// Loops holds the per-loop metrics, sorted by loop ID.
+	Loops []LoopMetric `json:"loops,omitempty"`
+}
+
+// Observer collects decision records, pass spans, counters, and runtime
+// metrics for one or many compilations and executions. The zero value
+// is not usable; call NewObserver. All methods are safe for concurrent
+// use. A nil *Observer is valid everywhere and records nothing, so call
+// sites need no guards.
+type Observer struct {
+	mu        sync.Mutex
+	trace     *TraceWriter
+	counters  map[string]int64
+	decisions []Decision
+	spans     []Span
+	runs      []RunMetrics
+}
+
+// NewObserver returns an empty Observer with no trace attached.
+func NewObserver() *Observer {
+	return &Observer{counters: map[string]int64{}}
+}
+
+// SetTrace attaches a trace writer; every subsequently recorded event
+// is also emitted as one schema-v2 JSON line. Many observers may share
+// one TraceWriter: its writer-side sequence number keeps the combined
+// stream totally ordered.
+func (o *Observer) SetTrace(t *TraceWriter) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.trace = t
+	o.mu.Unlock()
+}
+
+// TraceErr returns the attached trace writer's first error, if any.
+func (o *Observer) TraceErr() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	t := o.trace
+	o.mu.Unlock()
+	return t.Err()
+}
+
+// Count adds delta to a named counter (expvar-style; exported for soak
+// monitoring).
+func (o *Observer) Count(name string, delta int64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.counters[name] += delta
+	o.mu.Unlock()
+}
+
+// Counters returns a copy of the counter map.
+func (o *Observer) Counters() map[string]int64 {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int64, len(o.counters))
+	for k, v := range o.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Decision records one per-loop decision record.
+func (o *Observer) Decision(d Decision) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.decisions = append(o.decisions, d)
+	t := o.trace
+	o.mu.Unlock()
+	t.EmitDecision(d)
+}
+
+// Span records one pass execution.
+func (o *Observer) Span(s Span) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.spans = append(o.spans, s)
+	t := o.trace
+	o.mu.Unlock()
+	t.EmitSpan(s)
+}
+
+// Run records one interpreter run's metrics.
+func (o *Observer) Run(r RunMetrics) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.runs = append(o.runs, r)
+	t := o.trace
+	o.mu.Unlock()
+	t.EmitRun(r)
+}
+
+// Decisions returns a copy of all recorded decision records, in
+// recording order.
+func (o *Observer) Decisions() []Decision {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Decision(nil), o.decisions...)
+}
+
+// Spans returns a copy of all recorded pass spans.
+func (o *Observer) Spans() []Span {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Span(nil), o.spans...)
+}
+
+// Runs returns a copy of all recorded run metrics.
+func (o *Observer) Runs() []RunMetrics {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]RunMetrics(nil), o.runs...)
+}
+
+// FinalDecisions returns the latest final (verdict) record per loop for
+// the given label ("" matches every label), ordered by first appearance
+// of each loop. A pass that re-decides a loop (strength reduction
+// demoting a DOALL) supersedes the earlier record in place.
+func (o *Observer) FinalDecisions(label string) []Decision {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var order []string
+	latest := map[string]Decision{}
+	for _, d := range o.decisions {
+		if !d.Final || d.Loop == "" {
+			continue
+		}
+		if label != "" && d.Label != label {
+			continue
+		}
+		key := d.Label + "\x00" + d.Loop
+		if _, seen := latest[key]; !seen {
+			order = append(order, key)
+		}
+		latest[key] = d
+	}
+	out := make([]Decision, 0, len(order))
+	for _, key := range order {
+		out = append(out, latest[key])
+	}
+	// Analysis emits innermost-first; present in program order: keep
+	// (label, unit) groups in first-appearance order and sort loops
+	// within each group by their numeric position.
+	group := map[string]int{}
+	for _, d := range out {
+		key := d.Label + "\x00" + d.Unit
+		if _, ok := group[key]; !ok {
+			group[key] = len(group)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		gi := group[out[i].Label+"\x00"+out[i].Unit]
+		gj := group[out[j].Label+"\x00"+out[j].Unit]
+		if gi != gj {
+			return gi < gj
+		}
+		return loopSeq(out[i].Loop) < loopSeq(out[j].Loop)
+	})
+	return out
+}
+
+// loopSeq extracts the numeric position from a loop ID ("MAIN/L30" →
+// 30); non-conforming IDs sort last, keeping their input order.
+func loopSeq(id string) int {
+	i := strings.LastIndex(id, "/L")
+	if i < 0 {
+		return 1 << 30
+	}
+	n, err := strconv.Atoi(id[i+2:])
+	if err != nil {
+		return 1 << 30
+	}
+	return n
+}
+
+// LoopDecisions returns every record (evidence trail plus final
+// verdicts) for one loop ID under the given label.
+func (o *Observer) LoopDecisions(label, loop string) []Decision {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var out []Decision
+	for _, d := range o.decisions {
+		if d.Loop != loop {
+			continue
+		}
+		if label != "" && d.Label != label {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// SortLoopMetrics orders metrics by (label, loop) for stable output.
+func SortLoopMetrics(ms []LoopMetric) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Label != ms[j].Label {
+			return ms[i].Label < ms[j].Label
+		}
+		return ms[i].Loop < ms[j].Loop
+	})
+}

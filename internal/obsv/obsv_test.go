@@ -1,0 +1,206 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTraceWriterOrdersConcurrentEmits drives one shared TraceWriter
+// from many goroutines (the suite Runner's -j N shape) and checks the
+// emitted stream carries a gapless, strictly increasing sequence — the
+// total-order contract trace consumers rely on. Run under -race this
+// also proves the writer is data-race free.
+func TestTraceWriterOrdersConcurrentEmits(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	const workers, emits = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < emits; i++ {
+				switch i % 3 {
+				case 0:
+					tw.EmitSpan(Span{Label: "l", Pass: "p", Seq: i})
+				case 1:
+					tw.EmitDecision(Decision{Label: "l", Pass: "dependence", Loop: "MAIN/L10"})
+				default:
+					tw.EmitRun(RunMetrics{Label: "l", TotalWork: int64(i)})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tw.Err(); err != nil {
+		t.Fatalf("trace writer error: %v", err)
+	}
+	envs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(envs) != workers*emits {
+		t.Fatalf("got %d trace lines, want %d", len(envs), workers*emits)
+	}
+	for i, e := range envs {
+		if e.Seq != int64(i) {
+			t.Fatalf("line %d carries seq %d; stream is not in sequence order", i, e.Seq)
+		}
+		if e.V != SchemaVersion {
+			t.Fatalf("line %d has version %q, want %q", i, e.V, SchemaVersion)
+		}
+	}
+}
+
+// TestReadTraceRejectsUnknownMajor pins the compatibility contract:
+// majors are breaking, so a reader that speaks major 2 must refuse a
+// v3 stream rather than silently misread it.
+func TestReadTraceRejectsUnknownMajor(t *testing.T) {
+	in := strings.NewReader(`{"v":"3.0","seq":0,"type":"span","span":{"pass":"x","seq":0,"duration_ns":0}}`)
+	_, err := ReadTrace(in)
+	if err == nil {
+		t.Fatal("ReadTrace accepted a major-3 stream")
+	}
+	if !strings.Contains(err.Error(), "unsupported schema version") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestReadTraceAcceptsNewerMinor: minors are additive; a 2.9 stream
+// with an unknown field must decode cleanly.
+func TestReadTraceAcceptsNewerMinor(t *testing.T) {
+	in := strings.NewReader(`{"v":"2.9","seq":0,"type":"span","span":{"pass":"x","seq":0,"duration_ns":1,"future_field":true}}` + "\n\n")
+	envs, err := ReadTrace(in)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(envs) != 1 || envs[0].Span == nil || envs[0].Span.Pass != "x" {
+		t.Fatalf("bad decode: %+v", envs)
+	}
+}
+
+func TestReadTraceMalformedVersion(t *testing.T) {
+	in := strings.NewReader(`{"v":"two","seq":0,"type":"span"}`)
+	if _, err := ReadTrace(in); err == nil || !strings.Contains(err.Error(), "malformed schema version") {
+		t.Fatalf("want malformed-version error, got %v", err)
+	}
+}
+
+// TestNilObserverAndWriterAreSafe: every method must be callable on a
+// nil receiver so instrumentation sites need no guards.
+func TestNilObserverAndWriterAreSafe(t *testing.T) {
+	var o *Observer
+	o.Count("x", 1)
+	o.Decision(Decision{Pass: "dependence"})
+	o.Span(Span{Pass: "p"})
+	o.Run(RunMetrics{})
+	o.SetTrace(nil)
+	if err := o.TraceErr(); err != nil {
+		t.Fatalf("nil observer TraceErr: %v", err)
+	}
+	if o.Counters() != nil || o.Decisions() != nil || o.Spans() != nil || o.Runs() != nil {
+		t.Fatal("nil observer returned non-nil data")
+	}
+	if o.FinalDecisions("") != nil || o.LoopDecisions("", "MAIN/L10") != nil {
+		t.Fatal("nil observer returned decisions")
+	}
+
+	var tw *TraceWriter
+	tw.EmitSpan(Span{})
+	tw.EmitDecision(Decision{})
+	tw.EmitRun(RunMetrics{})
+	if err := tw.Err(); err != nil {
+		t.Fatalf("nil writer Err: %v", err)
+	}
+	if NewTraceWriter(nil) != nil {
+		t.Fatal("NewTraceWriter(nil) should yield a nil writer")
+	}
+}
+
+// TestFinalDecisionsSupersedeAndOrder: the latest final record per
+// loop wins (strength reduction re-deciding a verdict), and the output
+// comes back in program order — units in first-appearance order, loops
+// within a unit by numeric position — even though analysis emits
+// innermost loops first.
+func TestFinalDecisionsSupersedeAndOrder(t *testing.T) {
+	o := NewObserver()
+	// Innermost-first emission order, two units.
+	o.Decision(Decision{Label: "p", Unit: "MAIN", Loop: "MAIN/L90", Pass: "verdict", Verdict: "doall", Final: true})
+	o.Decision(Decision{Label: "p", Unit: "MAIN", Loop: "MAIN/L10", Pass: "verdict", Verdict: "doall", Final: true})
+	o.Decision(Decision{Label: "p", Unit: "SUB", Loop: "SUB/L20", Pass: "verdict", Verdict: "serial", Final: true})
+	// Evidence records must not appear among finals.
+	o.Decision(Decision{Label: "p", Unit: "MAIN", Loop: "MAIN/L10", Pass: "dependence"})
+	// A later pass re-decides L90.
+	o.Decision(Decision{Label: "p", Unit: "MAIN", Loop: "MAIN/L90", Pass: "strength-reduction", Verdict: "serial", Blocker: "strength-reduced", Final: true})
+	// A different label must not leak in.
+	o.Decision(Decision{Label: "q", Unit: "MAIN", Loop: "MAIN/L10", Pass: "verdict", Verdict: "doall", Final: true})
+
+	finals := o.FinalDecisions("p")
+	if len(finals) != 3 {
+		t.Fatalf("got %d finals, want 3: %+v", len(finals), finals)
+	}
+	wantOrder := []string{"MAIN/L10", "MAIN/L90", "SUB/L20"}
+	for i, want := range wantOrder {
+		if finals[i].Loop != want {
+			t.Fatalf("finals[%d] = %s, want %s", i, finals[i].Loop, want)
+		}
+	}
+	if finals[1].Verdict != "serial" || finals[1].Pass != "strength-reduction" {
+		t.Fatalf("superseding record lost: %+v", finals[1])
+	}
+	if got := o.FinalDecisions(""); len(got) != 4 {
+		t.Fatalf("all-labels finals: got %d, want 4", len(got))
+	}
+}
+
+func TestExplainDecision(t *testing.T) {
+	cases := []struct {
+		d    Decision
+		want string
+	}{
+		{Decision{Loop: "MAIN/L40", Index: "J", Verdict: "doall", Technique: "range test"},
+			"MAIN/L40 DO J: DOALL — range test"},
+		{Decision{Loop: "MAIN/L60", Index: "I", Verdict: "lrpd", Technique: "speculative run-time PD test on X"},
+			"MAIN/L60 DO I: LRPD — speculative run-time PD test on X"},
+		{Decision{Loop: "MAIN/L20", Index: "K", Verdict: "serial", Blocker: "assumed dependence on A"},
+			"MAIN/L20 DO K: serial — blocked by assumed dependence on A"},
+		{Decision{Loop: "MAIN/L20", Verdict: "serial", Detail: "fallback detail"},
+			"MAIN/L20: serial — blocked by fallback detail"},
+	}
+	for _, c := range cases {
+		if got := ExplainDecision(c.d); got != c.want {
+			t.Errorf("ExplainDecision(%+v)\n got %q\nwant %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestMatchLoop(t *testing.T) {
+	d := Decision{Loop: "MAIN/L30", Index: "K"}
+	for _, q := range []string{"", "MAIN/L30", "main/l30", "L30", "l30", "K", "k"} {
+		if !MatchLoop(d, q) {
+			t.Errorf("MatchLoop(%q) = false, want true", q)
+		}
+	}
+	for _, q := range []string{"L40", "MAIN", "J", "MAIN/L3"} {
+		if MatchLoop(d, q) {
+			t.Errorf("MatchLoop(%q) = true, want false", q)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	o := NewObserver()
+	o.Count("loops_analyzed", 3)
+	o.Count("loops_analyzed", 2)
+	o.Count("loops_doall", 1)
+	got := o.Counters()
+	if got["loops_analyzed"] != 5 || got["loops_doall"] != 1 {
+		t.Fatalf("counters = %v", got)
+	}
+	got["loops_analyzed"] = 99
+	if o.Counters()["loops_analyzed"] != 5 {
+		t.Fatal("Counters returned a live map, want a copy")
+	}
+}

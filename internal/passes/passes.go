@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"polaris/internal/ir"
+	"polaris/internal/obsv"
 )
 
 // Context is handed to every pass invocation. It carries the program
@@ -88,6 +89,10 @@ type Manager struct {
 	// writer is synchronized, so one TraceWriter may be shared by many
 	// concurrently running managers.
 	Trace *TraceWriter
+	// Obs, when non-nil, receives one obsv.Span per executed pass
+	// (the trace-schema-v2 side of the same instrumentation). A nil
+	// Observer records nothing.
+	Obs *obsv.Observer
 
 	passes []Pass
 }
@@ -141,6 +146,14 @@ func (m *Manager) Run(ctx context.Context, prog *ir.Program) (*PipelineReport, e
 		if m.Trace != nil {
 			m.Trace.Emit(ev)
 		}
+		m.Obs.Span(obsv.Span{
+			Label:      m.Label,
+			Pass:       ev.Pass,
+			Seq:        ev.Seq,
+			DurationNS: ev.DurationNS,
+			Mutations:  ev.Mutations,
+			Err:        ev.Err,
+		})
 		if err != nil {
 			if ctx.Err() != nil {
 				// A cooperating pass bailed out on cancellation: report

@@ -8,6 +8,7 @@ import (
 	"polaris/internal/interp"
 	"polaris/internal/ir"
 	"polaris/internal/machine"
+	"polaris/internal/obsv"
 	"polaris/internal/passes"
 )
 
@@ -22,6 +23,13 @@ type Runner struct {
 	Workers int
 	// Trace receives pass-manager events from Polaris compilations.
 	Trace *passes.TraceWriter
+	// Observer, when set, receives per-loop decision records from every
+	// Polaris compilation and runtime metrics from every Polaris
+	// execution, labeled by program name. The observer (and any trace
+	// writer attached to it) is shared by all pool workers; its internal
+	// locking keeps the combined record stream safe and totally ordered
+	// under -j N concurrency.
+	Observer *obsv.Observer
 
 	cache *compileCache
 }
@@ -33,6 +41,7 @@ func (r *Runner) polarisOptions(label string) core.Options {
 	opt := core.PolarisOptions()
 	opt.Trace = r.Trace
 	opt.TraceLabel = label
+	opt.Observer = r.Observer
 	return opt
 }
 
@@ -82,6 +91,10 @@ type Fig7Row struct {
 	Name    string
 	Polaris float64
 	PFA     float64
+	// Coverage is the Polaris run's parallel-coverage fraction: the
+	// share of serial-equivalent work executed inside DOALL regions and
+	// passing speculative runs.
+	Coverage float64
 	// PolarisChecksum / PFAChecksum verify semantic equivalence with
 	// the serial run.
 	PolarisChecksum float64
@@ -101,20 +114,21 @@ func (r *Runner) Figure7(ctx context.Context, procs int) ([]Fig7Row, error) {
 		if err != nil {
 			return err
 		}
-		polT, polSum, err := r.runOne(ctx, p, procs, true, true)
+		pol, err := r.runOne(ctx, p, procs, true, true)
 		if err != nil {
 			return err
 		}
-		pfaT, pfaSum, err := r.runOne(ctx, p, procs, false, true)
+		pfa, err := r.runOne(ctx, p, procs, false, true)
 		if err != nil {
 			return err
 		}
 		rows[i] = Fig7Row{
 			Name:            p.Name,
-			Polaris:         float64(serial) / float64(polT),
-			PFA:             float64(serial) / float64(pfaT),
-			PolarisChecksum: polSum,
-			PFAChecksum:     pfaSum,
+			Polaris:         float64(serial) / float64(pol.cycles),
+			PFA:             float64(serial) / float64(pfa.cycles),
+			Coverage:        pol.coverage,
+			PolarisChecksum: pol.sum,
+			PFAChecksum:     pfa.sum,
 			SerialChecksum:  serialSum,
 		}
 		return nil
@@ -137,11 +151,19 @@ func (r *Runner) serialTime(ctx context.Context, p Program) (int64, float64, err
 	})
 }
 
+// runOutcome is one execution's measurements.
+type runOutcome struct {
+	cycles   int64
+	sum      float64
+	coverage float64
+}
+
 // runOne executes one program under one compiler configuration on
-// procs processors and returns (time, checksum). The compilation comes
-// from the cache; execution always gets a private clone of the
-// compiled program, so concurrent runs never share IR.
-func (r *Runner) runOne(ctx context.Context, p Program, procs int, polaris, validate bool) (int64, float64, error) {
+// procs processors. The compilation comes from the cache; execution
+// always gets a private clone of the compiled program, so concurrent
+// runs never share IR. Polaris runs report their metrics to the
+// Runner's Observer (labeled by program name).
+func (r *Runner) runOne(ctx context.Context, p Program, procs int, polaris, validate bool) (runOutcome, error) {
 	model := machine.Default().WithProcessors(procs)
 	var prog *ir.Program
 	if polaris {
@@ -149,13 +171,13 @@ func (r *Runner) runOne(ctx context.Context, p Program, procs int, polaris, vali
 			return core.CompileContext(ctx, p.Parse(), r.polarisOptions(p.Name))
 		})
 		if err != nil {
-			return 0, 0, fmt.Errorf("%s: compile: %w", p.Name, err)
+			return runOutcome{}, fmt.Errorf("%s: compile: %w", p.Name, err)
 		}
 		prog = execProgram(res)
 	} else {
 		res, err := r.cache.compileBaseline(p)
 		if err != nil {
-			return 0, 0, fmt.Errorf("%s: compile: %w", p.Name, err)
+			return runOutcome{}, fmt.Errorf("%s: compile: %w", p.Name, err)
 		}
 		prog = res.Result.Program.Clone()
 		model = model.WithCodegenFactor(res.Factor)
@@ -167,10 +189,13 @@ func (r *Runner) runOne(ctx context.Context, p Program, procs int, polaris, vali
 	// comparisons.
 	in.Validate = validate
 	if err := in.RunContext(ctx); err != nil {
-		return 0, 0, fmt.Errorf("%s: run: %w", p.Name, err)
+		return runOutcome{}, fmt.Errorf("%s: run: %w", p.Name, err)
+	}
+	if polaris {
+		r.Observer.Run(in.Metrics(p.Name))
 	}
 	sum, _ := in.Probe("OUT", "RESULT")
-	return in.Time(), sum, nil
+	return runOutcome{cycles: in.Time(), sum: sum, coverage: in.Coverage()}, nil
 }
 
 // Fig6Row is one point of the paper's Figure 6 pair, both measured at
@@ -262,7 +287,8 @@ func Figure6(maxP int) ([]Fig6Row, error) { return NewRunner().Figure6(context.B
 // RunOne executes one program under one compiler configuration on p
 // processors and returns (time, checksum).
 func RunOne(p Program, procs int, polaris bool) (int64, float64, error) {
-	return NewRunner().runOne(context.Background(), p, procs, polaris, true)
+	out, err := NewRunner().runOne(context.Background(), p, procs, polaris, true)
+	return out.cycles, out.sum, err
 }
 
 // SerialTime runs a program serially and returns (time, checksum).

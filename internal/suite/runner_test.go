@@ -215,18 +215,18 @@ func TestRunOneValidateFlag(t *testing.T) {
 	r := NewRunner()
 	p, _ := ByName("trfd")
 	ctx := context.Background()
-	t1, s1, err := r.runOne(ctx, p, 8, true, true)
+	o1, err := r.runOne(ctx, p, 8, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, s2, err := r.runOne(ctx, p, 8, true, false)
+	o2, err := r.runOne(ctx, p, 8, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if t1 != t2 {
-		t.Errorf("validate flag changed timing: %d vs %d", t1, t2)
+	if o1.cycles != o2.cycles {
+		t.Errorf("validate flag changed timing: %d vs %d", o1.cycles, o2.cycles)
 	}
-	if fmt.Sprintf("%.6g", s1) != fmt.Sprintf("%.6g", s2) {
-		t.Errorf("validate flag changed checksum beyond float drift: %v vs %v", s1, s2)
+	if fmt.Sprintf("%.6g", o1.sum) != fmt.Sprintf("%.6g", o2.sum) {
+		t.Errorf("validate flag changed checksum beyond float drift: %v vs %v", o1.sum, o2.sum)
 	}
 }

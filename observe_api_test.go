@@ -1,0 +1,146 @@
+package polaris_test
+
+// Tests for the public observability surface: WithObserver decision
+// provenance, ExecOptions.Observer runtime metrics, and the StreamTo
+// trace-schema v2 JSONL stream.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"polaris"
+)
+
+const observeSrc = `
+      PROGRAM OBS
+      REAL RESULT
+      COMMON /OUT/ RESULT
+      REAL A(200), B(200)
+      INTEGER I
+      DO I = 1, 200
+        A(I) = 0.5 * I
+      END DO
+      DO I = 2, 200
+        B(I) = B(I-1) + A(I)
+      END DO
+      RESULT = B(200)
+      END
+`
+
+func TestObserverDecisionProvenance(t *testing.T) {
+	prog, err := polaris.Parse(observeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := polaris.NewObserver()
+	var trace bytes.Buffer
+	obs.StreamTo(&trace)
+	res, err := polaris.Compile(context.Background(), prog,
+		polaris.WithTraceLabel("obs"), polaris.WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	finals := obs.FinalDecisions("obs")
+	if len(finals) != len(res.Loops) {
+		t.Fatalf("%d final decisions for %d loops", len(finals), len(res.Loops))
+	}
+	sawDoall, sawSerial := false, false
+	for _, d := range finals {
+		if !strings.Contains(d.Loop, "/L") {
+			t.Errorf("final decision without stable loop ID: %+v", d)
+		}
+		switch d.Verdict {
+		case "doall":
+			sawDoall = true
+			if d.Technique == "" {
+				t.Errorf("DOALL without enabling technique: %+v", d)
+			}
+		case "serial":
+			sawSerial = true
+			if d.Blocker == "" {
+				t.Errorf("serial verdict without blocker: %+v", d)
+			}
+		}
+	}
+	if !sawDoall || !sawSerial {
+		t.Fatalf("want one DOALL and one serial verdict, got %+v", finals)
+	}
+
+	// The recurrence loop explains its blocker; the init loop its
+	// technique. Matching by index variable resolves the query.
+	if got := obs.Explain("obs", "OBS/L20"); !strings.Contains(got, "serial — blocked by ") {
+		t.Errorf("recurrence explanation = %q", got)
+	}
+	if lines := obs.Explanations("obs"); len(lines) != len(res.Loops) {
+		t.Errorf("Explanations returned %d lines for %d loops", len(lines), len(res.Loops))
+	}
+	if trail := obs.Trail("obs", "L20"); len(trail) == 0 {
+		t.Error("empty decision trail for L20")
+	}
+
+	// Execute with the same observer: runtime metrics land under the
+	// run label and reconcile with the RunResult.
+	rr, err := polaris.Execute(res, polaris.ExecOptions{
+		Processors: 8, Observer: obs, Label: "obs-run",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := obs.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	run := runs[0]
+	if run.Label != "obs-run" || run.Processors != 8 {
+		t.Fatalf("run mislabeled: %+v", run)
+	}
+	if run.Coverage != rr.Coverage || run.ParallelWork != rr.ParallelWork {
+		t.Fatalf("observer run %+v disagrees with RunResult %+v", run, rr)
+	}
+	if run.Coverage <= 0 || run.Coverage >= 1 {
+		t.Fatalf("coverage %v, want in (0,1): one DOALL and one serial loop ran", run.Coverage)
+	}
+	if len(run.Loops) == 0 || run.Loops[0].Kind != "doall" || run.Loops[0].Execs == 0 {
+		t.Fatalf("missing doall loop stat: %+v", run.Loops)
+	}
+
+	// The streamed trace is schema v2 with a gapless sequence.
+	if err := obs.TraceErr(); err != nil {
+		t.Fatal(err)
+	}
+	var seq int64
+	for _, line := range strings.Split(strings.TrimSpace(trace.String()), "\n") {
+		var env struct {
+			V    string `json:"v"`
+			Seq  int64  `json:"seq"`
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if env.V != "2.0" {
+			t.Fatalf("trace line version %q, want 2.0", env.V)
+		}
+		if env.Seq != seq {
+			t.Fatalf("trace seq %d, want %d", env.Seq, seq)
+		}
+		seq++
+	}
+	if seq == 0 {
+		t.Fatal("empty trace stream")
+	}
+}
+
+func TestWithObserverNilIsNoop(t *testing.T) {
+	prog, err := polaris.Parse(observeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := polaris.Compile(context.Background(), prog, polaris.WithObserver(nil)); err != nil {
+		t.Fatal(err)
+	}
+}

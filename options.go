@@ -5,6 +5,7 @@ import (
 
 	"polaris/internal/core"
 	"polaris/internal/deps"
+	"polaris/internal/obsv"
 	"polaris/internal/passes"
 )
 
@@ -19,6 +20,7 @@ type compileConfig struct {
 	stats      *Stats
 	trace      *passes.TraceWriter
 	traceLabel string
+	observer   *obsv.Observer
 	processors int
 }
 

@@ -68,6 +68,10 @@ func (p *Program) Source() string { return p.ir.Fortran() }
 
 // LoopInfo describes one analyzed loop.
 type LoopInfo struct {
+	// ID is the loop's stable identity ("MAIN/L30"), shared with the
+	// observer's decision records and runtime metrics. Empty for
+	// baseline compilations.
+	ID       string
 	Unit     string
 	Index    string
 	Depth    int
@@ -128,7 +132,7 @@ func wrapResult(res *core.Result, factor float64) *Result {
 		InlinedCalls: res.InlinedCalls, InductionVariables: res.InductionVars}
 	for _, lr := range res.Loops {
 		out.Loops = append(out.Loops, LoopInfo{
-			Unit: lr.Unit, Index: lr.Index, Depth: lr.Depth,
+			ID: lr.ID, Unit: lr.Unit, Index: lr.Index, Depth: lr.Depth,
 			Parallel: lr.Parallel, RunTimeTest: lr.LRPD, Reason: lr.Reason,
 		})
 	}
@@ -182,6 +186,7 @@ func Compile(ctx context.Context, p *Program, opts ...Option) (*Result, error) {
 	}
 	copt.Trace = cfg.trace
 	copt.TraceLabel = cfg.traceLabel
+	copt.Observer = cfg.observer
 	res, err := core.CompileContext(ctx, p.ir, copt)
 	if err != nil {
 		return nil, err
@@ -269,6 +274,12 @@ type ExecOptions struct {
 	// "private" (default), "blocked", or "expanded" — the three forms
 	// of the paper's Section 3.2.
 	ReductionForm string
+	// Observer, when non-nil, records the run's metrics (per-loop
+	// cycles, parallel coverage, speculation outcomes) under Label.
+	Observer *Observer
+	// Label tags the run in the observer's records (typically the
+	// program name; matches the compilation's WithTraceLabel).
+	Label string
 }
 
 // RunResult reports a simulated execution.
@@ -277,6 +288,10 @@ type RunResult struct {
 	Cycles int64
 	// Work is the total serial-equivalent work executed.
 	Work int64
+	// ParallelWork is the portion of Work executed inside successful
+	// parallel regions; Coverage is ParallelWork/Work.
+	ParallelWork int64
+	Coverage     float64
 	// ParallelLoopExecs counts DOALL loop executions.
 	ParallelLoopExecs int64
 	// PDTestPasses / PDTestFailures count speculative loop outcomes.
@@ -338,9 +353,14 @@ func execute(ctx context.Context, prog *ir.Program, factor float64, opt ExecOpti
 		}
 		return nil, fmt.Errorf("polaris: execution: %w", err)
 	}
+	if opt.Observer != nil {
+		opt.Observer.inner.Run(in.Metrics(opt.Label))
+	}
 	return &RunResult{
 		Cycles:            in.Time(),
 		Work:              in.Work(),
+		ParallelWork:      in.ParallelWork(),
+		Coverage:          in.Coverage(),
 		ParallelLoopExecs: in.ParallelLoopExecs,
 		PDTestPasses:      in.LRPDPasses,
 		PDTestFailures:    in.LRPDFailures,
