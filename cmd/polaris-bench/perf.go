@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"polaris/internal/core"
+	"polaris/internal/suite"
+	"polaris/internal/symbolic"
+)
+
+// perfReport is the BENCH_polaris.json schema: the repo-root
+// performance-trajectory file CI regenerates and uploads on every
+// build, so compile-speed regressions are visible across commits.
+type perfReport struct {
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	Arch   string `json:"arch"`
+	// SuiteCompile is one cold-cache compilation of the full
+	// 16-program suite under the complete technique set.
+	SuiteCompile perfEntry `json:"suite_compile"`
+	// Prover microbenchmarks (see internal/symbolic/benchfix.go).
+	Prove        perfEntry `json:"prove"`
+	ProveColdEnv perfEntry `json:"prove_cold_env"`
+	Compare      perfEntry `json:"compare"`
+	// ProverStats aggregates the prover counters over the suite
+	// compile: the memo hit rate is the tentpole's payoff metric.
+	ProverStats symbolic.ProverStats `json:"prover_stats"`
+	MemoHitRate float64              `json:"memo_hit_rate"`
+}
+
+// perfEntry is one benchmark measurement.
+type perfEntry struct {
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func toEntry(r testing.BenchmarkResult) perfEntry {
+	return perfEntry{
+		N:           r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// writePerfJSON measures the perf trajectory and writes it to path.
+// The measurements mirror the testing.B benchmarks in
+// internal/symbolic and internal/suite, run through testing.Benchmark
+// so the binary needs no test harness.
+func writePerfJSON(ctx context.Context, path string) error {
+	rep := perfReport{
+		Schema: "polaris-bench-perf/v1",
+		Go:     runtime.Version(),
+		Arch:   runtime.GOOS + "/" + runtime.GOARCH,
+	}
+
+	symbolic.ResetProverStats()
+	progs := suite.All()
+	rep.SuiteCompile = toEntry(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range progs {
+				if _, err := core.CompileContext(ctx, p.Parse(), core.PolarisOptions()); err != nil {
+					b.Fatalf("%s: %v", p.Name, err)
+				}
+			}
+		}
+	}))
+	rep.ProverStats = symbolic.ReadProverStats()
+	if rep.ProverStats.Queries > 0 {
+		rep.MemoHitRate = float64(rep.ProverStats.MemoHits) / float64(rep.ProverStats.Queries)
+	}
+
+	env := symbolic.BenchEnv()
+	queries := symbolic.BenchQueries()
+	rep.Prove = toEntry(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				got := false
+				if q.Strict {
+					got = env.ProveGT(q.E)
+				} else {
+					got = env.ProveGE(q.E)
+				}
+				if got != q.Want {
+					b.Fatalf("%s: got %v want %v", q.Name, got, q.Want)
+				}
+			}
+		}
+	}))
+	rep.ProveColdEnv = toEntry(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cold := symbolic.BenchEnv()
+			for _, q := range queries {
+				got := false
+				if q.Strict {
+					got = cold.ProveGT(q.E)
+				} else {
+					got = cold.ProveGE(q.E)
+				}
+				if got != q.Want {
+					b.Fatalf("%s: got %v want %v", q.Name, got, q.Want)
+				}
+			}
+		}
+	}))
+	pairs := symbolic.BenchComparePairs()
+	rep.Compare = toEntry(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cold := symbolic.BenchEnv()
+			for _, pr := range pairs {
+				if got := cold.Compare(pr.A, pr.B); got != pr.Want {
+					b.Fatalf("%s: got %v want %v", pr.Name, got, pr.Want)
+				}
+			}
+		}
+	}))
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

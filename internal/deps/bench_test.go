@@ -1,0 +1,84 @@
+package deps
+
+import (
+	"testing"
+
+	"polaris/internal/ir"
+	"polaris/internal/parser"
+	"polaris/internal/rng"
+)
+
+// triangularSrc is the TRFD-style nest whose linearized triangular
+// subscript forces the range test (linear tests cannot decide it).
+const triangularSrc = `
+      PROGRAM TRI
+      INTEGER N, K, J
+      PARAMETER (N=40)
+      REAL A(820)
+      DO K = 1, N
+        DO J = 1, K
+          A(K*(K-1)/2 + J) = A(K*(K-1)/2 + J) + 1.0
+        END DO
+      END DO
+      END
+`
+
+func benchNest(b *testing.B) (*Tester, *ir.DoStmt, []Access) {
+	b.Helper()
+	prog, err := parser.ParseProgram(triangularSrc)
+	if err != nil {
+		b.Fatalf("parse: %v", err)
+	}
+	u := prog.Main()
+	t := NewTester(u, rng.New(u))
+	root := ir.Loops(u.Body)[0]
+	return t, root, CollectAccesses(root, nil)
+}
+
+// BenchmarkRangeTestPair measures one range-test pair query on the
+// triangular subscript: the per-pair unit of the O(n^2) scan.
+func BenchmarkRangeTestPair(b *testing.B) {
+	t, root, accesses := benchNest(b)
+	var wr, rd *Access
+	for i := range accesses {
+		if accesses[i].Array != "A" {
+			continue
+		}
+		if accesses[i].Write && wr == nil {
+			wr = &accesses[i]
+		}
+		if !accesses[i].Write && rd == nil {
+			rd = &accesses[i]
+		}
+	}
+	if wr == nil || rd == nil {
+		b.Fatal("triangular accesses not found")
+	}
+	ranged := map[string]bool{"J": true}
+	if !t.RangeTestPair(root, root, ranged, *wr, *rd) {
+		b.Fatal("triangular pair not proved independent")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !t.RangeTestPair(root, root, ranged, *wr, *rd) {
+			b.Fatal("triangular pair not proved independent")
+		}
+	}
+}
+
+// BenchmarkAnalyzeLoop measures the whole dependence analysis of the
+// triangular nest (access collection, linear tests, range test).
+func BenchmarkAnalyzeLoop(b *testing.B) {
+	t, root, _ := benchNest(b)
+	if v := t.AnalyzeLoop(root, Config{}); !v.Parallel {
+		b.Fatalf("triangular nest not parallel: %s", v.Reason)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := t.AnalyzeLoop(root, Config{}); !v.Parallel {
+			b.Fatalf("triangular nest not parallel: %s", v.Reason)
+		}
+	}
+}

@@ -137,6 +137,7 @@ type RunMetrics struct {
 type Observer struct {
 	mu        sync.Mutex
 	trace     *TraceWriter
+	next      *Observer
 	counters  map[string]int64
 	decisions []Decision
 	spans     []Span
@@ -146,6 +147,16 @@ type Observer struct {
 // NewObserver returns an empty Observer with no trace attached.
 func NewObserver() *Observer {
 	return &Observer{counters: map[string]int64{}}
+}
+
+// NewCapture returns an observer that records every event locally and
+// forwards each one, live and in order, to next (which may be nil).
+// The suite compile cache threads a capture through each compilation
+// so it can keep the per-loop Decision provenance alongside the cached
+// result and replay it on later cache hits, without disturbing the
+// downstream observer's live trace stream.
+func NewCapture(next *Observer) *Observer {
+	return &Observer{counters: map[string]int64{}, next: next}
 }
 
 // SetTrace attaches a trace writer; every subsequently recorded event
@@ -181,6 +192,7 @@ func (o *Observer) Count(name string, delta int64) {
 	o.mu.Lock()
 	o.counters[name] += delta
 	o.mu.Unlock()
+	o.next.Count(name, delta)
 }
 
 // Counters returns a copy of the counter map.
@@ -207,6 +219,7 @@ func (o *Observer) Decision(d Decision) {
 	t := o.trace
 	o.mu.Unlock()
 	t.EmitDecision(d)
+	o.next.Decision(d)
 }
 
 // Span records one pass execution.
@@ -219,6 +232,7 @@ func (o *Observer) Span(s Span) {
 	t := o.trace
 	o.mu.Unlock()
 	t.EmitSpan(s)
+	o.next.Span(s)
 }
 
 // Run records one interpreter run's metrics.
@@ -231,6 +245,7 @@ func (o *Observer) Run(r RunMetrics) {
 	t := o.trace
 	o.mu.Unlock()
 	t.EmitRun(r)
+	o.next.Run(r)
 }
 
 // Decisions returns a copy of all recorded decision records, in

@@ -14,12 +14,26 @@ import (
 	"polaris/internal/symbolic"
 )
 
-// Analyzer holds per-unit range information.
+// Analyzer holds per-unit range information. Like the constant table
+// built at New time, the Facts and LoopRange caches assume the unit's
+// IR is not mutated while the Analyzer is in use; transformation
+// passes construct a fresh Analyzer after rewriting.
 type Analyzer struct {
 	unit *ir.ProgramUnit
 	// consts maps scalar names to their propagated symbolic values
 	// (PARAMETER constants and provably single-assigned constants).
 	consts map[string]*symbolic.Expr
+	// facts caches Facts per target statement; the range test asks for
+	// the same statement's facts once per access pair (O(n^2) times).
+	// Callers must not mutate the returned slices.
+	facts map[ir.Stmt][]*symbolic.Expr
+	// loopRanges caches converted DO bounds per loop statement.
+	loopRanges map[*ir.DoStmt]loopRange
+}
+
+type loopRange struct {
+	lo, hi *symbolic.Expr
+	ok     bool
 }
 
 // New analyzes a program unit. The analysis is flow-insensitive for
@@ -28,7 +42,12 @@ type Analyzer struct {
 // to already-known constants) and flow-sensitive for guards and loop
 // bounds, which are collected per target statement.
 func New(u *ir.ProgramUnit) *Analyzer {
-	a := &Analyzer{unit: u, consts: map[string]*symbolic.Expr{}}
+	a := &Analyzer{
+		unit:       u,
+		consts:     map[string]*symbolic.Expr{},
+		facts:      map[ir.Stmt][]*symbolic.Expr{},
+		loopRanges: map[*ir.DoStmt]loopRange{},
+	}
 	for _, name := range u.Symbols.Names() {
 		s := u.Symbols.Lookup(name)
 		if s.Param != nil {
@@ -126,6 +145,15 @@ func (a *Analyzer) Conv(e ir.Expr) symbolic.Conv {
 // false when the bounds do not convert or the step is symbolic with
 // unknown sign.
 func (a *Analyzer) LoopRange(d *ir.DoStmt) (lo, hi *symbolic.Expr, ok bool) {
+	if r, hit := a.loopRanges[d]; hit {
+		return r.lo, r.hi, r.ok
+	}
+	lo, hi, ok = a.loopRange(d)
+	a.loopRanges[d] = loopRange{lo: lo, hi: hi, ok: ok}
+	return lo, hi, ok
+}
+
+func (a *Analyzer) loopRange(d *ir.DoStmt) (lo, hi *symbolic.Expr, ok bool) {
 	init := a.Conv(d.Init)
 	limit := a.Conv(d.Limit)
 	if !init.OK || !limit.OK {
@@ -155,19 +183,21 @@ func (a *Analyzer) LoopRange(d *ir.DoStmt) (lo, hi *symbolic.Expr, ok bool) {
 //     limit - init >= 0 hold (for positive constant step; mirrored for
 //     negative step).
 func (a *Analyzer) Facts(target ir.Stmt) []*symbolic.Expr {
-	var facts []*symbolic.Expr
-	path, found := a.pathTo(target)
-	if !found {
-		return nil
+	if f, hit := a.facts[target]; hit {
+		return f
 	}
-	for _, pe := range path {
-		switch {
-		case pe.do != nil:
-			facts = append(facts, a.loopFacts(pe.do)...)
-		case pe.ifStmt != nil:
-			facts = append(facts, a.condFacts(pe.ifStmt.Cond, pe.inElse)...)
+	var facts []*symbolic.Expr
+	if path, found := a.pathTo(target); found {
+		for _, pe := range path {
+			switch {
+			case pe.do != nil:
+				facts = append(facts, a.loopFacts(pe.do)...)
+			case pe.ifStmt != nil:
+				facts = append(facts, a.condFacts(pe.ifStmt.Cond, pe.inElse)...)
+			}
 		}
 	}
+	a.facts[target] = facts
 	return facts
 }
 

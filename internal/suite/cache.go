@@ -7,6 +7,7 @@ import (
 
 	"polaris/internal/core"
 	"polaris/internal/ir"
+	"polaris/internal/obsv"
 	"polaris/internal/pfa"
 )
 
@@ -18,8 +19,10 @@ type cacheKey struct {
 }
 
 // optKey fingerprints the technique-selection fields of core.Options.
-// Instrumentation fields (Stats, Trace, TraceLabel) are deliberately
-// excluded: they do not change the compiled program.
+// Instrumentation fields (Stats, Trace, TraceLabel, Observer) are
+// deliberately excluded: they do not change the compiled program.
+// TestOptKeyCoversOptions enforces that every future technique field
+// is added here.
 func optKey(o core.Options) string {
 	return fmt.Sprintf("%t%t%t%t%t%t%t%t%t%t%t%t",
 		o.Inline, o.Induction, o.SimpleInduction, o.Reductions,
@@ -28,80 +31,142 @@ func optKey(o core.Options) string {
 		o.InterprocConstants)
 }
 
-// serialEntry caches one serial execution outcome.
+// compiledEntry is one singleflight slot: the leader closes done after
+// filling res/err; waiters block on done. The captured per-loop
+// Decision provenance is kept so cache hits can replay it under their
+// own label — without replay, every hitting compilation would silently
+// lose its decision records from traces and `polaris explain`.
+type compiledEntry struct {
+	done      chan struct{}
+	res       *core.Result
+	err       error
+	decisions []obsv.Decision
+
+	mu      sync.Mutex
+	emitted map[string]bool // labels whose provenance is already out
+}
+
+// baselineEntry is the PFA singleflight slot.
+type baselineEntry struct {
+	done chan struct{}
+	res  *pfa.Result
+	err  error
+}
+
+// serialEntry is the serial-execution singleflight slot.
 type serialEntry struct {
+	done   chan struct{}
 	cycles int64
 	sum    float64
+	err    error
 }
 
 // compileCache memoizes compilations (Polaris configurations and the
 // PFA baseline) and serial executions, keyed by source content hash.
-// It is safe for concurrent use. Cached compiled programs are shared;
-// executions receive a fresh Clone so concurrent interpreter runs
-// never touch the same IR.
+// Each key is computed exactly once (singleflight): concurrent misses
+// elect one leader and the rest wait, so a shared trace writer sees
+// one span set and one decision set per compilation. It is safe for
+// concurrent use. Cached compiled programs are shared; executions
+// receive a fresh Clone so concurrent interpreter runs never touch the
+// same IR.
 type compileCache struct {
 	mu       sync.Mutex
-	compiled map[cacheKey]*core.Result
-	baseline map[[32]byte]*pfa.Result
-	serial   map[[32]byte]serialEntry
+	compiled map[cacheKey]*compiledEntry
+	baseline map[[32]byte]*baselineEntry
+	serial   map[[32]byte]*serialEntry
 }
 
 func newCompileCache() *compileCache {
 	return &compileCache{
-		compiled: map[cacheKey]*core.Result{},
-		baseline: map[[32]byte]*pfa.Result{},
-		serial:   map[[32]byte]serialEntry{},
+		compiled: map[cacheKey]*compiledEntry{},
+		baseline: map[[32]byte]*baselineEntry{},
+		serial:   map[[32]byte]*serialEntry{},
 	}
 }
 
 func srcHash(src string) [32]byte { return sha256.Sum256([]byte(src)) }
 
 // compile returns the cached compilation of p under opt, compiling on
-// miss. Two goroutines missing the same key may both compile; the
-// result is deterministic, so either insertion wins harmlessly.
-func (c *compileCache) compile(p Program, opt core.Options, compile func() (*core.Result, error)) (*core.Result, error) {
+// miss. Exactly one compilation happens per key; the leader threads a
+// capture observer through the compile so the entry keeps the decision
+// provenance, and every later hit under a not-yet-seen label replays
+// those decisions to opt.Observer relabeled for the hitting
+// compilation. Failed compiles are not cached (the key is released for
+// retry, e.g. after a context cancellation).
+func (c *compileCache) compile(p Program, opt core.Options, compileFn func(core.Options) (*core.Result, error)) (*core.Result, error) {
 	key := cacheKey{src: srcHash(p.Source), opts: optKey(opt)}
 	c.mu.Lock()
-	res, ok := c.compiled[key]
+	e, ok := c.compiled[key]
+	if !ok {
+		e = &compiledEntry{done: make(chan struct{})}
+		c.compiled[key] = e
+		c.mu.Unlock()
+		capture := obsv.NewCapture(opt.Observer)
+		copt := opt
+		copt.Observer = capture
+		e.res, e.err = compileFn(copt)
+		if e.err == nil {
+			e.decisions = capture.Decisions()
+			e.emitted = map[string]bool{opt.TraceLabel: true}
+		}
+		close(e.done)
+		if e.err != nil {
+			c.mu.Lock()
+			delete(c.compiled, key)
+			c.mu.Unlock()
+		}
+		return e.res, e.err
+	}
 	c.mu.Unlock()
-	if ok {
-		return res, nil
+	<-e.done
+	if e.err != nil {
+		return nil, e.err
 	}
-	res, err := compile()
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	if prev, ok := c.compiled[key]; ok {
-		res = prev
-	} else {
-		c.compiled[key] = res
-	}
-	c.mu.Unlock()
-	return res, nil
+	e.replay(opt.TraceLabel, opt.Observer)
+	return e.res, nil
 }
 
-// compileBaseline is the PFA analogue of compile.
+// replay emits the cached decision provenance to obs under label, once
+// per label per entry. Concurrent hits under one label (Figure 6 runs
+// the same compilation from every worker) emit a single copy.
+func (e *compiledEntry) replay(label string, obs *obsv.Observer) {
+	e.mu.Lock()
+	first := !e.emitted[label]
+	if first {
+		e.emitted[label] = true
+	}
+	e.mu.Unlock()
+	if !first {
+		return
+	}
+	for _, d := range e.decisions {
+		d.Label = label
+		obs.Decision(d)
+	}
+}
+
+// compileBaseline is the PFA analogue of compile (no provenance: the
+// baseline compiler records no decisions).
 func (c *compileCache) compileBaseline(p Program) (*pfa.Result, error) {
 	key := srcHash(p.Source)
 	c.mu.Lock()
-	res, ok := c.baseline[key]
+	e, ok := c.baseline[key]
+	if !ok {
+		e = &baselineEntry{done: make(chan struct{})}
+		c.baseline[key] = e
+		c.mu.Unlock()
+		e.res, e.err = pfa.Compile(p.Parse())
+		close(e.done)
+		if e.err != nil {
+			c.mu.Lock()
+			delete(c.baseline, key)
+			c.mu.Unlock()
+		}
+		return e.res, e.err
+	}
 	c.mu.Unlock()
-	if ok {
-		return res, nil
-	}
-	res, err := pfa.Compile(p.Parse())
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	if prev, ok := c.baseline[key]; ok {
-		res = prev
-	} else {
-		c.baseline[key] = res
-	}
-	c.mu.Unlock()
-	return res, nil
+	<-e.done
+	return e.res, e.err
 }
 
 // execProgram returns a private deep copy of a cached compiled
@@ -109,21 +174,25 @@ func (c *compileCache) compileBaseline(p Program) (*pfa.Result, error) {
 func execProgram(res *core.Result) *ir.Program { return res.Program.Clone() }
 
 // serialRun returns the cached serial (cycles, checksum) of p, running
-// it on miss.
+// it on miss; concurrent misses run once.
 func (c *compileCache) serialRun(p Program, run func() (int64, float64, error)) (int64, float64, error) {
 	key := srcHash(p.Source)
 	c.mu.Lock()
 	e, ok := c.serial[key]
-	c.mu.Unlock()
-	if ok {
-		return e.cycles, e.sum, nil
+	if !ok {
+		e = &serialEntry{done: make(chan struct{})}
+		c.serial[key] = e
+		c.mu.Unlock()
+		e.cycles, e.sum, e.err = run()
+		close(e.done)
+		if e.err != nil {
+			c.mu.Lock()
+			delete(c.serial, key)
+			c.mu.Unlock()
+		}
+		return e.cycles, e.sum, e.err
 	}
-	cycles, sum, err := run()
-	if err != nil {
-		return 0, 0, err
-	}
-	c.mu.Lock()
-	c.serial[key] = serialEntry{cycles: cycles, sum: sum}
 	c.mu.Unlock()
-	return cycles, sum, nil
+	<-e.done
+	return e.cycles, e.sum, e.err
 }

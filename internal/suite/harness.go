@@ -167,8 +167,8 @@ func (r *Runner) runOne(ctx context.Context, p Program, procs int, polaris, vali
 	model := machine.Default().WithProcessors(procs)
 	var prog *ir.Program
 	if polaris {
-		res, err := r.cache.compile(p, r.polarisOptions(p.Name), func() (*core.Result, error) {
-			return core.CompileContext(ctx, p.Parse(), r.polarisOptions(p.Name))
+		res, err := r.cache.compile(p, r.polarisOptions(p.Name), func(opt core.Options) (*core.Result, error) {
+			return core.CompileContext(ctx, p.Parse(), opt)
 		})
 		if err != nil {
 			return runOutcome{}, fmt.Errorf("%s: compile: %w", p.Name, err)
@@ -222,8 +222,8 @@ func (r *Runner) Figure6(ctx context.Context, maxP int) ([]Fig6Row, error) {
 	rows := make([]Fig6Row, maxP)
 	err = forEach(ctx, r.Workers, maxP, func(ctx context.Context, i int) error {
 		procs := i + 1
-		compiled, err := r.cache.compile(p, r.polarisOptions(p.Name), func() (*core.Result, error) {
-			return core.CompileContext(ctx, p.Parse(), r.polarisOptions(p.Name))
+		compiled, err := r.cache.compile(p, r.polarisOptions(p.Name), func(opt core.Options) (*core.Result, error) {
+			return core.CompileContext(ctx, p.Parse(), opt)
 		})
 		if err != nil {
 			return err
@@ -248,8 +248,8 @@ func (r *Runner) Figure6(ctx context.Context, maxP int) ([]Fig6Row, error) {
 		}
 		// Potential slowdown: a variant whose invocations all fail —
 		// (T_seq + T_pdt) / T_seq at the loop level.
-		slowCompiled, err := r.cache.compile(failingTrack, r.polarisOptions(failingTrack.Name), func() (*core.Result, error) {
-			return core.CompileContext(ctx, failingTrack.Parse(), r.polarisOptions(failingTrack.Name))
+		slowCompiled, err := r.cache.compile(failingTrack, r.polarisOptions(failingTrack.Name), func(opt core.Options) (*core.Result, error) {
+			return core.CompileContext(ctx, failingTrack.Parse(), opt)
 		})
 		if err != nil {
 			return err

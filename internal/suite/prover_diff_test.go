@@ -1,0 +1,58 @@
+package suite
+
+import (
+	"testing"
+
+	"polaris/internal/core"
+	"polaris/internal/fuzzgen"
+	"polaris/internal/parser"
+	"polaris/internal/symbolic"
+)
+
+// TestProverDifferential drives the optimized prover (masked
+// elimination + memo table) against the frozen Clone-based reference
+// implementation over every prove query issued while compiling the
+// 16-program suite and a fuzzgen corpus. Every top-level answer must
+// be identical — the memo and the mask are pure optimizations — and
+// the query/hit counters must show the memo actually being exercised,
+// so a silently disabled cache cannot pass.
+//
+// The same validation runs across the whole test suite when built with
+// -tags proverdiff; this test pins it into the default build.
+func TestProverDifferential(t *testing.T) {
+	symbolic.ResetProverStats()
+	symbolic.SetDiffCheck(true)
+	defer symbolic.SetDiffCheck(false)
+
+	for _, p := range All() {
+		if _, err := core.Compile(p.Parse(), core.PolarisOptions()); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		fp := fuzzgen.Generate(fuzzgen.Config{Seed: seed})
+		prog, err := parser.ParseProgram(fp.Source)
+		if err != nil {
+			t.Fatalf("fuzz seed %d: parse: %v", seed, err)
+		}
+		if _, err := core.Compile(prog, core.PolarisOptions()); err != nil {
+			t.Fatalf("fuzz seed %d: compile: %v", seed, err)
+		}
+	}
+
+	st := symbolic.ReadProverStats()
+	if st.Mismatches != 0 {
+		t.Fatalf("prover diverged from reference on %d of %d checked queries", st.Mismatches, st.DiffChecks)
+	}
+	if st.DiffChecks == 0 {
+		t.Fatal("differential check ran zero queries — the hook is disconnected")
+	}
+	if st.Queries == 0 {
+		t.Fatal("prover answered zero memoizable sub-queries — counters disconnected")
+	}
+	if st.MemoHits == 0 {
+		t.Fatal("memo table recorded zero hits across the whole suite — the cache is not exercised")
+	}
+	t.Logf("differential prover: %d top-level checks, %d sub-queries, %d memo hits (%.1f%%), 0 mismatches",
+		st.DiffChecks, st.Queries, st.MemoHits, 100*float64(st.MemoHits)/float64(st.Queries))
+}

@@ -73,9 +73,9 @@ func TestCompileCacheMemoizes(t *testing.T) {
 	r := NewRunner()
 	p, _ := ByName("trfd")
 	var compiles int32
-	build := func() (*core.Result, error) {
+	build := func(opt core.Options) (*core.Result, error) {
 		atomic.AddInt32(&compiles, 1)
-		return core.Compile(p.Parse(), core.PolarisOptions())
+		return core.Compile(p.Parse(), opt)
 	}
 	var wg sync.WaitGroup
 	results := make([]*core.Result, 8)
@@ -109,7 +109,7 @@ func TestCompileCacheMemoizes(t *testing.T) {
 	// A different option fingerprint is a different entry.
 	opt := core.PolarisOptions()
 	opt.Inline = false
-	other, err := r.cache.compile(p, opt, func() (*core.Result, error) {
+	other, err := r.cache.compile(p, opt, func(opt core.Options) (*core.Result, error) {
 		return core.Compile(p.Parse(), opt)
 	})
 	if err != nil {

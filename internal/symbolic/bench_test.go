@@ -1,0 +1,83 @@
+package symbolic
+
+import "testing"
+
+// runProveQueries issues the fixture query mix once against env,
+// failing the benchmark on any wrong answer.
+func runProveQueries(b *testing.B, env *Env, qs []BenchQuery) {
+	b.Helper()
+	for _, q := range qs {
+		var got bool
+		if q.Strict {
+			got = env.ProveGT(q.E)
+		} else {
+			got = env.ProveGE(q.E)
+		}
+		if got != q.Want {
+			b.Fatalf("%s: prove = %v, want %v", q.Name, got, q.Want)
+		}
+	}
+}
+
+// BenchmarkProve measures the steady-state prover cost on one shared
+// environment — the shape of the range test's O(n^2) access-pair scan,
+// where the same sub-proofs recur across pairs.
+func BenchmarkProve(b *testing.B) {
+	env := BenchEnv()
+	qs := BenchQueries()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runProveQueries(b, env, qs)
+	}
+}
+
+// BenchmarkProveColdEnv measures the cold cost: a fresh environment
+// per iteration, so nothing carries over between query batches.
+func BenchmarkProveColdEnv(b *testing.B) {
+	qs := BenchQueries()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runProveQueries(b, BenchEnv(), qs)
+	}
+}
+
+// BenchmarkCompare measures expression comparison (range
+// propagation's workhorse) on the fixture pairs.
+func BenchmarkCompare(b *testing.B) {
+	env := BenchEnv()
+	ps := BenchComparePairs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			if got := env.Compare(p.A, p.B); got != p.Want {
+				b.Fatalf("%s: Compare = %v, want %v", p.Name, got, p.Want)
+			}
+		}
+	}
+}
+
+// TestBenchFixtureAnswers pins the fixture's expected answers in a
+// plain test, so a prover change that breaks the fixture fails go test
+// (not only go test -bench).
+func TestBenchFixtureAnswers(t *testing.T) {
+	env := BenchEnv()
+	for _, q := range BenchQueries() {
+		var got bool
+		if q.Strict {
+			got = env.ProveGT(q.E)
+		} else {
+			got = env.ProveGE(q.E)
+		}
+		if got != q.Want {
+			t.Errorf("%s: prove = %v, want %v", q.Name, got, q.Want)
+		}
+	}
+	for _, p := range BenchComparePairs() {
+		if got := env.Compare(p.A, p.B); got != p.Want {
+			t.Errorf("%s: Compare = %v, want %v", p.Name, got, p.Want)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package symbolic
 
-import "math/big"
+import (
+	"math/big"
+	"sync/atomic"
+)
 
 // Bound is a symbolic interval for an integer-valued atom. A nil field
 // means unbounded on that side.
@@ -15,15 +18,73 @@ type Bound struct {
 // order (inner loop indices first, then outer indices, then symbolic
 // parameters), mirroring how the range test walks a loop nest from the
 // inside out.
+//
+// The prover eliminates variables through a positional mask over the
+// shared names/bounds (no copying) and memoizes sub-proofs per
+// environment generation. Push, PushFront and Remove bump the
+// generation, invalidating the memo and the positional index. An Env
+// is not safe for concurrent use.
 type Env struct {
 	names  []string
 	bounds map[string]Bound
+
+	// gen counts mutations; the memo and idx caches are only valid
+	// for the generation they were built against.
+	gen uint64
+
+	// idx maps name to its position in names (the mask bit index).
+	idx    map[string]int
+	idxGen uint64
+
+	// memo caches prove answers keyed by canonical query fingerprint.
+	memo    map[proveKey]bool
+	memoGen uint64
+}
+
+// proveKey fingerprints one prover query: the canonical expression
+// rendering, the strictness, the remaining depth budget, and the
+// elimination mask. Together with the environment's generation these
+// determine the answer exactly, so the memo is a pure cache.
+type proveKey struct {
+	expr   string
+	mask   uint64
+	depth  int8
+	strict bool
+}
+
+// elimMask marks eliminated variables by their position in Env.names.
+// The first 64 positions live in bits; deeper environments spill into
+// the over map (copy-on-write, unmemoized — real nests never get
+// there).
+type elimMask struct {
+	bits uint64
+	over map[int]bool
+}
+
+func (m elimMask) has(i int) bool {
+	if i < 64 {
+		return m.bits&(1<<uint(i)) != 0
+	}
+	return m.over[i]
+}
+
+func (m elimMask) with(i int) elimMask {
+	if i < 64 {
+		return elimMask{bits: m.bits | 1<<uint(i), over: m.over}
+	}
+	over := make(map[int]bool, len(m.over)+1)
+	for k, v := range m.over {
+		over[k] = v
+	}
+	over[i] = true
+	return elimMask{bits: m.bits, over: over}
 }
 
 // NewEnv returns an empty environment.
 func NewEnv() *Env { return &Env{bounds: map[string]Bound{}} }
 
-// Clone returns a copy sharing the (immutable) bound expressions.
+// Clone returns a copy sharing the (immutable) bound expressions. The
+// memo is not carried over: the clone is typically mutated next.
 func (v *Env) Clone() *Env {
 	c := NewEnv()
 	c.names = append(c.names, v.names...)
@@ -41,6 +102,7 @@ func (v *Env) Push(name string, b Bound) {
 		v.names = append(v.names, name)
 	}
 	v.bounds[name] = b
+	v.gen++
 }
 
 // PushFront inserts a variable at the beginning of the elimination
@@ -50,6 +112,7 @@ func (v *Env) PushFront(name string, b Bound) {
 		v.names = append([]string{name}, v.names...)
 	}
 	v.bounds[name] = b
+	v.gen++
 }
 
 // Remove deletes a variable from the environment.
@@ -64,6 +127,7 @@ func (v *Env) Remove(name string) {
 			break
 		}
 	}
+	v.gen++
 }
 
 // Lookup returns the bound for name.
@@ -74,6 +138,20 @@ func (v *Env) Lookup(name string) (Bound, bool) {
 
 // Names returns the elimination order.
 func (v *Env) Names() []string { return append([]string(nil), v.names...) }
+
+// indexOf returns name's position in the elimination order, rebuilding
+// the positional index when the environment has mutated.
+func (v *Env) indexOf(name string) (int, bool) {
+	if v.idx == nil || v.idxGen != v.gen {
+		v.idx = make(map[string]int, len(v.names))
+		for i, n := range v.names {
+			v.idx[n] = i
+		}
+		v.idxGen = v.gen
+	}
+	i, ok := v.idx[name]
+	return i, ok
+}
 
 // proveDepth caps the recursion of the prover; the bound covers any
 // realistic loop nest (each level eliminates one variable).
@@ -126,30 +204,69 @@ func (v *Env) MonotoneIn(e *Expr, name string) Monotonicity {
 	return MonoUnknown
 }
 
-// prove establishes e >= 0 (strict=false) or e > 0 (strict=true).
+// prove establishes e >= 0 (strict=false) or e > 0 (strict=true). With
+// the differential check enabled (build tag proverdiff or
+// SetDiffCheck), every answer is cross-validated against the
+// un-memoized reference prover.
 func (v *Env) prove(e *Expr, strict bool, depth int) bool {
-	if c, ok := e.Const(); ok {
+	got := v.proveMask(e, strict, depth, elimMask{})
+	if diffCheckEnabled() {
+		diffCompare(v, e, strict, depth, got)
+	}
+	return got
+}
+
+// proveMask is the memoized masked prover: positions set in m are
+// treated as eliminated from the environment.
+func (v *Env) proveMask(e *Expr, strict bool, depth int, m elimMask) bool {
+	if s, ok := e.constSign(); ok {
 		if strict {
-			return c.Sign() > 0
+			return s > 0
 		}
-		return c.Sign() >= 0
+		return s >= 0
 	}
 	if depth == 0 {
 		return false
 	}
+	statQueries.Add(1)
+	memoizable := m.over == nil
+	var key proveKey
+	if memoizable {
+		if v.memo == nil || v.memoGen != v.gen {
+			v.memo = make(map[proveKey]bool)
+			v.memoGen = v.gen
+		}
+		key = proveKey{expr: e.String(), mask: m.bits, depth: int8(depth), strict: strict}
+		if r, ok := v.memo[key]; ok {
+			statMemoHits.Add(1)
+			return r
+		}
+	}
+	r := v.proveSearch(e, strict, depth, m)
+	if memoizable {
+		v.memo[key] = r
+	}
+	return r
+}
+
+// proveSearch is the uncached elimination search behind proveMask.
+func (v *Env) proveSearch(e *Expr, strict bool, depth int, m elimMask) bool {
 	// Quick syntactic check: every monomial provably >= 0 and, for
 	// strict, a positive constant term.
-	if v.allTermsNonNeg(e) {
+	if v.allTermsNonNeg(e, m) {
 		if !strict {
 			return true
 		}
-		if e.ConstTerm().Sign() > 0 {
+		if e.constTermSign() > 0 {
 			return true
 		}
 	}
 	// Variable elimination in environment order: replace a variable by
 	// the bound that minimizes e, when e is provably monotone in it.
-	for _, name := range v.names {
+	for i, name := range v.names {
+		if m.has(i) {
+			continue
+		}
 		if !e.ContainsVar(name) {
 			continue
 		}
@@ -164,24 +281,23 @@ func (v *Env) prove(e *Expr, strict bool, depth int) bool {
 		// whole box, exactly as the range test does. Each difference
 		// lowers the degree in name, so the recursion terminates.
 		d := e.ForwardDiff(name)
-		rest := v.without(name)
 		switch {
 		case d.IsZero():
 			continue // cannot happen: ContainsVar implies a direct factor
-		case v.prove(d, false, depth-1):
+		case v.proveMask(d, false, depth-1, m):
 			// Non-decreasing: minimum at the lower bound.
 			if b.Lo == nil {
 				continue
 			}
-			if rest.prove(e.Subst(name, b.Lo), strict, depth-1) {
+			if v.proveMask(e.Subst(name, b.Lo), strict, depth-1, m.with(i)) {
 				return true
 			}
-		case v.prove(Neg(d), false, depth-1):
+		case v.proveMask(Neg(d), false, depth-1, m):
 			// Non-increasing: minimum at the upper bound.
 			if b.Hi == nil {
 				continue
 			}
-			if rest.prove(e.Subst(name, b.Hi), strict, depth-1) {
+			if v.proveMask(e.Subst(name, b.Hi), strict, depth-1, m.with(i)) {
 				return true
 			}
 		default:
@@ -194,29 +310,20 @@ func (v *Env) prove(e *Expr, strict bool, depth int) bool {
 	return false
 }
 
-// without returns the environment with name removed (bounds of other
-// variables are unchanged; by the ordering discipline they cannot
-// reference name).
-func (v *Env) without(name string) *Env {
-	c := v.Clone()
-	c.Remove(name)
-	return c
-}
-
 // allTermsNonNeg reports whether every monomial of e is provably
 // non-negative: positive coefficient and every atom in it provably
 // >= 0 with even powers free.
-func (v *Env) allTermsNonNeg(e *Expr) bool {
+func (v *Env) allTermsNonNeg(e *Expr, m elimMask) bool {
 	for _, t := range e.terms {
-		pos := t.coef.Sign() > 0
-		if !pos {
+		if t.coef.Sign() <= 0 {
 			return false
 		}
-		for _, f := range t.factors {
+		for i := range t.factors {
+			f := &t.factors[i]
 			if f.pow%2 == 0 {
 				continue
 			}
-			if !v.atomNonNeg(f.atom) {
+			if !v.atomNonNeg(f.atomKey(), m) {
 				return false
 			}
 		}
@@ -224,15 +331,62 @@ func (v *Env) allTermsNonNeg(e *Expr) bool {
 	return true
 }
 
-func (v *Env) atomNonNeg(a Atom) bool {
-	b, ok := v.bounds[a.key()]
+// atomNonNeg reports whether the atom with the given canonical key is
+// provably >= 0 in the masked environment view.
+func (v *Env) atomNonNeg(key string, m elimMask) bool {
+	b, ok := v.bounds[key]
 	if !ok || b.Lo == nil {
 		return false
 	}
-	if c, isC := b.Lo.Const(); isC {
-		return c.Sign() >= 0
+	i, inOrder := v.indexOf(key)
+	if inOrder && m.has(i) {
+		// Eliminated: its bound is no longer usable.
+		return false
 	}
-	return v.without(a.key()).prove(b.Lo, false, proveDepth/2)
+	if s, isC := b.Lo.constSign(); isC {
+		return s >= 0
+	}
+	rest := m
+	if inOrder {
+		rest = m.with(i)
+	}
+	return v.proveMask(b.Lo, false, proveDepth/2, rest)
+}
+
+// Prover statistics (process-wide, atomic): total memoizable prove
+// queries, memo hits, differential cross-checks and mismatches. The
+// bench harness and the differential tests read them.
+var (
+	statQueries    atomic.Int64
+	statMemoHits   atomic.Int64
+	statDiffChecks atomic.Int64
+	statDiffMiss   atomic.Int64
+)
+
+// ProverStats is a snapshot of the prover's counters.
+type ProverStats struct {
+	Queries    int64 `json:"queries"`
+	MemoHits   int64 `json:"memo_hits"`
+	DiffChecks int64 `json:"diff_checks,omitempty"`
+	Mismatches int64 `json:"mismatches,omitempty"`
+}
+
+// ReadProverStats returns the current counters.
+func ReadProverStats() ProverStats {
+	return ProverStats{
+		Queries:    statQueries.Load(),
+		MemoHits:   statMemoHits.Load(),
+		DiffChecks: statDiffChecks.Load(),
+		Mismatches: statDiffMiss.Load(),
+	}
+}
+
+// ResetProverStats zeroes the counters.
+func ResetProverStats() {
+	statQueries.Store(0)
+	statMemoHits.Store(0)
+	statDiffChecks.Store(0)
+	statDiffMiss.Store(0)
 }
 
 // MaxOver returns an expression for the maximum of e as the integer

@@ -1,0 +1,9 @@
+//go:build proverdiff
+
+package symbolic
+
+// Building with -tags proverdiff turns on differential validation of
+// every prover answer against the frozen reference implementation (see
+// prove_ref.go). The differential suite test reads the mismatch
+// counter via ReadProverStats.
+func init() { SetDiffCheck(true) }

@@ -5,12 +5,20 @@
 // forward differences, closed-form summation (Faulhaber), and
 // range-based monotonicity reasoning (the machinery of the range test
 // of Blume & Eigenmann and of range propagation).
+//
+// Exprs are immutable after construction and cache their canonical
+// fingerprints (term monomial keys, atom keys, the rendered String)
+// plus forward differences on first use. The caches make repeated
+// comparisons allocation-free but are not synchronized: values built
+// during one compilation must not be shared across goroutines (each
+// compilation builds its own expressions, so this never arises in
+// practice).
 package symbolic
 
 import (
-	"fmt"
 	"math/big"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -22,10 +30,19 @@ type Atom struct {
 	Name string
 	Args []*Expr
 	Call bool
+	// ck caches the canonical key ("" = not yet computed).
+	ck string
 }
 
 // key returns a canonical identity string for the atom.
 func (a Atom) key() string {
+	if a.ck != "" {
+		return a.ck
+	}
+	return a.computeKey()
+}
+
+func (a Atom) computeKey() string {
 	if a.Args == nil {
 		return a.Name
 	}
@@ -46,28 +63,52 @@ type factor struct {
 	pow  int
 }
 
+// atomKey returns the factor's atom key, caching it in place (factors
+// are never shared before their enclosing term is finalized).
+func (f *factor) atomKey() string {
+	if f.atom.ck == "" {
+		f.atom.ck = f.atom.computeKey()
+	}
+	return f.atom.ck
+}
+
 // term is a rational coefficient times a product of factors. Factors
-// are kept sorted by atom key.
+// are kept sorted by atom key and never mutated once the term is
+// finalized, so clones share the factor slice and the cached key.
 type term struct {
-	coef    *big.Rat
+	coef    qv
 	factors []factor
+	// mk caches monoKey ("" is the valid key of the constant term, so
+	// mkSet records computation).
+	mk    string
+	mkSet bool
 }
 
 func (t *term) monoKey() string {
+	if t.mkSet {
+		return t.mk
+	}
 	if len(t.factors) == 0 {
+		t.mk, t.mkSet = "", true
 		return ""
 	}
-	parts := make([]string, len(t.factors))
-	for i, f := range t.factors {
-		parts[i] = fmt.Sprintf("%s^%d", f.atom.key(), f.pow)
+	var b strings.Builder
+	for i := range t.factors {
+		if i > 0 {
+			b.WriteByte('*')
+		}
+		b.WriteString(t.factors[i].atomKey())
+		b.WriteByte('^')
+		b.WriteString(strconv.Itoa(t.factors[i].pow))
 	}
-	return strings.Join(parts, "*")
+	t.mk, t.mkSet = b.String(), true
+	return t.mk
 }
 
+// clone returns a copy safe to re-coefficient: factors (immutable) and
+// the cached monomial key are shared.
 func (t *term) clone() *term {
-	c := &term{coef: new(big.Rat).Set(t.coef), factors: make([]factor, len(t.factors))}
-	copy(c.factors, t.factors)
-	return c
+	return &term{coef: t.coef, factors: t.factors, mk: t.mk, mkSet: t.mkSet}
 }
 
 // Expr is a canonical sum of terms, keyed by monomial. The zero
@@ -75,6 +116,11 @@ func (t *term) clone() *term {
 // new values.
 type Expr struct {
 	terms map[string]*term
+	// str caches the canonical rendering ("" = not computed; the zero
+	// polynomial renders as "0", never "").
+	str string
+	// fd caches forward differences by variable.
+	fd map[string]*Expr
 }
 
 func newExpr() *Expr { return &Expr{terms: map[string]*term{}} }
@@ -85,7 +131,7 @@ func (e *Expr) addTerm(t *term) {
 	}
 	k := t.monoKey()
 	if old, ok := e.terms[k]; ok {
-		old.coef.Add(old.coef, t.coef)
+		old.coef = qvAdd(old.coef, t.coef)
 		if old.coef.Sign() == 0 {
 			delete(e.terms, k)
 		}
@@ -98,19 +144,23 @@ func (e *Expr) addTerm(t *term) {
 func Zero() *Expr { return newExpr() }
 
 // Int returns the constant polynomial v.
-func Int(v int64) *Expr { return Rat(big.NewRat(v, 1)) }
+func Int(v int64) *Expr {
+	e := newExpr()
+	e.addTerm(&term{coef: qvInt(v)})
+	return e
+}
 
 // Rat returns the constant polynomial r.
 func Rat(r *big.Rat) *Expr {
 	e := newExpr()
-	e.addTerm(&term{coef: new(big.Rat).Set(r)})
+	e.addTerm(&term{coef: qvFromRat(r)})
 	return e
 }
 
 // Var returns the polynomial consisting of the single variable name.
 func Var(name string) *Expr {
 	e := newExpr()
-	e.addTerm(&term{coef: big.NewRat(1, 1), factors: []factor{{atom: Atom{Name: name}, pow: 1}}})
+	e.addTerm(&term{coef: qvInt(1), factors: []factor{{atom: Atom{Name: name, ck: name}, pow: 1}}})
 	return e
 }
 
@@ -120,20 +170,27 @@ func Opaque(name string, args ...*Expr) *Expr {
 	if args == nil {
 		args = []*Expr{}
 	}
-	e := newExpr()
-	e.addTerm(&term{coef: big.NewRat(1, 1), factors: []factor{{atom: Atom{Name: name, Args: args}, pow: 1}}})
-	return e
+	return OpaqueAtom(Atom{Name: name, Args: args})
 }
 
 // OpaqueAtom returns a polynomial consisting of the single atom a.
 func OpaqueAtom(a Atom) *Expr {
+	if a.ck == "" {
+		a.ck = a.computeKey()
+	}
 	e := newExpr()
-	e.addTerm(&term{coef: big.NewRat(1, 1), factors: []factor{{atom: a, pow: 1}}})
+	e.addTerm(&term{coef: qvInt(1), factors: []factor{{atom: a, pow: 1}}})
 	return e
 }
 
 // Add returns a + b.
 func Add(a, b *Expr) *Expr {
+	if len(a.terms) == 0 {
+		return b
+	}
+	if len(b.terms) == 0 {
+		return a
+	}
 	e := newExpr()
 	for _, t := range a.terms {
 		e.addTerm(t)
@@ -152,7 +209,19 @@ func Neg(a *Expr) *Expr {
 	e := newExpr()
 	for _, t := range a.terms {
 		c := t.clone()
-		c.coef.Neg(c.coef)
+		c.coef = qvNeg(c.coef)
+		e.addTerm(c)
+	}
+	return e
+}
+
+// scale returns a with every coefficient multiplied by q (sharing the
+// factor slices; q must be nonzero).
+func scale(a *Expr, q qv) *Expr {
+	e := newExpr()
+	for _, t := range a.terms {
+		c := t.clone()
+		c.coef = qvMul(c.coef, q)
 		e.addTerm(c)
 	}
 	return e
@@ -160,6 +229,19 @@ func Neg(a *Expr) *Expr {
 
 // Mul returns a * b, combining factors and collecting like monomials.
 func Mul(a, b *Expr) *Expr {
+	// Constant operands reduce to scaling, sharing factor slices.
+	if c, ok := a.constQV(); ok {
+		if c.Sign() == 0 {
+			return Zero()
+		}
+		return scale(b, c)
+	}
+	if c, ok := b.constQV(); ok {
+		if c.Sign() == 0 {
+			return Zero()
+		}
+		return scale(a, c)
+	}
 	e := newExpr()
 	for _, ta := range a.terms {
 		for _, tb := range b.terms {
@@ -170,18 +252,19 @@ func Mul(a, b *Expr) *Expr {
 }
 
 func mulTerms(a, b *term) *term {
-	t := &term{coef: new(big.Rat).Mul(a.coef, b.coef)}
+	t := &term{coef: qvMul(a.coef, b.coef)}
 	t.factors = append(t.factors, a.factors...)
 	for _, f := range b.factors {
 		t.factors = appendFactor(t.factors, f)
 	}
-	sort.Slice(t.factors, func(i, j int) bool { return t.factors[i].atom.key() < t.factors[j].atom.key() })
+	sort.Slice(t.factors, func(i, j int) bool { return t.factors[i].atomKey() < t.factors[j].atomKey() })
 	return t
 }
 
 func appendFactor(fs []factor, f factor) []factor {
+	fk := f.atomKey()
 	for i := range fs {
-		if fs[i].atom.key() == f.atom.key() {
+		if fs[i].atomKey() == fk {
 			out := make([]factor, len(fs))
 			copy(out, fs)
 			out[i].pow += f.pow
@@ -193,13 +276,10 @@ func appendFactor(fs []factor, f factor) []factor {
 
 // MulRat returns a scaled by the rational r.
 func MulRat(a *Expr, r *big.Rat) *Expr {
-	e := newExpr()
-	for _, t := range a.terms {
-		c := t.clone()
-		c.coef.Mul(c.coef, r)
-		e.addTerm(c)
+	if r.Sign() == 0 {
+		return Zero()
 	}
-	return e
+	return scale(a, qvFromRat(r))
 }
 
 // DivInt returns a divided by the nonzero integer d (exact rational
@@ -216,8 +296,14 @@ func Pow(a *Expr, n int) *Expr {
 	if n < 0 {
 		panic("symbolic: negative exponent")
 	}
-	r := Int(1)
-	for i := 0; i < n; i++ {
+	switch n {
+	case 0:
+		return Int(1)
+	case 1:
+		return a
+	}
+	r := a
+	for i := 1; i < n; i++ {
 		r = Mul(r, a)
 	}
 	return r
@@ -226,36 +312,76 @@ func Pow(a *Expr, n int) *Expr {
 // IsZero reports whether e is the zero polynomial.
 func (e *Expr) IsZero() bool { return len(e.terms) == 0 }
 
-// Const returns the value and true if e is a constant polynomial.
-func (e *Expr) Const() (*big.Rat, bool) {
+// constQV returns the value as a qv and true if e is a constant
+// polynomial (no allocation).
+func (e *Expr) constQV() (qv, bool) {
 	switch len(e.terms) {
 	case 0:
-		return big.NewRat(0, 1), true
+		return qv{n: 0, d: 1}, true
 	case 1:
 		if t, ok := e.terms[""]; ok {
-			return new(big.Rat).Set(t.coef), true
+			return t.coef, true
 		}
 	}
-	return nil, false
+	return qv{}, false
+}
+
+// constSign returns the sign of e and true when e is constant,
+// without allocating.
+func (e *Expr) constSign() (int, bool) {
+	c, ok := e.constQV()
+	if !ok {
+		return 0, false
+	}
+	return c.Sign(), true
+}
+
+// Const returns the value and true if e is a constant polynomial.
+func (e *Expr) Const() (*big.Rat, bool) {
+	c, ok := e.constQV()
+	if !ok {
+		return nil, false
+	}
+	return c.Rat(), true
 }
 
 // ConstTerm returns the constant term of e (zero if none).
 func (e *Expr) ConstTerm() *big.Rat {
 	if t, ok := e.terms[""]; ok {
-		return new(big.Rat).Set(t.coef)
+		return t.coef.Rat()
 	}
 	return big.NewRat(0, 1)
 }
 
+// constTermSign returns the sign of the constant term, without
+// allocating.
+func (e *Expr) constTermSign() int {
+	if t, ok := e.terms[""]; ok {
+		return t.coef.Sign()
+	}
+	return 0
+}
+
 // Equal reports whether a and b are the same polynomial.
-func Equal(a, b *Expr) bool { return Sub(a, b).IsZero() }
+func Equal(a, b *Expr) bool {
+	if len(a.terms) != len(b.terms) {
+		return false
+	}
+	for k, ta := range a.terms {
+		tb, ok := b.terms[k]
+		if !ok || qvCmp(ta.coef, tb.coef) != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // ContainsVar reports whether e references the plain variable name,
 // including inside opaque-atom arguments.
 func (e *Expr) ContainsVar(name string) bool {
 	for _, t := range e.terms {
-		for _, f := range t.factors {
-			if atomContainsVar(f.atom, name) {
+		for i := range t.factors {
+			if atomContainsVar(t.factors[i].atom, name) {
 				return true
 			}
 		}
@@ -313,13 +439,23 @@ func (e *Expr) HasOpaque() bool {
 func (e *Expr) OpaqueAtoms() map[string]Atom {
 	out := map[string]Atom{}
 	for _, t := range e.terms {
-		for _, f := range t.factors {
-			if f.atom.Args != nil {
-				out[f.atom.key()] = f.atom
+		for i := range t.factors {
+			if t.factors[i].atom.Args != nil {
+				out[t.factors[i].atomKey()] = t.factors[i].atom
 			}
 		}
 	}
 	return out
+}
+
+// termContainsVar reports whether any factor of t references name.
+func termContainsVar(t *term, name string) bool {
+	for i := range t.factors {
+		if atomContainsVar(t.factors[i].atom, name) {
+			return true
+		}
+	}
+	return false
 }
 
 // Subst returns e with every occurrence of the plain variable name
@@ -327,7 +463,13 @@ func (e *Expr) OpaqueAtoms() map[string]Atom {
 func (e *Expr) Subst(name string, repl *Expr) *Expr {
 	out := newExpr()
 	for _, t := range e.terms {
-		part := Rat(t.coef)
+		// Terms not touching name carry over unchanged (the common
+		// case: elimination rewrites one variable of many).
+		if !termContainsVar(t, name) {
+			out.addTerm(t)
+			continue
+		}
+		part := ratTerm(t.coef)
 		for _, f := range t.factors {
 			var base *Expr
 			switch {
@@ -344,9 +486,18 @@ func (e *Expr) Subst(name string, repl *Expr) *Expr {
 			}
 			part = Mul(part, Pow(base, f.pow))
 		}
-		out = Add(out, part)
+		for _, pt := range part.terms {
+			out.addTerm(pt)
+		}
 	}
 	return out
+}
+
+// ratTerm returns the constant polynomial with coefficient q.
+func ratTerm(q qv) *Expr {
+	e := newExpr()
+	e.addTerm(&term{coef: q})
+	return e
 }
 
 // SubstAtom replaces every occurrence of the atom with key atomKey by
@@ -354,10 +505,22 @@ func (e *Expr) Subst(name string, repl *Expr) *Expr {
 func (e *Expr) SubstAtom(atomKey string, repl *Expr) *Expr {
 	out := newExpr()
 	for _, t := range e.terms {
-		part := Rat(t.coef)
-		for _, f := range t.factors {
+		touched := false
+		for i := range t.factors {
+			if t.factors[i].atomKey() == atomKey {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			out.addTerm(t)
+			continue
+		}
+		part := ratTerm(t.coef)
+		for i := range t.factors {
+			f := &t.factors[i]
 			var base *Expr
-			if f.atom.key() == atomKey {
+			if f.atomKey() == atomKey {
 				base = repl
 			} else if f.atom.Args == nil {
 				base = Var(f.atom.Name)
@@ -366,16 +529,27 @@ func (e *Expr) SubstAtom(atomKey string, repl *Expr) *Expr {
 			}
 			part = Mul(part, Pow(base, f.pow))
 		}
-		out = Add(out, part)
+		for _, pt := range part.terms {
+			out.addTerm(pt)
+		}
 	}
 	return out
 }
 
 // ForwardDiff returns e(v+1) - e(v): the first forward difference with
 // respect to the integer variable v, the monotonicity probe of the
-// range test.
+// range test. The result is cached per variable: the range test probes
+// the same expressions repeatedly across access pairs.
 func (e *Expr) ForwardDiff(v string) *Expr {
-	return Sub(e.Subst(v, Add(Var(v), Int(1))), e)
+	if d, ok := e.fd[v]; ok {
+		return d
+	}
+	d := Sub(e.Subst(v, Add(Var(v), Int(1))), e)
+	if e.fd == nil {
+		e.fd = map[string]*Expr{}
+	}
+	e.fd[v] = d
+	return d
 }
 
 // DegreeIn returns the highest power of the plain variable v occurring
@@ -415,7 +589,7 @@ func (e *Expr) CoeffsIn(v string) (coeffs []*Expr, ok bool) {
 	}
 	for _, t := range e.terms {
 		d := 0
-		rest := &term{coef: new(big.Rat).Set(t.coef)}
+		rest := &term{coef: t.coef}
 		for _, f := range t.factors {
 			if f.atom.Args == nil && f.atom.Name == v {
 				d = f.pow
@@ -436,7 +610,7 @@ func (e *Expr) CoeffsIn(v string) (coeffs []*Expr, ok bool) {
 func (e *Expr) Eval(env func(Atom) (*big.Rat, bool)) (*big.Rat, bool) {
 	total := big.NewRat(0, 1)
 	for _, t := range e.terms {
-		v := new(big.Rat).Set(t.coef)
+		v := t.coef.Rat()
 		for _, f := range t.factors {
 			av, ok := env(f.atom)
 			if !ok {
@@ -471,7 +645,7 @@ func (e *Expr) EvalInt(vals map[string]int64) (*big.Rat, bool) {
 func (e *Expr) DenominatorLCM() *big.Int {
 	l := big.NewInt(1)
 	for _, t := range e.terms {
-		d := t.coef.Denom()
+		d := t.coef.Rat().Denom()
 		g := new(big.Int).GCD(nil, nil, l, d)
 		l.Div(l, g)
 		l.Mul(l, d)
@@ -480,10 +654,16 @@ func (e *Expr) DenominatorLCM() *big.Int {
 }
 
 // String renders the polynomial canonically: monomials sorted by key,
-// coefficients as integers or fractions.
+// coefficients as integers or fractions. The rendering doubles as the
+// expression's canonical fingerprint (the prover's memo key) and is
+// cached on first use.
 func (e *Expr) String() string {
+	if e.str != "" {
+		return e.str
+	}
 	if len(e.terms) == 0 {
-		return "0"
+		e.str = "0"
+		return e.str
 	}
 	keys := make([]string, 0, len(e.terms))
 	for k := range e.terms {
@@ -495,7 +675,7 @@ func (e *Expr) String() string {
 		t := e.terms[k]
 		c := t.coef
 		neg := c.Sign() < 0
-		abs := new(big.Rat).Abs(c)
+		abs := new(big.Rat).Abs(c.big())
 		if i == 0 {
 			if neg {
 				b.WriteString("-")
@@ -506,7 +686,7 @@ func (e *Expr) String() string {
 			b.WriteString("+")
 		}
 		mono := t.monoKey()
-		one := abs.Cmp(big.NewRat(1, 1)) == 0
+		one := abs.Cmp(ratOne) == 0
 		switch {
 		case mono == "":
 			b.WriteString(ratString(abs))
@@ -516,7 +696,8 @@ func (e *Expr) String() string {
 			b.WriteString(ratString(abs) + "*" + mono)
 		}
 	}
-	return b.String()
+	e.str = b.String()
+	return e.str
 }
 
 func ratString(r *big.Rat) string {

@@ -156,7 +156,7 @@ func sumToIR(e *Expr) ir.Expr {
 	for _, k := range keys {
 		t := e.terms[k]
 		neg := t.coef.Sign() < 0
-		abs := new(big.Rat).Abs(t.coef)
+		abs := new(big.Rat).Abs(t.coef.Rat())
 		piece := termToIR(abs, t.factors)
 		switch {
 		case out == nil && neg:

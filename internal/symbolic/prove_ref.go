@@ -1,0 +1,120 @@
+package symbolic
+
+import "sync/atomic"
+
+// This file preserves the pre-mask prover verbatim as a differential
+// reference: every Clone-based elimination step the optimized
+// proveMask replaced lives on here, un-memoized. With the check
+// enabled (build tag proverdiff, or SetDiffCheck from a test), each
+// top-level prove answer is cross-validated against proveRef and
+// mismatches are counted in the prover stats. The reference must stay
+// semantically frozen — it is the spec the fast path is measured
+// against.
+
+var diffCheck atomic.Bool
+
+// SetDiffCheck toggles differential validation of every prove answer
+// against the reference prover. Expensive; tests only.
+func SetDiffCheck(on bool) { diffCheck.Store(on) }
+
+func diffCheckEnabled() bool { return diffCheck.Load() }
+
+// diffCompare re-proves the query with the reference prover and counts
+// a mismatch if the answers differ.
+func diffCompare(v *Env, e *Expr, strict bool, depth int, got bool) {
+	statDiffChecks.Add(1)
+	if v.proveRef(e, strict, depth) != got {
+		statDiffMiss.Add(1)
+	}
+}
+
+// proveRef establishes e >= 0 (strict=false) or e > 0 (strict=true)
+// with the original Clone-per-elimination search.
+func (v *Env) proveRef(e *Expr, strict bool, depth int) bool {
+	if c, ok := e.Const(); ok {
+		if strict {
+			return c.Sign() > 0
+		}
+		return c.Sign() >= 0
+	}
+	if depth == 0 {
+		return false
+	}
+	// Quick syntactic check: every monomial provably >= 0 and, for
+	// strict, a positive constant term.
+	if v.allTermsNonNegRef(e) {
+		if !strict {
+			return true
+		}
+		if e.ConstTerm().Sign() > 0 {
+			return true
+		}
+	}
+	// Variable elimination in environment order: replace a variable by
+	// the bound that minimizes e, when e is provably monotone in it.
+	for _, name := range v.names {
+		if !e.ContainsVar(name) {
+			continue
+		}
+		if _, inOpaque := e.DegreeIn(name); inOpaque {
+			continue
+		}
+		b := v.bounds[name]
+		d := e.ForwardDiff(name)
+		rest := v.withoutRef(name)
+		switch {
+		case d.IsZero():
+			continue
+		case v.proveRef(d, false, depth-1):
+			if b.Lo == nil {
+				continue
+			}
+			if rest.proveRef(e.Subst(name, b.Lo), strict, depth-1) {
+				return true
+			}
+		case v.proveRef(Neg(d), false, depth-1):
+			if b.Hi == nil {
+				continue
+			}
+			if rest.proveRef(e.Subst(name, b.Hi), strict, depth-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// withoutRef returns a copy of the environment with name removed.
+func (v *Env) withoutRef(name string) *Env {
+	c := v.Clone()
+	c.Remove(name)
+	return c
+}
+
+func (v *Env) allTermsNonNegRef(e *Expr) bool {
+	for _, t := range e.terms {
+		if t.coef.Sign() <= 0 {
+			return false
+		}
+		for _, f := range t.factors {
+			if f.pow%2 == 0 {
+				continue
+			}
+			if !v.atomNonNegRef(f.atom) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (v *Env) atomNonNegRef(a Atom) bool {
+	b, ok := v.bounds[a.key()]
+	if !ok || b.Lo == nil {
+		return false
+	}
+	if c, isC := b.Lo.Const(); isC {
+		return c.Sign() >= 0
+	}
+	return v.withoutRef(a.key()).proveRef(b.Lo, false, proveDepth/2)
+}
