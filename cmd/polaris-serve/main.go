@@ -1,0 +1,99 @@
+// Command polaris-serve runs the Polaris compile service: a
+// long-running HTTP/JSON front end over the restructuring pipeline.
+//
+// Usage:
+//
+//	polaris-serve [-addr :8080] [-workers N] [-queue N]
+//	              [-timeout 10s] [-max-timeout 30s]
+//	              [-cache-entries N] [-cache-bytes N]
+//	              [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/compile  {"source": "...", "label": "...", "techniques": [...],
+//	                   "baseline": false, "timeout_ms": 0}
+//	                  → verdicts, per-loop decision provenance, pass report
+//	POST /v1/explain  {"source": "...", "loop": "MAIN/L30", "verbose": true}
+//	                  → the `polaris explain` surface as JSON
+//	GET  /healthz     → 200 ok (503 while draining)
+//	GET  /metrics     → obsv counters + cache/queue gauges (JSON)
+//
+// Requests flow through a bounded admission layer (worker pool plus a
+// fixed-depth queue; overflow is shed with 429 + Retry-After) and a
+// per-request deadline that propagates through the pass manager. On
+// SIGTERM or SIGINT the listener stops, in-flight compiles drain, and
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"polaris/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent compilations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond the worker pool")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request compile deadline")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
+	cacheEntries := flag.Int("cache-entries", 1024, "compile cache LRU entry cap")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "compile cache LRU byte cap")
+	maxSource := flag.Int64("max-source-bytes", 1<<20, "request body size cap")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxSourceBytes: *maxSource,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("polaris-serve: listen %s: %v", *addr, err)
+	}
+	log.Printf("polaris-serve: listening on %s", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("polaris-serve: serve: %v", err)
+		}
+		return
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("polaris-serve: draining (up to %v)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "polaris-serve: drain: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "polaris-serve: serve: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("polaris-serve: drained, exiting")
+}

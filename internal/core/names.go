@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// techniqueNames maps the canonical wire names of the techniques (the
+// strings polaris-serve accepts and polaris.TechniquesFromNames
+// parses) to the Options fields they select, in the paper's pipeline
+// order. This is the single source of truth for the wire format; the
+// public polaris package and the HTTP server both build on it.
+var techniqueNames = []struct {
+	name string
+	set  func(*Options)
+	get  func(Options) bool
+}{
+	{"inline", func(o *Options) { o.Inline = true }, func(o Options) bool { return o.Inline }},
+	{"induction", func(o *Options) { o.Induction = true }, func(o Options) bool { return o.Induction }},
+	{"simple-induction", func(o *Options) { o.SimpleInduction = true }, func(o Options) bool { return o.SimpleInduction }},
+	{"reductions", func(o *Options) { o.Reductions = true }, func(o Options) bool { return o.Reductions }},
+	{"histogram-reductions", func(o *Options) { o.HistogramReduction = true }, func(o Options) bool { return o.HistogramReduction }},
+	{"array-privatization", func(o *Options) { o.ArrayPrivatization = true }, func(o Options) bool { return o.ArrayPrivatization }},
+	{"range-test", func(o *Options) { o.RangeTest = true }, func(o Options) bool { return o.RangeTest }},
+	{"loop-permutation", func(o *Options) { o.Permutation = true }, func(o Options) bool { return o.Permutation }},
+	{"run-time-test", func(o *Options) { o.LRPD = true }, func(o Options) bool { return o.LRPD }},
+	{"strength-reduction", func(o *Options) { o.StrengthReduction = true }, func(o Options) bool { return o.StrengthReduction }},
+	{"loop-normalization", func(o *Options) { o.Normalize = true }, func(o Options) bool { return o.Normalize }},
+	{"interprocedural-constants", func(o *Options) { o.InterprocConstants = true }, func(o Options) bool { return o.InterprocConstants }},
+}
+
+// TechniqueNames returns the canonical technique names, in pipeline
+// order.
+func TechniqueNames() []string {
+	out := make([]string, len(techniqueNames))
+	for i, f := range techniqueNames {
+		out[i] = f.name
+	}
+	return out
+}
+
+// OptionsFromNames builds a technique selection from canonical names.
+// An unknown name is an error naming the offender and the valid set;
+// an empty list is the empty selection (callers wanting the default
+// should use PolarisOptions).
+func OptionsFromNames(names []string) (Options, error) {
+	var o Options
+	for _, n := range names {
+		found := false
+		for _, f := range techniqueNames {
+			if f.name == n {
+				f.set(&o)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Options{}, fmt.Errorf("unknown technique %q (valid: %s)",
+				n, strings.Join(TechniqueNames(), ", "))
+		}
+	}
+	return o, nil
+}
+
+// NamesOf returns the canonical names of the techniques enabled in o,
+// in pipeline order — the inverse of OptionsFromNames.
+func NamesOf(o Options) []string {
+	var out []string
+	for _, f := range techniqueNames {
+		if f.get(o) {
+			out = append(out, f.name)
+		}
+	}
+	return out
+}

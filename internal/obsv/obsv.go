@@ -195,6 +195,17 @@ func (o *Observer) Count(name string, delta int64) {
 	o.next.Count(name, delta)
 }
 
+// Counter returns the current value of one named counter (0 when the
+// counter has never been incremented).
+func (o *Observer) Counter(name string) int64 {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.counters[name]
+}
+
 // Counters returns a copy of the counter map.
 func (o *Observer) Counters() map[string]int64 {
 	if o == nil {

@@ -13,6 +13,7 @@ package passes
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -75,6 +76,9 @@ func Func(name string, run func(*Context) error) Pass {
 type Error struct {
 	Pass string
 	Err  error
+	// Stack is the goroutine stack captured when the pass panicked;
+	// empty for ordinary pass failures.
+	Stack string
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("pass %s: %v", e.Pass, e.Err) }
@@ -117,8 +121,11 @@ func (m *Manager) Passes() []string {
 // Run executes the registered passes in order over prog. Cancellation
 // is checked between passes (and inside cooperating passes via
 // Context.Err); on cancellation ctx.Err() is returned promptly. A pass
-// failure is wrapped in *Error and aborts the pipeline. The report
-// covers every pass that ran, including a failed final one.
+// failure is wrapped in *Error and aborts the pipeline; a pass panic
+// is recovered into a *Error carrying the pass name and the captured
+// stack, so one bad compilation cannot take down a process serving
+// many. The report covers every pass that ran, including a failed
+// final one.
 func (m *Manager) Run(ctx context.Context, prog *ir.Program) (*PipelineReport, error) {
 	rep := &PipelineReport{Label: m.Label}
 	for i, p := range m.passes {
@@ -127,7 +134,7 @@ func (m *Manager) Run(ctx context.Context, prog *ir.Program) (*PipelineReport, e
 		}
 		pc := &Context{ctx: ctx, Program: prog, metrics: map[string]int64{}}
 		start := time.Now()
-		err := p.Run(pc)
+		err, panicErr := runPass(p, pc)
 		elapsed := time.Since(start)
 		ev := Event{
 			Seq:        i,
@@ -155,6 +162,11 @@ func (m *Manager) Run(ctx context.Context, prog *ir.Program) (*PipelineReport, e
 			Err:        ev.Err,
 		})
 		if err != nil {
+			if panicErr != nil {
+				// A panic is a pipeline bug, never a cancellation: report
+				// it even when ctx has since been canceled.
+				return rep, panicErr
+			}
 			if ctx.Err() != nil {
 				// A cooperating pass bailed out on cancellation: report
 				// the context error itself, as callers expect.
@@ -164,6 +176,23 @@ func (m *Manager) Run(ctx context.Context, prog *ir.Program) (*PipelineReport, e
 		}
 	}
 	return rep, nil
+}
+
+// runPass executes one pass, converting a panic into a *Error with the
+// pass name and captured stack. The second return is non-nil exactly
+// when the pass panicked (and then equals the first).
+func runPass(p Pass, pc *Context) (err error, panicErr *Error) {
+	defer func() {
+		if v := recover(); v != nil {
+			panicErr = &Error{
+				Pass:  p.Name(),
+				Err:   fmt.Errorf("panic: %v", v),
+				Stack: string(debug.Stack()),
+			}
+			err = panicErr
+		}
+	}()
+	return p.Run(pc), nil
 }
 
 // PipelineReport aggregates the instrumentation of one pipeline run.

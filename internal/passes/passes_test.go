@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -144,5 +145,78 @@ func TestEventMutationSummaryAndReportString(t *testing.T) {
 	s := rep.String()
 	if !bytes.Contains([]byte(s), []byte("pipeline x:")) || !bytes.Contains([]byte(s), []byte("a=1 b=2")) {
 		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestManagerRecoversPassPanic: a panicking pass must not kill the
+// process. The panic is recovered into a *Error carrying the pass name
+// and the captured stack, the failed pass still gets its trace event
+// and span (with the error recorded), later passes do not run, and the
+// report covers everything that executed.
+func TestManagerRecoversPassPanic(t *testing.T) {
+	var buf bytes.Buffer
+	var after bool
+	m := NewManager("boom", NewTraceWriter(&buf))
+	m.Add(
+		Func("ok", func(c *Context) error { return nil }),
+		Func("explode", func(c *Context) error { panic("subscript out of range") }),
+		Func("never", func(c *Context) error { after = true; return nil }),
+	)
+	rep, err := m.Run(context.Background(), ir.NewProgram())
+	if err == nil {
+		t.Fatal("panicking pass reported no error")
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T (%v), want *Error", err, err)
+	}
+	if pe.Pass != "explode" {
+		t.Errorf("Pass = %q, want explode", pe.Pass)
+	}
+	if pe.Stack == "" {
+		t.Error("panic error carries no stack")
+	}
+	if !strings.Contains(pe.Error(), "panic: subscript out of range") {
+		t.Errorf("error message %q does not name the panic", pe.Error())
+	}
+	if after {
+		t.Error("pass after the panicking one still ran")
+	}
+	// The report and trace cover the failed pass.
+	if len(rep.Events) != 2 {
+		t.Fatalf("report has %d events, want 2 (ok + explode): %+v", len(rep.Events), rep.Events)
+	}
+	ev := rep.Event("explode")
+	if ev == nil || ev.Err == "" {
+		t.Fatalf("failed pass has no errored event: %+v", rep.Events)
+	}
+	var traced []Event
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		traced = append(traced, e)
+	}
+	if len(traced) != 2 || traced[1].Pass != "explode" || traced[1].Err == "" {
+		t.Errorf("trace missing the failed-pass event: %+v", traced)
+	}
+}
+
+// TestManagerPanicBeatsCancellation: a panic concurrent with a
+// canceled context is still reported as a pipeline error, never
+// masked as the cancellation.
+func TestManagerPanicBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewManager("", nil)
+	m.Add(Func("explode", func(c *Context) error {
+		cancel()
+		panic("boom")
+	}))
+	_, err := m.Run(ctx, ir.NewProgram())
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Pass != "explode" {
+		t.Fatalf("err = %v, want *Error for pass explode", err)
 	}
 }

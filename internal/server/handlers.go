@@ -1,0 +1,412 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"polaris/internal/core"
+	"polaris/internal/obsv"
+	"polaris/internal/parser"
+	"polaris/internal/pfa"
+	"polaris/internal/suite"
+)
+
+// CompileRequest is the POST /v1/compile body.
+type CompileRequest struct {
+	// Source is the Fortran-subset program text (required).
+	Source string `json:"source"`
+	// Label tags the response's verdicts and decisions (default "prog").
+	Label string `json:"label,omitempty"`
+	// Techniques selects a subset of passes by canonical name (see
+	// polaris.TechniqueNames); empty means the full Polaris set.
+	Techniques []string `json:"techniques,omitempty"`
+	// Baseline compiles at the 1996-vendor (PFA) level instead.
+	Baseline bool `json:"baseline,omitempty"`
+	// TimeoutMS is the per-request compile deadline in milliseconds,
+	// clamped to the server's MaxTimeout; 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// LoopVerdict is one per-loop verdict in a CompileResponse.
+type LoopVerdict struct {
+	ID          string   `json:"id,omitempty"`
+	Unit        string   `json:"unit"`
+	Index       string   `json:"index"`
+	Depth       int      `json:"depth"`
+	Parallel    bool     `json:"parallel"`
+	RunTimeTest []string `json:"run_time_test,omitempty"`
+	Reason      string   `json:"reason"`
+}
+
+// PassReport is one pass of the pipeline report.
+type PassReport struct {
+	Pass       string           `json:"pass"`
+	DurationNS int64            `json:"duration_ns"`
+	Mutations  map[string]int64 `json:"mutations,omitempty"`
+}
+
+// CompileResponse is the POST /v1/compile result.
+type CompileResponse struct {
+	Label         string          `json:"label"`
+	Cached        bool            `json:"cached"`
+	ParallelLoops int             `json:"parallel_loops"`
+	Verdicts      []LoopVerdict   `json:"verdicts"`
+	Decisions     []obsv.Decision `json:"decisions,omitempty"`
+	// Report is the pass manager's instrumentation. For cache hits it
+	// describes the original (cached) compilation. Absent for baseline
+	// compilations.
+	Report []PassReport `json:"report,omitempty"`
+	// CodegenFactor is the modelled back-end code-quality factor
+	// (baseline compilations only).
+	CodegenFactor float64 `json:"codegen_factor,omitempty"`
+}
+
+// ExplainRequest is the POST /v1/explain body: the `polaris explain`
+// surface as JSON.
+type ExplainRequest struct {
+	Source string `json:"source"`
+	Label  string `json:"label,omitempty"`
+	// Loop restricts the explanation to one loop (full ID "MAIN/L30",
+	// bare "L30", or index variable); empty explains every loop.
+	Loop string `json:"loop,omitempty"`
+	// Verbose includes the full per-pass decision trail.
+	Verbose   bool  `json:"verbose,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ExplainResponse is the POST /v1/explain result.
+type ExplainResponse struct {
+	Label string `json:"label"`
+	// Lines are the human-readable per-loop verdict lines, indented by
+	// nesting depth, in program order.
+	Lines []string `json:"lines"`
+	// Trail is the per-pass decision trail (verbose or single-loop
+	// queries).
+	Trail []obsv.Decision `json:"trail,omitempty"`
+}
+
+// errorBody is every non-2xx JSON body.
+type errorBody struct {
+	Error string `json:"error"`
+	// Pass names the failed pipeline pass for *core.PipelineError
+	// responses.
+	Pass string `json:"pass,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg, pass string) {
+	writeJSON(w, status, errorBody{Error: msg, Pass: pass})
+}
+
+// decode reads a bounded JSON body into v.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad request: "+err.Error(), "")
+		return false
+	}
+	return true
+}
+
+// writeCompileError maps a compile failure to an HTTP status: parse
+// errors are the client's fault (400), deadline expiry is 504, a
+// client-abandoned request is 499 (nginx convention), and a pipeline
+// failure — including a recovered pass panic — is a 500 naming the
+// pass while the process survives.
+func writeCompileError(w http.ResponseWriter, err error) {
+	var pe *parser.ParseError
+	if errors.As(err, &pe) {
+		writeError(w, http.StatusBadRequest, "parse: "+err.Error(), "")
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "compile deadline exceeded", "")
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		writeError(w, 499, "request canceled", "")
+		return
+	}
+	var pipe *core.PipelineError
+	if errors.As(err, &pipe) {
+		writeError(w, http.StatusInternalServerError, "compile: "+pipe.Error(), pipe.Pass)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "compile: "+err.Error(), "")
+}
+
+// shedResponse rejects an over-queue request with 429 + Retry-After.
+func shedResponse(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "server at capacity, retry later", "")
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.obs.Count("server_requests_total", 1)
+	var req CompileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing source", "")
+		return
+	}
+	opt, err := compileOptions(req.Techniques)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	release, shed := s.admit(r.Context())
+	if shed {
+		shedResponse(w)
+		return
+	}
+	if release == nil {
+		writeError(w, 499, "request canceled while queued", "")
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
+	defer cancel()
+
+	label := req.Label
+	if label == "" {
+		label = "prog"
+	}
+	prog := suite.Program{Name: label, Source: req.Source}
+
+	if req.Baseline {
+		res, err := s.cache.CompileBaseline(ctx, prog, baselineSource(req.Source))
+		if err != nil {
+			s.obs.Count("server_compile_errors", 1)
+			writeCompileError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, CompileResponse{
+			Label:         label,
+			ParallelLoops: res.ParallelLoops(),
+			Verdicts:      verdicts(res.Result),
+			CodegenFactor: res.Factor,
+		})
+		return
+	}
+
+	// Each request compiles under a unique internal label with its own
+	// observer, so a cache hit always replays the entry's decision
+	// provenance into this request (and only this request).
+	reqObs := obsv.NewObserver()
+	opt.Observer = reqObs
+	opt.TraceLabel = s.reqLabel(label)
+	res, cached, err := s.cache.CompileCached(ctx, prog, opt, compileSource(req.Source))
+	if err != nil {
+		s.obs.Count("server_compile_errors", 1)
+		writeCompileError(w, err)
+		return
+	}
+	if cached {
+		s.obs.Count("server_cache_hits", 1)
+	}
+	writeJSON(w, http.StatusOK, CompileResponse{
+		Label:         label,
+		Cached:        cached,
+		ParallelLoops: res.ParallelLoops(),
+		Verdicts:      verdicts(res),
+		Decisions:     relabel(reqObs.Decisions(), label),
+		Report:        passReports(res),
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.obs.Count("server_requests_total", 1)
+	var req ExplainRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing source", "")
+		return
+	}
+	release, shed := s.admit(r.Context())
+	if shed {
+		shedResponse(w)
+		return
+	}
+	if release == nil {
+		writeError(w, 499, "request canceled while queued", "")
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
+	defer cancel()
+
+	label := req.Label
+	if label == "" {
+		label = "prog"
+	}
+	prog := suite.Program{Name: label, Source: req.Source}
+	reqObs := obsv.NewObserver()
+	opt := core.PolarisOptions()
+	opt.Observer = reqObs
+	opt.TraceLabel = s.reqLabel(label)
+	if _, _, err := s.cache.CompileCached(ctx, prog, opt, compileSource(req.Source)); err != nil {
+		s.obs.Count("server_compile_errors", 1)
+		writeCompileError(w, err)
+		return
+	}
+
+	resp := ExplainResponse{Label: label}
+	if req.Loop != "" {
+		if line := reqObs.Explain("", req.Loop); line != "" {
+			resp.Lines = []string{line}
+		}
+		if len(resp.Lines) == 0 {
+			writeError(w, http.StatusNotFound, "no loop matches "+req.Loop, "")
+			return
+		}
+	} else {
+		resp.Lines = reqObs.Explanations("")
+		if len(resp.Lines) == 0 {
+			writeError(w, http.StatusNotFound, "no loops found", "")
+			return
+		}
+	}
+	if req.Verbose || req.Loop != "" {
+		var trail []obsv.Decision
+		for _, d := range reqObs.Decisions() {
+			if d.Loop == "" || !obsv.MatchLoop(d, req.Loop) {
+				continue
+			}
+			trail = append(trail, d)
+		}
+		resp.Trail = relabel(trail, label)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// Metrics is the GET /metrics document: the shared obsv counters plus
+// cache and admission-queue gauges, expvar style.
+type Metrics struct {
+	Counters map[string]int64 `json:"counters"`
+	Cache    struct {
+		Entries   int   `json:"entries"`
+		Bytes     int64 `json:"bytes"`
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Retries   int64 `json:"retries"`
+	} `json:"cache"`
+	Queue struct {
+		Workers  int   `json:"workers"`
+		Depth    int   `json:"depth"`
+		Inflight int64 `json:"inflight"`
+		Queued   int64 `json:"queued"`
+		Shed     int64 `json:"shed_total"`
+	} `json:"queue"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var m Metrics
+	m.Counters = s.obs.Counters()
+	if m.Counters == nil {
+		m.Counters = map[string]int64{}
+	}
+	cs := s.cache.Stats()
+	m.Cache.Entries = cs.Entries
+	m.Cache.Bytes = cs.Bytes
+	m.Cache.Hits = cs.Hits
+	m.Cache.Misses = cs.Misses
+	m.Cache.Evictions = cs.Evictions
+	m.Cache.Retries = cs.Retries
+	m.Queue.Workers = s.cfg.Workers
+	m.Queue.Depth = s.cfg.QueueDepth
+	m.Queue.Inflight = s.inflight.Load()
+	m.Queue.Queued = s.queued.Load()
+	m.Queue.Shed = s.shed.Load()
+	writeJSON(w, http.StatusOK, m)
+}
+
+// compileSource is the cache-leader compile function for one POSTed
+// source: parse (typed *parser.ParseError on failure) then run the
+// pipeline under the leader's context.
+func compileSource(src string) func(context.Context, core.Options) (*core.Result, error) {
+	return func(ctx context.Context, opt core.Options) (*core.Result, error) {
+		prog, err := parser.ParseProgram(src)
+		if err != nil {
+			return nil, err
+		}
+		return core.CompileContext(ctx, prog, opt)
+	}
+}
+
+// baselineSource is the cache-leader function for a baseline (PFA)
+// compilation of one POSTed source.
+func baselineSource(src string) func(context.Context) (*pfa.Result, error) {
+	return func(ctx context.Context) (*pfa.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		prog, err := parser.ParseProgram(src)
+		if err != nil {
+			return nil, err
+		}
+		return pfa.Compile(prog)
+	}
+}
+
+func verdicts(res *core.Result) []LoopVerdict {
+	out := make([]LoopVerdict, 0, len(res.Loops))
+	for _, l := range res.Loops {
+		out = append(out, LoopVerdict{
+			ID: l.ID, Unit: l.Unit, Index: l.Index, Depth: l.Depth,
+			Parallel: l.Parallel, RunTimeTest: l.LRPD, Reason: l.Reason,
+		})
+	}
+	return out
+}
+
+func passReports(res *core.Result) []PassReport {
+	if res.Report == nil {
+		return nil
+	}
+	out := make([]PassReport, 0, len(res.Report.Events))
+	for _, ev := range res.Report.Events {
+		out = append(out, PassReport{Pass: ev.Pass, DurationNS: ev.DurationNS, Mutations: ev.Mutations})
+	}
+	return out
+}
+
+// relabel rewrites decision records to the client-visible label (the
+// compile ran under a unique internal one).
+func relabel(ds []obsv.Decision, label string) []obsv.Decision {
+	for i := range ds {
+		ds[i].Label = label
+	}
+	return ds
+}

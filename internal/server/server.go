@@ -1,0 +1,219 @@
+// Package server implements polaris-serve: a long-running HTTP/JSON
+// front end over the Polaris compilation pipeline — compile as a
+// service, in the spirit of the interactive/demand-driven compiler
+// front ends the paper's related work describes (analysis results are
+// computed once and served many times).
+//
+// Request flow:
+//
+//	admission (worker pool + fixed-depth queue, overflow shed with 429)
+//	→ per-request deadline (propagates through passes.Context)
+//	→ singleflight bounded-LRU compile cache (suite.Cache)
+//	→ instrumented pass manager (panics isolated into *core.PipelineError)
+//	→ per-request decision-provenance replay
+//
+// Endpoints: POST /v1/compile, POST /v1/explain, GET /healthz,
+// GET /metrics. SIGTERM handling lives in cmd/polaris-serve: the
+// listener stops, in-flight compiles drain, and the process exits 0.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"polaris/internal/core"
+	"polaris/internal/obsv"
+	"polaris/internal/suite"
+)
+
+// Config sizes the service. Zero fields take the documented defaults.
+type Config struct {
+	// Workers bounds concurrent compilations (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond the pool
+	// itself; overflow is shed with 429 + Retry-After (default: 64).
+	QueueDepth int
+	// DefaultTimeout is the per-request compile deadline when the
+	// request names none (default: 10s). MaxTimeout caps what a request
+	// may ask for (default: 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSourceBytes bounds the request body (default: 1 MiB).
+	MaxSourceBytes int64
+	// CacheEntries / CacheBytes bound the shared compile cache's LRU
+	// (defaults: 1024 entries, 64 MiB). The cache is what keeps memory
+	// flat under millions of distinct sources.
+	CacheEntries int
+	CacheBytes   int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+}
+
+// Server is the compile service. Create with New; serve with Serve (or
+// mount Handler on an existing mux); stop with Shutdown, which drains
+// in-flight requests.
+type Server struct {
+	cfg   Config
+	obs   *obsv.Observer // shared expvar-style counters
+	cache *suite.Cache
+
+	slots    chan struct{} // worker slots (admission)
+	queued   atomic.Int64  // admitted requests: waiting + running
+	inflight atomic.Int64  // requests holding a worker slot
+	shed     atomic.Int64  // requests rejected with 429
+	reqSeq   atomic.Int64  // unique per-request compile labels
+	draining atomic.Bool
+
+	http *http.Server
+	mux  *http.ServeMux
+}
+
+// New returns a Server sized by cfg.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:   cfg,
+		obs:   obsv.NewObserver(),
+		cache: suite.NewCache(suite.CacheLimits{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
+		slots: make(chan struct{}, cfg.Workers),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compile", s.recovered(s.handleCompile))
+	s.mux.HandleFunc("POST /v1/explain", s.recovered(s.handleExplain))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Observer returns the shared counter observer (metrics surface).
+func (s *Server) Observer() *obsv.Observer { return s.obs }
+
+// CacheStats snapshots the shared compile cache.
+func (s *Server) CacheStats() suite.CacheStats { return s.cache.Stats() }
+
+// Serve accepts connections on l until Shutdown. Like http.Server, it
+// returns http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// ListenAndServe binds addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the server: the listener closes, /healthz flips to
+// 503, and every accepted request runs to completion (in-flight
+// compile deadlines still apply). Returns when drained or when ctx
+// expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.http.Shutdown(ctx)
+}
+
+// admit acquires a worker slot, queueing up to QueueDepth requests
+// beyond the pool. It returns a release function on success; a nil
+// release with shed=true means the queue was full (429); a nil release
+// with shed=false means ctx ended while queued.
+func (s *Server) admit(ctx context.Context) (release func(), shed bool) {
+	limit := int64(s.cfg.Workers + s.cfg.QueueDepth)
+	if n := s.queued.Add(1); n > limit {
+		s.queued.Add(-1)
+		s.shed.Add(1)
+		s.obs.Count("server_shed_total", 1)
+		return nil, true
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.inflight.Add(1)
+		return func() {
+			s.inflight.Add(-1)
+			<-s.slots
+			s.queued.Add(-1)
+		}, false
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		return nil, false
+	}
+}
+
+// deadline resolves a request's compile timeout from its timeout_ms
+// field, clamped to [1ms, MaxTimeout], defaulting to DefaultTimeout.
+func (s *Server) deadline(timeoutMS int64) time.Duration {
+	if timeoutMS <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// reqLabel builds the unique internal compile label for one request.
+// Uniqueness makes the cache's per-label provenance replay fire for
+// every request (each request carries its own observer); responses are
+// rewritten to the client's label.
+func (s *Server) reqLabel(clientLabel string) string {
+	return fmt.Sprintf("%s#%d", clientLabel, s.reqSeq.Add(1))
+}
+
+// recovered is the last-resort panic boundary: pass panics are already
+// isolated into *core.PipelineError by the pass manager, and this
+// middleware keeps any other handler panic from killing the process.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.obs.Count("server_panics_total", 1)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v), "")
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// compileOptions resolves a request's technique selection: nil or
+// empty means the full Polaris set.
+func compileOptions(names []string) (core.Options, error) {
+	if len(names) == 0 {
+		return core.PolarisOptions(), nil
+	}
+	return core.OptionsFromNames(names)
+}

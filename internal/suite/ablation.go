@@ -81,7 +81,7 @@ func (r *Runner) Ablation(ctx context.Context, procs int) ([]AblationRow, error)
 		if mods[ci] != nil {
 			mods[ci](&opt)
 		}
-		compiled, err := r.cache.compile(p, opt, func(opt core.Options) (*core.Result, error) {
+		compiled, err := r.cache.Compile(ctx, p, opt, func(ctx context.Context, opt core.Options) (*core.Result, error) {
 			return core.CompileContext(ctx, p.Parse(), opt)
 		})
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"polaris/internal/machine"
 	"polaris/internal/obsv"
 	"polaris/internal/passes"
+	"polaris/internal/pfa"
 )
 
 // Runner executes suite workloads (Table 1, Figures 6/7, the ablation
@@ -31,7 +32,7 @@ type Runner struct {
 	// under -j N concurrency.
 	Observer *obsv.Observer
 
-	cache *compileCache
+	cache *Cache
 }
 
 // NewRunner returns a Runner with an empty compile cache.
@@ -141,7 +142,7 @@ func (r *Runner) Figure7(ctx context.Context, procs int) ([]Fig7Row, error) {
 
 // serialTime runs a program serially, memoized by source hash.
 func (r *Runner) serialTime(ctx context.Context, p Program) (int64, float64, error) {
-	return r.cache.serialRun(p, func() (int64, float64, error) {
+	return r.cache.SerialRun(ctx, p, func(ctx context.Context) (int64, float64, error) {
 		in := interp.New(p.Parse(), machine.Default())
 		if err := in.RunContext(ctx); err != nil {
 			return 0, 0, fmt.Errorf("%s: serial run: %w", p.Name, err)
@@ -167,7 +168,7 @@ func (r *Runner) runOne(ctx context.Context, p Program, procs int, polaris, vali
 	model := machine.Default().WithProcessors(procs)
 	var prog *ir.Program
 	if polaris {
-		res, err := r.cache.compile(p, r.polarisOptions(p.Name), func(opt core.Options) (*core.Result, error) {
+		res, err := r.cache.Compile(ctx, p, r.polarisOptions(p.Name), func(ctx context.Context, opt core.Options) (*core.Result, error) {
 			return core.CompileContext(ctx, p.Parse(), opt)
 		})
 		if err != nil {
@@ -175,7 +176,12 @@ func (r *Runner) runOne(ctx context.Context, p Program, procs int, polaris, vali
 		}
 		prog = execProgram(res)
 	} else {
-		res, err := r.cache.compileBaseline(p)
+		res, err := r.cache.CompileBaseline(ctx, p, func(ctx context.Context) (*pfa.Result, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return pfa.Compile(p.Parse())
+		})
 		if err != nil {
 			return runOutcome{}, fmt.Errorf("%s: compile: %w", p.Name, err)
 		}
@@ -222,7 +228,7 @@ func (r *Runner) Figure6(ctx context.Context, maxP int) ([]Fig6Row, error) {
 	rows := make([]Fig6Row, maxP)
 	err = forEach(ctx, r.Workers, maxP, func(ctx context.Context, i int) error {
 		procs := i + 1
-		compiled, err := r.cache.compile(p, r.polarisOptions(p.Name), func(opt core.Options) (*core.Result, error) {
+		compiled, err := r.cache.Compile(ctx, p, r.polarisOptions(p.Name), func(ctx context.Context, opt core.Options) (*core.Result, error) {
 			return core.CompileContext(ctx, p.Parse(), opt)
 		})
 		if err != nil {
@@ -248,7 +254,7 @@ func (r *Runner) Figure6(ctx context.Context, maxP int) ([]Fig6Row, error) {
 		}
 		// Potential slowdown: a variant whose invocations all fail —
 		// (T_seq + T_pdt) / T_seq at the loop level.
-		slowCompiled, err := r.cache.compile(failingTrack, r.polarisOptions(failingTrack.Name), func(opt core.Options) (*core.Result, error) {
+		slowCompiled, err := r.cache.Compile(ctx, failingTrack, r.polarisOptions(failingTrack.Name), func(ctx context.Context, opt core.Options) (*core.Result, error) {
 			return core.CompileContext(ctx, failingTrack.Parse(), opt)
 		})
 		if err != nil {

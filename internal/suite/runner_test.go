@@ -73,7 +73,7 @@ func TestCompileCacheMemoizes(t *testing.T) {
 	r := NewRunner()
 	p, _ := ByName("trfd")
 	var compiles int32
-	build := func(opt core.Options) (*core.Result, error) {
+	build := func(_ context.Context, opt core.Options) (*core.Result, error) {
 		atomic.AddInt32(&compiles, 1)
 		return core.Compile(p.Parse(), opt)
 	}
@@ -83,7 +83,7 @@ func TestCompileCacheMemoizes(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := r.cache.compile(p, core.PolarisOptions(), build)
+			res, err := r.cache.Compile(context.Background(), p, core.PolarisOptions(), build)
 			if err != nil {
 				t.Error(err)
 				return
@@ -100,7 +100,7 @@ func TestCompileCacheMemoizes(t *testing.T) {
 	// Concurrent first fills may race benignly, but once warm the cache
 	// must not compile again.
 	warm := compiles
-	if _, err := r.cache.compile(p, core.PolarisOptions(), build); err != nil {
+	if _, err := r.cache.Compile(context.Background(), p, core.PolarisOptions(), build); err != nil {
 		t.Fatal(err)
 	}
 	if compiles != warm {
@@ -109,7 +109,7 @@ func TestCompileCacheMemoizes(t *testing.T) {
 	// A different option fingerprint is a different entry.
 	opt := core.PolarisOptions()
 	opt.Inline = false
-	other, err := r.cache.compile(p, opt, func(opt core.Options) (*core.Result, error) {
+	other, err := r.cache.Compile(context.Background(), p, opt, func(_ context.Context, opt core.Options) (*core.Result, error) {
 		return core.Compile(p.Parse(), opt)
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package polaris
 
 import (
+	"fmt"
 	"io"
 
 	"polaris/internal/core"
@@ -68,6 +69,47 @@ func WithTraceLabel(label string) Option {
 // for this result when ExecOptions.Processors is zero (default 8).
 func WithProcessors(n int) Option {
 	return func(c *compileConfig) { c.processors = n }
+}
+
+// TechniqueNames returns the canonical names of every selectable
+// technique, in pipeline order. These are the strings TechniquesFromNames
+// accepts and the wire format polaris-serve exposes in a /v1/compile
+// request's "techniques" list.
+func TechniqueNames() []string { return core.TechniqueNames() }
+
+// TechniquesFromNames builds a technique set from canonical names (see
+// TechniqueNames). An unknown name is an error naming the offender and
+// the valid set; an empty list is the empty technique set (use
+// FullTechniques for the default).
+func TechniquesFromNames(names []string) (Techniques, error) {
+	o, err := core.OptionsFromNames(names)
+	if err != nil {
+		return Techniques{}, fmt.Errorf("polaris: %w", err)
+	}
+	return techniquesFromCore(o), nil
+}
+
+// Names returns the canonical names of the enabled techniques, in
+// pipeline order — the inverse of TechniquesFromNames.
+func (t Techniques) Names() []string { return core.NamesOf(coreOptions(t)) }
+
+// techniquesFromCore lifts the internal driver's option set back to
+// the public technique selection — the inverse of coreOptions.
+func techniquesFromCore(o core.Options) Techniques {
+	return Techniques{
+		Inline:                   o.Inline,
+		Induction:                o.Induction,
+		SimpleInduction:          o.SimpleInduction,
+		Reductions:               o.Reductions,
+		HistogramReductions:      o.HistogramReduction,
+		ArrayPrivatization:       o.ArrayPrivatization,
+		RangeTest:                o.RangeTest,
+		LoopPermutation:          o.Permutation,
+		RunTimeTest:              o.LRPD,
+		StrengthReduction:        o.StrengthReduction,
+		LoopNormalization:        o.Normalize,
+		InterproceduralConstants: o.InterprocConstants,
+	}
 }
 
 // Stats counts dependence-test work during one compilation.
