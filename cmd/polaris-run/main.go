@@ -3,9 +3,16 @@
 // over serial execution, and run-time (PD) test outcomes. Compilation
 // and execution are cancellable with Ctrl-C.
 //
+// With -native the program is instead lowered to parallel Go by the
+// source-to-source backend, built with the real toolchain, and timed on
+// the actual hardware: the report shows wall-clock times for the serial
+// and parallel runs of the emitted binary, the resulting speedup, and
+// whether the two final memory states match bit for bit.
+//
 // Usage:
 //
 //	polaris-run [-p procs] [-baseline] [-serial] [-suite name] [file.f]
+//	polaris-run -native [-p workers] [-reps n] [-race] [-suite name] [file.f]
 package main
 
 import (
@@ -14,18 +21,25 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"syscall"
+	"time"
 
 	"polaris"
+	"polaris/internal/oracle"
 	"polaris/internal/suite"
 )
 
 func main() {
-	procs := flag.Int("p", 8, "simulated processors")
+	procs := flag.Int("p", 8, "simulated processors (native: worker-team size)")
 	baseline := flag.Bool("baseline", false, "use the PFA-level baseline compiler")
 	serial := flag.Bool("serial", false, "execute serially (no parallel loops)")
 	suiteName := flag.String("suite", "", "run the named embedded benchmark")
 	redForm := flag.String("reductions", "private", "reduction form: private, blocked, expanded")
+	native := flag.Bool("native", false, "emit parallel Go, build it, and time real wall-clock execution")
+	reps := flag.Int("reps", 5, "native: repetitions per timed run (state resets between)")
+	race := flag.Bool("race", false, "native: build the emitted program with -race")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -34,6 +48,13 @@ func main() {
 	src, err := readSource(*suiteName, flag.Args())
 	if err != nil {
 		fail(err)
+	}
+	if *native {
+		label := *suiteName
+		if label == "" {
+			label = flag.Args()[0]
+		}
+		os.Exit(runNative(ctx, label, src, *procs, *reps, *race))
 	}
 	prog, err := polaris.Parse(src)
 	if err != nil {
@@ -79,6 +100,55 @@ func main() {
 		}
 		fmt.Printf("checksum:  %g (%s)\n", sum, status)
 	}
+}
+
+// runNative lowers the program to Go, builds it once, and times the
+// emitted binary's serial and parallel modes on the real machine.
+func runNative(ctx context.Context, label, src string, procs, reps int, race bool) int {
+	goSrc, err := oracle.EmitNative(ctx, label, src, procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris-run: native:", err)
+		return 1
+	}
+	bin, cleanup, err := oracle.BuildNative(ctx, goSrc, race)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris-run: native:", err)
+		return 1
+	}
+	defer cleanup()
+
+	repsArg := strconv.Itoa(reps)
+	serialRes, err := oracle.RunNativeBinary(ctx, bin, "-serial", "-reps", repsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris-run: native serial:", err)
+		return 1
+	}
+	parRes, err := oracle.RunNativeBinary(ctx, bin, "-p", strconv.Itoa(procs), "-reps", repsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris-run: native parallel:", err)
+		return 1
+	}
+
+	fmt.Printf("native serial:   %12v wall clock (%d reps)\n", time.Duration(serialRes.ElapsedNs), reps)
+	fmt.Printf("native parallel: %12v wall clock on %d workers (GOMAXPROCS=%d)\n",
+		time.Duration(parRes.ElapsedNs), procs, runtime.GOMAXPROCS(0))
+	if parRes.ElapsedNs > 0 {
+		fmt.Printf("speedup:         %12.2f\n", float64(serialRes.ElapsedNs)/float64(parRes.ElapsedNs))
+	}
+	status := 0
+	if d := oracle.Diff(serialRes.State, parRes.State, 0); d != "" {
+		fmt.Printf("state:           MISMATCH: %s\n", d)
+		status = 1
+	} else {
+		fmt.Printf("state:           parallel matches serial bit-for-bit (%d variables)\n", len(serialRes.State))
+	}
+	for _, r := range []*oracle.NativeResult{serialRes, parRes} {
+		if r.Leaked != 0 {
+			fmt.Printf("goroutines:      LEAK (%d alive at exit)\n", r.Leaked)
+			status = 1
+		}
+	}
+	return status
 }
 
 func readSource(suiteName string, args []string) (string, error) {

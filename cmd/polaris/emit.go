@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"polaris"
+)
+
+// runEmit compiles a program and writes the generated source for the
+// selected target: annotated Fortran (the directive output) or a
+// standalone parallel Go program from the source-to-source backend.
+func runEmit(args []string) int {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	target := fs.String("target", "go", "output language: go or fortran")
+	outDir := fs.String("o", "", "write <program>.<ext> into this directory instead of stdout")
+	procs := fs.Int("p", 0, "worker-team size baked into emitted Go (default 8)")
+	baseline := fs.Bool("baseline", false, "use the 1996 vendor-compiler (PFA) technique level")
+	suiteName := fs.String("suite", "", "emit the named embedded benchmark (e.g. trfd, ocean, bdna)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: polaris emit [-target go|fortran] [-o dir] [-p n] [-baseline] [-suite name | file.f]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	label, src, err := readSource(*suiteName, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris emit:", err)
+		return 2
+	}
+	prog, err := polaris.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris emit: parse:", err)
+		return 1
+	}
+	opts := []polaris.Option{polaris.WithTraceLabel(label)}
+	if *baseline {
+		opts = append(opts, polaris.WithBaseline())
+	}
+	res, err := polaris.Compile(ctx, prog, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polaris emit: compile:", err)
+		return 1
+	}
+
+	var eopts []polaris.EmitOption
+	ext := ".go"
+	switch *target {
+	case "go":
+		eopts = append(eopts, polaris.EmitGo, polaris.WithEmitLabel(label))
+		if *procs > 0 {
+			eopts = append(eopts, polaris.WithEmitProcessors(*procs))
+		}
+	case "fortran":
+		eopts = append(eopts, polaris.EmitFortran)
+		ext = ".f"
+	default:
+		fmt.Fprintf(os.Stderr, "polaris emit: unknown target %q (want go or fortran)\n", *target)
+		return 2
+	}
+
+	out := os.Stdout
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "polaris emit:", err)
+			return 1
+		}
+		path := filepath.Join(*outDir, emitFileName(label)+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polaris emit:", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+		fmt.Fprintln(os.Stderr, path)
+	}
+	if err := res.Emit(out, eopts...); err != nil {
+		fmt.Fprintln(os.Stderr, "polaris emit:", err)
+		return 1
+	}
+	return 0
+}
+
+// emitFileName reduces a source label (possibly a file path) to a safe
+// output base name.
+func emitFileName(label string) string {
+	base := filepath.Base(label)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	var b strings.Builder
+	for _, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "program"
+	}
+	return b.String()
+}

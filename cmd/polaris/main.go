@@ -7,11 +7,18 @@
 //	polaris [-baseline] [-summary] [-report] [-trace file.jsonl]
 //	        [-suite name] [file.f]
 //	polaris explain [-v] [-suite name] [file.f] [loop]
+//	polaris emit [-target go|fortran] [-o dir] [-p n] [-suite name] [file.f]
 //
 // With -suite, the named embedded benchmark program is compiled
 // instead of reading a file. -report prints the pass manager's
 // per-pass wall time and mutation counts; -trace streams the same
 // instrumentation as JSON lines.
+//
+// The emit subcommand writes the compiler's product as source: with
+// -target fortran the directive-annotated restructured program, with
+// -target go (the default) a standalone parallel Go program lowered
+// from the analysis results — buildable with the stock toolchain and
+// runnable with a -p worker-count flag.
 //
 // The explain subcommand prints one human-readable line per loop
 // naming the verdict and the enabling technique or blocking dependence
@@ -37,6 +44,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "explain" {
 		os.Exit(runExplain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "emit" {
+		os.Exit(runEmit(os.Args[2:]))
 	}
 	baseline := flag.Bool("baseline", false, "use the 1996 vendor-compiler (PFA) technique level")
 	summary := flag.Bool("summary", false, "print only the per-loop report, not the program")
@@ -80,7 +90,9 @@ func main() {
 		return
 	}
 	if !*report {
-		fmt.Print(res.AnnotatedSource())
+		if err := res.Emit(os.Stdout, polaris.EmitFortran); err != nil {
+			fail(err)
+		}
 	}
 }
 

@@ -1,0 +1,74 @@
+package polaris_test
+
+// Tests for the redesigned emit surface: Result.Emit(w, ...EmitOption)
+// with the EmitFortran / EmitGo targets, and the deprecated
+// AnnotatedSource wrapper's byte-for-byte compatibility.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"polaris"
+)
+
+// TestEmitAPIBackcompat pins the deprecated AnnotatedSource to the new
+// surface: its output must be byte-identical to Emit(EmitFortran),
+// which must also be the default target.
+func TestEmitAPIBackcompat(t *testing.T) {
+	prog, err := polaris.Parse(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := polaris.Compile(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := res.AnnotatedSource()
+	if !strings.Contains(legacy, "C$OMP PARALLEL DO") {
+		t.Fatalf("annotated source lost its directives:\n%s", legacy)
+	}
+	var viaEmit bytes.Buffer
+	if err := res.Emit(&viaEmit, polaris.EmitFortran); err != nil {
+		t.Fatal(err)
+	}
+	if viaEmit.String() != legacy {
+		t.Errorf("Emit(EmitFortran) differs from AnnotatedSource()")
+	}
+	var viaDefault bytes.Buffer
+	if err := res.Emit(&viaDefault); err != nil {
+		t.Fatal(err)
+	}
+	if viaDefault.String() != legacy {
+		t.Errorf("Emit with no options must default to the Fortran target")
+	}
+}
+
+// TestEmitGoTarget checks the Go target through the public API: a
+// standalone main package with the requested worker count baked in.
+func TestEmitGoTarget(t *testing.T) {
+	prog, err := polaris.Parse(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := polaris.Compile(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := res.Emit(&b, polaris.EmitGo, polaris.WithEmitProcessors(4), polaris.WithEmitLabel("facade")); err != nil {
+		t.Fatal(err)
+	}
+	src := b.String()
+	for _, want := range []string{
+		"package main",
+		"const defaultProcs = 4",
+		"facade",
+		"parfor(",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted Go missing %q", want)
+		}
+	}
+}

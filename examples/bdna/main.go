@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := polaris.Parallelize(prog)
+	res, err := polaris.Compile(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func main() {
 	// and that only works because A and IND are privatized.
 	noPriv := polaris.FullTechniques()
 	noPriv.ArrayPrivatization = false
-	resNoPriv, err := polaris.ParallelizeWith(prog, noPriv)
+	resNoPriv, err := polaris.Compile(context.Background(), prog, polaris.WithTechniques(noPriv))
 	if err != nil {
 		log.Fatal(err)
 	}

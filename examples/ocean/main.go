@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -23,11 +24,11 @@ func main() {
 	// Without permutation the outer loop cannot be proven.
 	noPerm := polaris.FullTechniques()
 	noPerm.LoopPermutation = false
-	resNoPerm, err := polaris.ParallelizeWith(prog, noPerm)
+	resNoPerm, err := polaris.Compile(context.Background(), prog, polaris.WithTechniques(noPerm))
 	if err != nil {
 		log.Fatal(err)
 	}
-	resFull, err := polaris.Parallelize(prog)
+	resFull, err := polaris.Compile(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"polaris"
 )
@@ -44,7 +45,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("=== restructured program ===")
-	fmt.Println(res.AnnotatedSource())
+	if err := res.Emit(os.Stdout, polaris.EmitFortran); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
 
 	fmt.Println("=== pipeline ===")
 	for _, ev := range res.Report.Events {

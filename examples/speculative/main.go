@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := polaris.Parallelize(prog)
+	res, err := polaris.Compile(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	full, err := polaris.Parallelize(prog)
+	full, err := polaris.Compile(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func main() {
 	fmt.Print(full.Summary())
 	fmt.Printf("induction variables substituted: %v\n\n", full.InductionVariables)
 
-	baseline, err := polaris.ParallelizeBaseline(prog)
+	baseline, err := polaris.Compile(context.Background(), prog, polaris.WithBaseline())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func main() {
 		{"+ inlining (full)", polaris.FullTechniques()},
 	}
 	for _, c := range configs {
-		res, err := polaris.ParallelizeWith(prog, c.t)
+		res, err := polaris.Compile(context.Background(), prog, polaris.WithTechniques(c.t))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,76 @@
+package codegen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polaris/internal/core"
+	"polaris/internal/suite"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden emitted-Go files")
+
+// TestEmitGoGolden pins the exact emitted Go for the flagship programs.
+// A diff here means the lowering changed: inspect it, re-run the native
+// oracle, then refresh with
+//
+//	go test ./internal/codegen -run TestEmitGoGolden -update
+func TestEmitGoGolden(t *testing.T) {
+	for _, name := range []string{"trfd", "ocean", "bdna", "mdg", "track"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, ok := suite.ByName(name)
+			if !ok {
+				t.Fatalf("unknown suite program %q", name)
+			}
+			res, err := core.Compile(p.Parse(), core.PolarisOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := EmitGo(res, GoOptions{Processors: 8, Label: name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name+".go.golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (refresh with -update): %v", err)
+			}
+			if string(want) != got {
+				t.Errorf("emitted Go for %s differs from %s; verify with the native oracle, then refresh with -update", name, path)
+			}
+		})
+	}
+}
+
+// TestEmitGoDeterministic catches map-iteration leaks into the output:
+// two emissions of the same result must be byte-identical.
+func TestEmitGoDeterministic(t *testing.T) {
+	p, _ := suite.ByName("mdg")
+	res, err := core.Compile(p.Parse(), core.PolarisOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := EmitGo(res, GoOptions{Processors: 8, Label: "mdg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EmitGo(res, GoOptions{Processors: 8, Label: "mdg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("EmitGo is not deterministic across calls")
+	}
+}

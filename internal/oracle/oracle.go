@@ -58,6 +58,14 @@ type Config struct {
 	SkipMetamorphic bool
 	// SkipMinimize reports discrepancies without shrinking them.
 	SkipMinimize bool
+	// Native enables the fifth mode: lower the compiled program to Go
+	// with the codegen backend, build it with the real toolchain, and
+	// compare its serial and parallel final states against the reference
+	// at tolerance 0 (the harness prints exact hex floats). Programs the
+	// backend refuses are skipped silently.
+	Native bool
+	// NativeRace builds the emitted program with -race.
+	NativeRace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -289,6 +297,12 @@ func Check(ctx context.Context, label, src string, cfg Config) ([]Discrepancy, e
 		if d := Diff(ref, got, cfg.Tolerance); d != "" {
 			report(m, d)
 		}
+	}
+	if cfg.Native {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		out = append(out, checkNative(ctx, label, src, ref, cfg)...)
 	}
 	if !cfg.SkipMetamorphic {
 		// Trace must not change what the compiler produces: the

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"polaris/internal/codegen"
+	"polaris/internal/core"
+	"polaris/internal/obsv"
+	"polaris/internal/suite"
+)
+
+// EmitRequest is the POST /v1/emit body: the same compilation knobs as
+// /v1/compile plus the output target. Compilation goes through the same
+// cache, so emitting a program that was just compiled is a warm hit.
+type EmitRequest struct {
+	// Source is the Fortran-subset program text (required).
+	Source string `json:"source"`
+	// Label tags the response and the generated header.
+	Label string `json:"label,omitempty"`
+	// Target selects the output language: "go" (default) for the
+	// parallel source-to-source backend, "fortran" for the
+	// directive-annotated restructured program.
+	Target string `json:"target,omitempty"`
+	// Processors is the worker-team size baked into emitted Go
+	// (default 8, overridable at run time with the binary's -p flag).
+	Processors int `json:"processors,omitempty"`
+	// Techniques selects a subset of passes by canonical name.
+	Techniques []string `json:"techniques,omitempty"`
+	// Baseline compiles at the 1996-vendor (PFA) level instead.
+	Baseline bool `json:"baseline,omitempty"`
+	// TimeoutMS is the per-request compile deadline in milliseconds.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// EmitResponse is the POST /v1/emit result: the generated source and
+// the per-loop verdicts that drove the lowering (its provenance).
+type EmitResponse struct {
+	Label    string        `json:"label"`
+	Target   string        `json:"target"`
+	Cached   bool          `json:"cached"`
+	Source   string        `json:"source"`
+	Verdicts []LoopVerdict `json:"verdicts"`
+}
+
+func (s *Server) handleEmit(w http.ResponseWriter, r *http.Request) {
+	s.obs.Count("server_requests_total", 1)
+	var req EmitRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing source", "")
+		return
+	}
+	target := req.Target
+	if target == "" {
+		target = "go"
+	}
+	if target != "go" && target != "fortran" {
+		writeError(w, http.StatusBadRequest, "unknown target "+req.Target+" (want go or fortran)", "")
+		return
+	}
+	opt, err := compileOptions(req.Techniques)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	release, shed := s.admit(r.Context())
+	if shed {
+		shedResponse(w)
+		return
+	}
+	if release == nil {
+		writeError(w, 499, "request canceled while queued", "")
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
+	defer cancel()
+
+	label := req.Label
+	if label == "" {
+		label = "prog"
+	}
+	prog := suite.Program{Name: label, Source: req.Source}
+
+	var res *core.Result
+	cached := false
+	if req.Baseline {
+		bres, err := s.cache.CompileBaseline(ctx, prog, baselineSource(req.Source))
+		if err != nil {
+			s.obs.Count("server_compile_errors", 1)
+			writeCompileError(w, err)
+			return
+		}
+		res = bres.Result
+	} else {
+		opt.Observer = obsv.NewObserver()
+		opt.TraceLabel = s.reqLabel(label)
+		cres, hit, err := s.cache.CompileCached(ctx, prog, opt, compileSource(req.Source))
+		if err != nil {
+			s.obs.Count("server_compile_errors", 1)
+			writeCompileError(w, err)
+			return
+		}
+		res, cached = cres, hit
+		if hit {
+			s.obs.Count("server_cache_hits", 1)
+		}
+	}
+
+	var src string
+	if target == "go" {
+		src, err = codegen.EmitGo(res, codegen.GoOptions{Processors: req.Processors, Label: label})
+		if err != nil {
+			var ue *codegen.UnsupportedError
+			if errors.As(err, &ue) {
+				// Refusals are a property of the program, not a server
+				// fault: 422 with the reason.
+				writeError(w, http.StatusUnprocessableEntity, err.Error(), "")
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "emit: "+err.Error(), "")
+			return
+		}
+	} else {
+		src = codegen.EmitFortran(res)
+	}
+	writeJSON(w, http.StatusOK, EmitResponse{
+		Label:    label,
+		Target:   target,
+		Cached:   cached,
+		Source:   src,
+		Verdicts: verdicts(res),
+	})
+}

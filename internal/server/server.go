@@ -106,6 +106,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.recovered(s.handleCompile))
+	s.mux.HandleFunc("POST /v1/emit", s.recovered(s.handleEmit))
 	s.mux.HandleFunc("POST /v1/explain", s.recovered(s.handleExplain))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

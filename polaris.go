@@ -36,9 +36,9 @@ package polaris
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
-	"polaris/internal/codegen"
 	"polaris/internal/core"
 	"polaris/internal/deps"
 	"polaris/internal/interp"
@@ -250,7 +250,14 @@ func FullTechniques() Techniques {
 
 // AnnotatedSource emits the restructured Fortran with parallel
 // directives and the compilation report header.
-func (r *Result) AnnotatedSource() string { return codegen.Emit(r.inner) }
+//
+// Deprecated: use Emit(w, EmitFortran), which streams to a writer and
+// supports the Go backend via EmitGo.
+func (r *Result) AnnotatedSource() string {
+	var b strings.Builder
+	_ = r.Emit(&b, EmitFortran)
+	return b.String()
+}
 
 // Summary renders a human-readable per-loop report.
 func (r *Result) Summary() string { return r.inner.Summary() }

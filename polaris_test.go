@@ -1,6 +1,7 @@
 package polaris_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -46,7 +47,7 @@ func TestParallelizeAndExecute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := polaris.Parallelize(prog)
+	res, err := polaris.Compile(context.Background(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +99,11 @@ func TestBaselineWeaker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := polaris.Parallelize(prog)
+	full, err := polaris.Compile(context.Background(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := polaris.ParallelizeBaseline(prog)
+	base, err := polaris.Compile(context.Background(), prog, polaris.WithBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +128,11 @@ func TestTechniquesAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	none, err := polaris.ParallelizeWith(prog, polaris.Techniques{})
+	none, err := polaris.Compile(context.Background(), prog, polaris.WithTechniques(polaris.Techniques{}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := polaris.ParallelizeWith(prog, polaris.FullTechniques())
+	full, err := polaris.Compile(context.Background(), prog, polaris.WithTechniques(polaris.FullTechniques()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestConcurrentExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := polaris.Parallelize(prog)
+	res, err := polaris.Compile(context.Background(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestReductionFormOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := polaris.Parallelize(prog)
+	res, err := polaris.Compile(context.Background(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
