@@ -3,11 +3,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
 
 	"polaris/internal/core"
+	"polaris/internal/fuzzgen"
+	"polaris/internal/parser"
 	"polaris/internal/suite"
 	"polaris/internal/symbolic"
 )
@@ -19,9 +22,20 @@ type perfReport struct {
 	Schema string `json:"schema"`
 	Go     string `json:"go"`
 	Arch   string `json:"arch"`
+	// Procs is GOMAXPROCS at measurement time: the mega_compile rows
+	// use that many unit workers, so scaling comparisons across
+	// commits are only meaningful at equal Procs.
+	Procs int `json:"procs"`
 	// SuiteCompile is one cold-cache compilation of the full
 	// 16-program suite under the complete technique set.
 	SuiteCompile perfEntry `json:"suite_compile"`
+	// MegaCompile is the megaprogram scaling benchmark: one cold
+	// compile per synthetic-corpus entry (parse excluded) with the
+	// unit-parallel pipeline at Procs workers. NsPerLine is the
+	// scaling signal; SerialNsPerOp is the same compile forced onto
+	// the serial unit schedule, so SerialNsPerOp / NsPerOp is the
+	// parallel speedup on this machine.
+	MegaCompile map[string]megaEntry `json:"mega_compile"`
 	// Prover microbenchmarks (see internal/symbolic/benchfix.go).
 	Prove        perfEntry `json:"prove"`
 	ProveColdEnv perfEntry `json:"prove_cold_env"`
@@ -38,6 +52,16 @@ type perfEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// megaEntry is one megaprogram scaling measurement.
+type megaEntry struct {
+	perfEntry
+	Units         int     `json:"units"`
+	Lines         int     `json:"lines"`
+	NsPerLine     float64 `json:"ns_per_line"`
+	SerialNsPerOp float64 `json:"serial_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
 }
 
 func toEntry(r testing.BenchmarkResult) perfEntry {
@@ -75,6 +99,41 @@ func writePerfJSON(ctx context.Context, path string) error {
 	rep.ProverStats = symbolic.ReadProverStats()
 	if rep.ProverStats.Queries > 0 {
 		rep.MemoHitRate = float64(rep.ProverStats.MemoHits) / float64(rep.ProverStats.Queries)
+	}
+
+	rep.Procs = runtime.GOMAXPROCS(0)
+	rep.MegaCompile = map[string]megaEntry{}
+	for _, spec := range fuzzgen.MegaCorpus() {
+		mp := spec.Generate()
+		prog, err := parser.ParseProgram(mp.Source)
+		if err != nil {
+			return fmt.Errorf("mega corpus %s: parse: %w", spec.Name, err)
+		}
+		compileBench := func(workers int) testing.BenchmarkResult {
+			opt := core.PolarisOptions()
+			opt.UnitWorkers = workers
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.CompileContext(ctx, prog, opt); err != nil {
+						b.Fatalf("%s: %v", spec.Name, err)
+					}
+				}
+			})
+		}
+		par := compileBench(0)
+		serial := compileBench(1)
+		e := megaEntry{
+			perfEntry: toEntry(par),
+			Units:     mp.Units,
+			Lines:     mp.Lines,
+			NsPerLine: float64(par.NsPerOp()) / float64(mp.Lines),
+		}
+		e.SerialNsPerOp = float64(serial.NsPerOp())
+		if e.NsPerOp > 0 {
+			e.Speedup = e.SerialNsPerOp / e.NsPerOp
+		}
+		rep.MegaCompile[spec.Name] = e
 	}
 
 	env := symbolic.BenchEnv()

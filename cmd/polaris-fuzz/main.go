@@ -31,16 +31,16 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 200, "number of programs to generate and check")
-		seed    = flag.Uint64("seed", 1, "base seed; program i uses seed+i")
-		workers = flag.Int("j", 4, "concurrent checks")
-		blocks  = flag.Int("blocks", 0, "idiom blocks per program (0 = generator default)")
-		trips   = flag.Int("trips", 0, "max loop trip count (0 = generator default)")
-		alen    = flag.Int("len", 0, "working array length (0 = generator default)")
-		out     = flag.String("out", "", "append discrepancy artifacts to this JSONL file")
-		replay  = flag.String("replay", "", "re-check artifacts from this JSONL file instead of generating")
-		tol     = flag.Float64("tol", 0, "relative state tolerance (generated programs are exact; keep 0)")
-		procs   = flag.Int("p", 8, "primary simulated processor count")
+		n        = flag.Int("n", 200, "number of programs to generate and check")
+		seed     = flag.Uint64("seed", 1, "base seed; program i uses seed+i")
+		workers  = flag.Int("j", 4, "concurrent checks")
+		blocks   = flag.Int("blocks", 0, "idiom blocks per program (0 = generator default)")
+		trips    = flag.Int("trips", 0, "max loop trip count (0 = generator default)")
+		alen     = flag.Int("len", 0, "working array length (0 = generator default)")
+		out      = flag.String("out", "", "append discrepancy artifacts to this JSONL file")
+		replay   = flag.String("replay", "", "re-check artifacts from this JSONL file instead of generating")
+		tol      = flag.Float64("tol", 0, "relative state tolerance (generated programs are exact; keep 0)")
+		procs    = flag.Int("p", 8, "primary simulated processor count")
 		noAbl    = flag.Bool("no-ablation", false, "skip the ablation grid (faster)")
 		noMeta   = flag.Bool("no-metamorphic", false, "skip processor-count and trace invariants (faster)")
 		noMin    = flag.Bool("no-minimize", false, "report failures without shrinking them")

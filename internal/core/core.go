@@ -16,6 +16,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -56,6 +57,16 @@ type Options struct {
 	// arguments without inlining (the paper's in-progress
 	// interprocedural framework; the other Figure 3 enabler).
 	InterprocConstants bool
+	// UnitWorkers sets the worker pool size for the per-unit passes
+	// (normalize, induction, dependence-analysis, strength-reduction):
+	// 0 means GOMAXPROCS, 1 forces the serial schedule, n > 1 uses n
+	// workers. Whole-program passes (interproc-constants, inline,
+	// verify-ir) are sequential barriers regardless. The parallel
+	// schedule is observationally identical to the serial one: loop
+	// verdicts, Reasons, decision records, and the v2 trace stream are
+	// byte-for-byte the same, because each unit's records are captured
+	// privately and replayed in unit order at the pass barrier.
+	UnitWorkers int
 	// Stats, when non-nil, accumulates dependence-test counts.
 	Stats *deps.Stats
 	// Trace, when non-nil, receives one JSONL event per pass. The
@@ -165,6 +176,10 @@ func CompileContext(ctx context.Context, prog *ir.Program, opt Options) (*Result
 
 	m := passes.NewManager(opt.TraceLabel, opt.Trace)
 	m.Obs = opt.Observer
+	m.Workers = opt.UnitWorkers
+	if m.Workers == 0 {
+		m.Workers = runtime.GOMAXPROCS(0)
+	}
 	m.Add(buildPipeline(work, unit, res, opt)...)
 	report, err := m.Run(ctx, work)
 	res.Report = report
@@ -172,6 +187,47 @@ func CompileContext(ctx context.Context, prog *ir.Program, opt Options) (*Result
 		return nil, err
 	}
 	return res, nil
+}
+
+// forEachUnit runs fn once per program unit, fanning units across the
+// pass manager's worker pool when it has more than one worker. fn
+// receives the unit index, a sub-context for cancellation polling and
+// mutation counts, and the observer it must emit decision records to.
+//
+// Determinism is by construction, not by locking: on the serial path
+// fn emits directly to obs, live and in unit order (bit-identical to
+// the pre-parallel pipeline); on the parallel path each unit emits
+// into a private detached capture, and after the pool barrier the
+// captures are replayed to obs in unit order — reconstructing the
+// exact serial stream regardless of completion order. fn must confine
+// its remaining writes to per-index slots. On failure no captures are
+// replayed (a failed compilation discards its Result; the serial and
+// parallel schedules agree on the returned error, not on the partial
+// trace).
+func forEachUnit(c *passes.Context, units []*ir.ProgramUnit, obs *obsv.Observer, fn func(sub *passes.Context, i int, uo *obsv.Observer) error) error {
+	if c.Workers() <= 1 || len(units) <= 1 {
+		for i := range units {
+			if err := c.Err(); err != nil {
+				return err
+			}
+			if err := fn(c, i, obs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	captures := make([]*obsv.Observer, len(units))
+	err := c.ForEach(len(units), func(sub *passes.Context, i int) error {
+		captures[i] = obsv.NewCapture(nil)
+		return fn(sub, i, captures[i])
+	})
+	if err != nil {
+		return err
+	}
+	for _, cap := range captures {
+		cap.ReplayTo(obs)
+	}
+	return nil
 }
 
 // buildPipeline registers the technique passes selected by opt, in the
@@ -240,18 +296,29 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 	// 2. Loop normalization (unit step), per unit. Subsequent passes
 	// rebuild their range analyzers from the rewritten text, so the
 	// per-pass unit sweep is equivalent to the per-unit pass sweep.
+	// Units are independent here — normalization never looks across
+	// unit boundaries — so the pass fans units over the worker pool.
 	if opt.Normalize {
 		ps = append(ps, passes.Func("normalize", func(c *passes.Context) error {
-			for _, u := range work.Units {
+			counts := make([]int, len(work.Units))
+			err := forEachUnit(c, work.Units, obs, func(sub *passes.Context, i int, uo *obsv.Observer) error {
+				u := work.Units[i]
 				nres := normalize.Run(u, rng.New(u))
-				res.NormalizedLoops += nres.Normalized
-				c.Count("loops_normalized", int64(nres.Normalized))
+				counts[i] = nres.Normalized
+				sub.Count("loops_normalized", int64(nres.Normalized))
 				if nres.Normalized > 0 {
-					obs.Decision(obsv.Decision{
+					uo.Decision(obsv.Decision{
 						Label: label, Unit: u.Name, Pass: "normalize",
 						Detail: fmt.Sprintf("%d loops rewritten to unit step", nres.Normalized),
 					})
 				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			for _, n := range counts {
+				res.NormalizedLoops += n
 			}
 			return nil
 		}))
@@ -264,24 +331,30 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 	if opt.Induction || opt.SimpleInduction {
 		ps = append(ps, passes.Func("induction", func(c *passes.Context) error {
 			iopt := induction.Options{SimpleOnly: !opt.Induction}
-			for _, u := range work.Units {
-				if err := c.Err(); err != nil {
-					return err
-				}
+			solvedByUnit := make([][]string, len(work.Units))
+			err := forEachUnit(c, work.Units, obs, func(sub *passes.Context, i int, uo *obsv.Observer) error {
+				u := work.Units[i]
 				ires := induction.RunWith(u, rng.New(u), iopt)
 				var solved []string
 				for _, s := range ires.Solved {
-					res.InductionVars = append(res.InductionVars, u.Name+"."+s.Name)
+					solvedByUnit[i] = append(solvedByUnit[i], u.Name+"."+s.Name)
 					solved = append(solved, s.Name)
 				}
-				c.Count("variables_substituted", int64(len(ires.Solved)))
+				sub.Count("variables_substituted", int64(len(ires.Solved)))
 				if len(solved) > 0 {
-					obs.Decision(obsv.Decision{
+					uo.Decision(obsv.Decision{
 						Label: label, Unit: u.Name, Pass: "induction",
 						Detail:   "induction variables replaced by closed forms",
 						Evidence: solved,
 					})
 				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			for _, solved := range solvedByUnit {
+				res.InductionVars = append(res.InductionVars, solved...)
 			}
 			return nil
 		}))
@@ -291,26 +364,52 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 	// symbolic dependence testing, and LRPD candidate flagging, writing
 	// the ParInfo annotation on every loop.
 	ps = append(ps, passes.Func("dependence-analysis", func(c *passes.Context) error {
-		for _, u := range work.Units {
+		reportsByUnit := make([][]LoopReport, len(work.Units))
+		statsByUnit := make([]deps.Stats, len(work.Units))
+		err := forEachUnit(c, work.Units, obs, func(sub *passes.Context, ui int, uo *obsv.Observer) error {
+			u := work.Units[ui]
 			assignLoopIDs(u)
 			ranges := rng.New(u)
 			tester := deps.NewTester(u, ranges)
+			// The unit's analyzeLoop calls see a per-unit options copy:
+			// decision records go to the unit observer (the shared one on
+			// the serial path, a private capture on the parallel path) and
+			// dependence-test counts accumulate in a per-unit Stats slot,
+			// summed into opt.Stats at the barrier.
+			uopt := opt
+			uopt.Observer = uo
+			if opt.Stats != nil {
+				uopt.Stats = &statsByUnit[ui]
+			}
 			// Innermost-first, so a loop's LRPD decision can see whether
 			// its subtree is already parallel (speculation belongs at the
 			// level where static analysis fails, not above it).
 			loops := ir.Loops(u.Body)
 			var reports []LoopReport
 			for i := len(loops) - 1; i >= 0; i-- {
-				if err := c.Err(); err != nil {
+				if err := sub.Err(); err != nil {
 					return err
 				}
-				report := analyzeLoop(u, ranges, tester, loops[i], opt)
+				report := analyzeLoop(u, ranges, tester, loops[i], uopt)
 				report.Unit = u.Name
 				reports = append(reports, report)
 			}
 			// Present outermost-first.
-			for i := len(reports) - 1; i >= 0; i-- {
-				res.Loops = append(res.Loops, reports[i])
+			for i, j := 0, len(reports)-1; i < j; i, j = i+1, j-1 {
+				reports[i], reports[j] = reports[j], reports[i]
+			}
+			reportsByUnit[ui] = reports
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, reports := range reportsByUnit {
+			res.Loops = append(res.Loops, reports...)
+		}
+		if opt.Stats != nil {
+			for i := range statsByUnit {
+				opt.Stats.Add(&statsByUnit[i])
 			}
 		}
 		var parallel, lrpd int64
@@ -335,40 +434,58 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 	// it consumes and updates).
 	if opt.StrengthReduction {
 		ps = append(ps, passes.Func("strength-reduction", func(c *passes.Context) error {
-			for _, u := range work.Units {
+			// One pass over res.Loops builds the per-unit report index;
+			// the old code rescanned every report for every producing
+			// unit, O(units × loops) on a megaprogram. Units own disjoint
+			// report slices, so refreshing them is safe under the pool.
+			reportsFor := make(map[string][]*LoopReport, len(work.Units))
+			for i := range res.Loops {
+				lr := &res.Loops[i]
+				reportsFor[lr.Unit] = append(reportsFor[lr.Unit], lr)
+			}
+			counts := make([]int, len(work.Units))
+			err := forEachUnit(c, work.Units, obs, func(sub *passes.Context, ui int, uo *obsv.Observer) error {
+				u := work.Units[ui]
 				sres := strength.Run(u, rng.New(u))
-				res.StrengthReduced += sres.Reduced
-				c.Count("accumulators_introduced", int64(sres.Reduced))
+				counts[ui] = sres.Reduced
+				sub.Count("accumulators_introduced", int64(sres.Reduced))
 				if sres.Reduced > 0 {
 					// Refresh the demoted loops' report entries.
-					for i := range res.Loops {
-						lr := &res.Loops[i]
-						if lr.Unit == u.Name && lr.Loop.Par != nil {
-							if lr.Parallel != lr.Loop.Par.Parallel {
-								c.Count("verdict_flips", 1)
-								// Supersede the analysis verdict: FinalDecisions
-								// keeps the latest final record per loop.
-								d := obsv.Decision{
-									Label: label, Unit: u.Name, Loop: lr.Loop.ID,
-									Index: lr.Index, Depth: lr.Depth,
-									Pass:   "strength-reduction",
-									Detail: lr.Loop.Par.Reason,
-									Final:  true,
-								}
-								if lr.Loop.Par.Parallel {
-									d.Verdict = "doall"
-									d.Technique = lr.Loop.Par.Reason
-								} else {
-									d.Verdict = "serial"
-									d.Blocker = lr.Loop.Par.Reason
-								}
-								obs.Decision(d)
-							}
-							lr.Parallel = lr.Loop.Par.Parallel
-							lr.Reason = lr.Loop.Par.Reason
+					for _, lr := range reportsFor[u.Name] {
+						if lr.Loop.Par == nil {
+							continue
 						}
+						if lr.Parallel != lr.Loop.Par.Parallel {
+							sub.Count("verdict_flips", 1)
+							// Supersede the analysis verdict: FinalDecisions
+							// keeps the latest final record per loop.
+							d := obsv.Decision{
+								Label: label, Unit: u.Name, Loop: lr.Loop.ID,
+								Index: lr.Index, Depth: lr.Depth,
+								Pass:   "strength-reduction",
+								Detail: lr.Loop.Par.Reason,
+								Final:  true,
+							}
+							if lr.Loop.Par.Parallel {
+								d.Verdict = "doall"
+								d.Technique = lr.Loop.Par.Reason
+							} else {
+								d.Verdict = "serial"
+								d.Blocker = lr.Loop.Par.Reason
+							}
+							uo.Decision(d)
+						}
+						lr.Parallel = lr.Loop.Par.Parallel
+						lr.Reason = lr.Loop.Par.Reason
 					}
 				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			for _, n := range counts {
+				res.StrengthReduced += n
 			}
 			return nil
 		}))

@@ -1,0 +1,227 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"polaris/internal/core"
+	"polaris/internal/deps"
+	"polaris/internal/fuzzgen"
+	"polaris/internal/obsv"
+	"polaris/internal/parser"
+	"polaris/internal/passes"
+)
+
+// megaFor parses one deterministic megaprogram for the parallel-
+// schedule tests: hundreds of units, enough to keep an 8-worker pool
+// genuinely concurrent.
+func megaFor(t testing.TB, lines int) *fuzzgen.MegaProgram {
+	t.Helper()
+	return fuzzgen.GenerateMega(fuzzgen.MegaConfig{Seed: 1001, TargetLines: lines})
+}
+
+type compileObservation struct {
+	trace    []byte
+	decs     []obsv.Decision
+	finals   []obsv.Decision
+	stats    deps.Stats
+	loops    []core.LoopReport
+	indvars  []string
+	norm     int
+	strength int
+	ipc      map[string]int64
+}
+
+// observeCompile compiles the megaprogram with the given unit worker
+// count and snapshots everything the schedule could disturb: the raw
+// v2 trace bytes, the full decision stream, per-loop verdicts and
+// Reasons, and the aggregate counters.
+func observeCompile(t testing.TB, src string, workers int) compileObservation {
+	t.Helper()
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var buf bytes.Buffer
+	obs := obsv.NewObserver()
+	obs.SetTrace(obsv.NewTraceWriter(&buf))
+	opt := core.PolarisOptions()
+	opt.UnitWorkers = workers
+	opt.Observer = obs
+	opt.TraceLabel = "MEGA"
+	opt.Stats = &deps.Stats{}
+	res, err := core.CompileContext(context.Background(), prog, opt)
+	if err != nil {
+		t.Fatalf("compile (workers=%d): %v", workers, err)
+	}
+	o := compileObservation{
+		trace:    normalizeTrace(t, buf.Bytes()),
+		decs:     obs.Decisions(),
+		finals:   obs.FinalDecisions("MEGA"),
+		stats:    *opt.Stats,
+		indvars:  res.InductionVars,
+		norm:     res.NormalizedLoops,
+		strength: res.StrengthReduced,
+		ipc:      res.InterprocConstants,
+	}
+	for _, lr := range res.Loops {
+		lr.Loop = nil // compare the verdict data, not IR pointers
+		o.loops = append(o.loops, lr)
+	}
+	return o
+}
+
+// normalizeTrace re-marshals a v2 trace with span wall times zeroed:
+// DurationNS is the one field that legitimately differs between two
+// runs of the same schedule (the golden trace test zeroes it the same
+// way). Everything else — record order, seq numbers, every payload
+// byte — must match exactly.
+func normalizeTrace(t testing.TB, raw []byte) []byte {
+	t.Helper()
+	envs, err := obsv.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	var out bytes.Buffer
+	for _, e := range envs {
+		if e.Span != nil {
+			e.Span.DurationNS = 0
+		}
+		line, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		out.Write(line)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// TestUnitParallelDeterminism is the central guarantee of the unit-
+// parallel pipeline: the 8-worker schedule must be observationally
+// byte-identical to the serial one — same loop verdicts, Reasons, and
+// LRPD sets, same decision-record stream in the same order, same
+// trace-v2 bytes, same dependence-test counts. Run under -race this
+// also shakes out data races in the fanned-out passes.
+func TestUnitParallelDeterminism(t *testing.T) {
+	mp := megaFor(t, 4000)
+	serial := observeCompile(t, mp.Source, 1)
+	if len(serial.loops) == 0 || len(serial.decs) == 0 {
+		t.Fatalf("megaprogram produced no loops/decisions (loops=%d decs=%d)",
+			len(serial.loops), len(serial.decs))
+	}
+	for _, workers := range []int{2, 8} {
+		par := observeCompile(t, mp.Source, workers)
+		if !bytes.Equal(serial.trace, par.trace) {
+			t.Errorf("workers=%d: trace bytes diverge from serial (%d vs %d bytes)",
+				workers, len(serial.trace), len(par.trace))
+		}
+		if !reflect.DeepEqual(serial.decs, par.decs) {
+			t.Errorf("workers=%d: decision stream diverges (%d vs %d records)",
+				workers, len(serial.decs), len(par.decs))
+		}
+		if !reflect.DeepEqual(serial.finals, par.finals) {
+			t.Errorf("workers=%d: final verdicts diverge", workers)
+		}
+		if !reflect.DeepEqual(serial.loops, par.loops) {
+			t.Errorf("workers=%d: loop reports diverge", workers)
+		}
+		if !reflect.DeepEqual(serial.indvars, par.indvars) {
+			t.Errorf("workers=%d: induction variables diverge: %v vs %v",
+				workers, serial.indvars, par.indvars)
+		}
+		if serial.stats != par.stats {
+			t.Errorf("workers=%d: dependence stats diverge: %+v vs %+v",
+				workers, serial.stats, par.stats)
+		}
+		if serial.norm != par.norm || serial.strength != par.strength {
+			t.Errorf("workers=%d: normalize/strength counts diverge", workers)
+		}
+		if !reflect.DeepEqual(serial.ipc, par.ipc) {
+			t.Errorf("workers=%d: interprocedural constants diverge", workers)
+		}
+	}
+}
+
+// TestParallelTraceSchema checks the trace contract from a parallel
+// compile: the stream round-trips through ReadTrace and the writer-
+// assigned sequence numbers are gapless and strictly increasing from
+// zero — no worker ever bypasses the writer lock.
+func TestParallelTraceSchema(t *testing.T) {
+	mp := megaFor(t, 4000)
+	o := observeCompile(t, mp.Source, 8)
+	envs, err := obsv.ReadTrace(bytes.NewReader(o.trace))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(envs) == 0 {
+		t.Fatalf("empty trace")
+	}
+	for i, e := range envs {
+		if e.Seq != int64(i) {
+			t.Fatalf("line %d has seq %d: sequence must be gapless and strictly increasing", i, e.Seq)
+		}
+		if e.V != obsv.SchemaVersion {
+			t.Fatalf("line %d has version %q", i, e.V)
+		}
+		switch e.Type {
+		case obsv.TypeSpan:
+			if e.Span == nil {
+				t.Fatalf("line %d: span envelope without span payload", i)
+			}
+		case obsv.TypeDecision:
+			if e.Decision == nil {
+				t.Fatalf("line %d: decision envelope without decision payload", i)
+			}
+		default:
+			t.Fatalf("line %d: unexpected record type %q from a compile", i, e.Type)
+		}
+	}
+}
+
+// TestUnitParallelCancellation checks the compile-level cancellation
+// contract survives the worker pool: canceling mid-compile returns the
+// context's own error, promptly.
+func TestUnitParallelCancellation(t *testing.T) {
+	mp := megaFor(t, 4000)
+	prog, err := parser.ParseProgram(mp.Source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := core.PolarisOptions()
+	opt.UnitWorkers = 8
+	if _, err := core.CompileContext(ctx, prog, opt); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestUnitPanicSurfacesAsPipelineError compiles with a pass that
+// panics on a worker goroutine and requires the typed *PipelineError
+// carrying the stack — the server's crash-isolation guarantee.
+func TestUnitPanicSurfacesAsPipelineError(t *testing.T) {
+	// Reach the manager directly: core's own passes don't panic on
+	// well-formed input, so drive a synthetic per-unit pass.
+	m := passes.NewManager("unit-panic", nil)
+	m.Workers = 8
+	m.Add(passes.Func("boom", func(c *passes.Context) error {
+		return c.ForEach(64, func(sub *passes.Context, i int) error {
+			if i == 42 {
+				panic("worker goroutine panic")
+			}
+			return nil
+		})
+	}))
+	_, err := m.Run(context.Background(), nil)
+	perr, ok := err.(*passes.Error)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *passes.Error", err, err)
+	}
+	if perr.Stack == "" {
+		t.Fatalf("worker panic lost its stack")
+	}
+}

@@ -27,12 +27,23 @@ type Config struct {
 	Stats *Stats
 }
 
-// Stats counts dependence-test work for the evaluation harness.
+// Stats counts dependence-test work for the evaluation harness. The
+// counters are plain ints: one Stats must not be shared by concurrent
+// analyses. The unit-parallel pipeline gives each unit its own Stats
+// and merges them with Add at the pass barrier.
 type Stats struct {
 	PairsTested   int
 	LinearDecided int
 	RangeTests    int
 	Permutations  int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	s.PairsTested += other.PairsTested
+	s.LinearDecided += other.LinearDecided
+	s.RangeTests += other.RangeTests
+	s.Permutations += other.Permutations
 }
 
 // Verdict is the analysis result for one loop.

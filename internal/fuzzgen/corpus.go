@@ -1,0 +1,33 @@
+package fuzzgen
+
+// MegaSpec is one entry of the standing megaprogram scaling corpus:
+// a name, the generator seed, and the target size. The corpus is
+// checked in as seeds, not files — regenerating a spec always yields
+// the same source, and the fixture tests (internal/suite) pin each
+// seed's unit/loop/DOALL counts so the scaling benchmark cannot
+// silently drift into measuring a different program.
+type MegaSpec struct {
+	Name        string
+	Seed        uint64
+	TargetLines int
+}
+
+// Config returns the generator configuration for the spec.
+func (s MegaSpec) Config() MegaConfig {
+	return MegaConfig{Seed: s.Seed, TargetLines: s.TargetLines}
+}
+
+// Generate builds the spec's program.
+func (s MegaSpec) Generate() *MegaProgram { return GenerateMega(s.Config()) }
+
+// MegaCorpus returns the standing scaling corpus, smallest first:
+// the three BenchmarkMegaCompile sizes tracked in BENCH_polaris.json.
+// Entries are append-only: changing a seed or size invalidates the
+// perf trajectory's comparability across commits.
+func MegaCorpus() []MegaSpec {
+	return []MegaSpec{
+		{Name: "mega10k", Seed: 1001, TargetLines: 10_000},
+		{Name: "mega50k", Seed: 1002, TargetLines: 50_000},
+		{Name: "mega100k", Seed: 1003, TargetLines: 100_000},
+	}
+}

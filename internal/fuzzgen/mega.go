@@ -1,0 +1,309 @@
+// Megaprogram generation: deterministic, seed-keyed synthetic
+// applications of tens of thousands of lines, composed from the same
+// idiom generators the differential fuzzer uses. Where Generate builds
+// one small single-unit program for soundness testing, GenerateMega
+// builds a Perfect-club-shaped *application*: hundreds of program
+// units, cross-unit calls exercising inline expansion and
+// interprocedural constant propagation, and per-unit bodies drawn from
+// the paper's idiom catalogue.
+//
+// Megaprograms are the standing compile-time scaling corpus
+// (BenchmarkMegaCompile): they are compiled, never executed, so the
+// exact-arithmetic execution discipline of the package comment does
+// not constrain them. They are checked in as seeds, not files — the
+// corpus is MegaCorpus() in corpus.go, and the fixture tests pin the
+// unit/loop/verdict counts each seed must produce so the benchmark
+// cannot silently drift into measuring a different program.
+//
+// Unit taxonomy:
+//
+//   - Kernel subroutines (K001, ...) take all state through formal
+//     arguments (rank-1 REAL arrays plus an INTEGER trip count) and
+//     keep no COMMON, so the inliner accepts them; MAIN calls a subset
+//     of them and those calls expand in place.
+//   - Phase subroutines (P0001, ...) hold their state in the shared
+//     COMMON blocks and compose 1-4 random idiom blocks each. The
+//     inliner refuses COMMON callees, so phases are analyzed
+//     intraprocedurally, exactly like the un-inlined bulk of a real
+//     application. Most phases take an INTEGER trip-count formal that
+//     every call site passes as the same literal — interprocedural
+//     constant propagation's target — and some phases call earlier
+//     phases or kernels, giving the propagation iteration real depth.
+//   - MAIN initializes the COMMON state, calls every phase in order
+//     (plus the inlineable kernels), and ends with the checksum sweep.
+package fuzzgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MegaConfig selects one megaprogram. Equal configs generate identical
+// source.
+type MegaConfig struct {
+	// Seed selects the program.
+	Seed uint64
+	// TargetLines is the approximate emitted source-line count
+	// (default 10000, min 1000). Generation stops adding phase units
+	// once the running total crosses the target, so real output lands
+	// within one unit (~60 lines) of it.
+	TargetLines int
+}
+
+func (c MegaConfig) withDefaults() MegaConfig {
+	if c.TargetLines <= 0 {
+		c.TargetLines = 10000
+	}
+	if c.TargetLines < 1000 {
+		c.TargetLines = 1000
+	}
+	return c
+}
+
+// MegaProgram is one generated application.
+type MegaProgram struct {
+	Seed   uint64
+	Source string
+	// Units counts program units (MAIN + kernels + phases).
+	Units int
+	// Lines counts non-blank source lines.
+	Lines int
+}
+
+// GenerateMega emits one megaprogram for the configuration.
+func GenerateMega(cfg MegaConfig) *MegaProgram {
+	cfg = cfg.withDefaults()
+	g := &gen{cfg: Config{Seed: cfg.Seed}.withDefaults(),
+		state: cfg.Seed*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019}
+	m := &megaGen{g: g, cfg: cfg}
+	m.build()
+	src := g.buf.String()
+	lines := 0
+	for _, l := range strings.Split(src, "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines++
+		}
+	}
+	return &MegaProgram{Seed: cfg.Seed, Source: src, Units: m.units, Lines: lines}
+}
+
+// megaGen drives unit-level composition on top of the idiom generator.
+type megaGen struct {
+	g   *gen
+	cfg MegaConfig
+	// kernels and phases list the emitted unit names, in order.
+	kernels []string
+	phases  []string
+	// phaseTrip maps a phase to the literal trip count every call site
+	// passes (0 when the phase takes no formal).
+	phaseTrip map[string]int
+	units     int
+}
+
+// lines returns the number of lines emitted so far.
+func (m *megaGen) lines() int { return strings.Count(m.g.buf.String(), "\n") }
+
+// build emits kernels, then phases until the line budget is spent,
+// then MAIN (which calls everything).
+func (m *megaGen) build() {
+	m.phaseTrip = map[string]int{}
+
+	// Kernel count scales gently with program size: one kernel per
+	// ~4000 target lines, at least 4, at most 24.
+	nk := m.cfg.TargetLines / 4000
+	if nk < 4 {
+		nk = 4
+	}
+	if nk > 24 {
+		nk = 24
+	}
+	for i := 0; i < nk; i++ {
+		m.kernel(fmt.Sprintf("K%03d", i+1))
+	}
+
+	// Phases fill the budget. Reserve ~the MAIN size: one CALL line per
+	// phase plus ~45 fixed lines, so the reserve grows as phases do.
+	for i := 0; ; i++ {
+		reserve := 45 + len(m.phases)
+		if m.lines()+reserve >= m.cfg.TargetLines {
+			break
+		}
+		m.phase(fmt.Sprintf("P%04d", i+1))
+	}
+	m.main()
+}
+
+// stdDecls emits the shared COMMON state declarations (the same layout
+// program() uses, minus the /OUT/ checksum cell which only MAIN owns).
+func (m *megaGen) stdDecls() {
+	g := m.g
+	nn := g.cfg.ArrayLen
+	g.w("INTEGER NN")
+	g.w("PARAMETER (NN=%d)", nn)
+	g.w("REAL QA(NN), QB(NN), QC(NN), WT(NN)")
+	g.w("REAL GM(%d,%d)", matDim, matDim)
+	g.w("INTEGER IX(NN), KA(NN)")
+	g.w("COMMON /STATE/ QA, QB, QC, WT, GM, IX, KA")
+	g.w("REAL S1, S2, S3, T1, T2")
+	g.w("INTEGER K9, K8, P9")
+	g.w("COMMON /SCL/ S1, S2, S3, T1, T2, K9, K8, P9")
+	g.w("REAL A9(NN)")
+	g.w("INTEGER J9(NN)")
+	g.w("INTEGER I1, I2, I3")
+}
+
+// kernel emits one inlineable formal-only subroutine: rank-1 REAL
+// array arguments plus a trip count, no COMMON. The body shape is
+// drawn from four families the paper's loop-level techniques care
+// about: element-wise maps (DOALL), first-order recurrences (serial),
+// scaled stencil sweeps, and in-place triangular updates.
+func (m *megaGen) kernel(name string) {
+	g := m.g
+	m.units++
+	m.kernels = append(m.kernels, name)
+	g.w("SUBROUTINE %s(X, Y, N)", name)
+	g.w("INTEGER N")
+	g.w("REAL X(N), Y(N)")
+	g.w("INTEGER I1")
+	g.w("REAL T1")
+	switch g.rnd(4) {
+	case 0: // element-wise map: independent, inlines into a DOALL.
+		g.loop("I1", "1", "N", 1, 0, func() {
+			g.w("X(I1) = Y(I1) * %s + %s", g.pow2(), g.c4())
+		})
+	case 1: // first-order recurrence: genuinely serial after inlining.
+		g.loop("I1", "2", "N", 2, 0, func() {
+			g.w("X(I1) = X(I1-1) * %s + Y(I1)", g.pow2())
+		})
+	case 2: // gathered stencil with a privatizable temporary.
+		g.loop("I1", "2", "N", 2, 0, func() {
+			g.w("T1 = Y(I1) - Y(I1-1)")
+			g.w("X(I1) = X(I1) + T1 * %s", g.pow2())
+		})
+	default: // reversal map (the range test proves independence).
+		g.loop("I1", "1", "N", 1, 0, func() {
+			g.w("X(I1) = Y(N + 1 - I1) * %s", g.pow2())
+		})
+	}
+	g.w("END")
+	g.w("")
+}
+
+// phase emits one COMMON-state subroutine composed of idiom blocks.
+func (m *megaGen) phase(name string) {
+	g := m.g
+	m.units++
+	m.phases = append(m.phases, name)
+	trip := 0
+	if g.rnd(4) != 0 { // 3 of 4 phases take the constant trip formal.
+		trip = []int{4, 8, 12}[g.rnd(3)]
+	}
+	if trip > 0 {
+		g.w("SUBROUTINE %s(NT)", name)
+		g.w("INTEGER NT")
+	} else {
+		g.w("SUBROUTINE %s(DUMMY)", name)
+		g.w("REAL DUMMY")
+	}
+	m.phaseTrip[name] = trip
+	m.stdDecls()
+	if trip > 0 {
+		// The formal-bounded sweep interprocedural constant
+		// propagation turns into a constant-trip loop.
+		g.loop("I1", "1", "NT", 1, trip, func() {
+			g.w("QA(I1) = QA(I1) + %s", g.c4())
+		})
+	}
+	blocks := 1 + g.rnd(4)
+	g.productUsed = false
+	for i := 0; i < blocks; i++ {
+		g.block()
+	}
+	// Cross-unit calls: a quarter of phases call an earlier phase, and
+	// a quarter call a kernel on the COMMON arrays (un-inlined here —
+	// kernels only expand in MAIN — so dependence analysis sees a real
+	// CALL, occasionally inside a loop where it must serialize).
+	if len(m.phases) > 1 && g.rnd(4) == 0 {
+		callee := m.phases[g.rnd(len(m.phases)-1)]
+		m.callPhase(callee)
+	}
+	if len(m.kernels) > 0 && g.rnd(4) == 0 {
+		callee := m.kernels[g.rnd(len(m.kernels))]
+		if g.rnd(3) == 0 {
+			g.loop("I2", "1", "4", 1, 4, func() {
+				g.w("CALL %s(QC, WT, NN)", callee)
+			})
+		} else {
+			g.w("CALL %s(%s, %s, NN)", callee, g.pick("QA", "QB", "QC"), g.pick("WT", "QB"))
+		}
+	}
+	g.w("END")
+	g.w("")
+}
+
+// callPhase emits one CALL to a phase with its uniform literal
+// argument (the interproc-constants contract: every site passes the
+// same literal).
+func (m *megaGen) callPhase(name string) {
+	if t := m.phaseTrip[name]; t > 0 {
+		m.g.w("CALL %s(%d)", name, t)
+	} else {
+		m.g.w("CALL %s(0.5)", name)
+	}
+}
+
+// main emits the driver: declarations, deterministic initialization,
+// inlineable kernel calls, one call to every phase, a couple of local
+// idiom blocks, and the checksum sweep.
+func (m *megaGen) main() {
+	g := m.g
+	m.units++
+	nn := g.cfg.ArrayLen
+	g.w("PROGRAM MEGA")
+	g.w("REAL RESULT")
+	g.w("COMMON /OUT/ RESULT")
+	m.stdDecls()
+	g.loop("I1", "1", "NN", 1, nn, func() {
+		g.w("QA(I1) = 0.5 * I1")
+		g.w("QB(I1) = 1.0 + 0.125 * I1")
+		g.w("QC(I1) = 2.0 - 0.25 * I1")
+		g.w("WT(I1) = 0.0")
+		g.w("A9(I1) = 0.25 * I1")
+		g.w("IX(I1) = I1")
+		g.w("KA(I1) = 0")
+		g.w("J9(I1) = 0")
+	})
+	g.loop("I2", "1", fmt.Sprintf("%d", matDim), 1, matDim, func() {
+		g.loop("I1", "1", fmt.Sprintf("%d", matDim), 1, matDim, func() {
+			g.w("GM(I1,I2) = 0.25 * I1 - 0.125 * I2")
+		})
+	})
+	g.w("S1 = 0.0")
+	g.w("S2 = 1.0")
+	g.w("S3 = 0.0")
+	g.w("T1 = 0.5")
+	g.w("T2 = 0.25")
+	g.w("K9 = 0")
+	g.w("K8 = 0")
+	g.w("P9 = 0")
+
+	// Kernel calls: expanded in place by the inliner.
+	for _, k := range m.kernels {
+		g.w("CALL %s(%s, %s, NN)", k, g.pick("QA", "QB", "QC", "WT"), g.pick("QA", "QB", "QC"))
+	}
+	// One local idiom block between the kernel prologue and the phase
+	// schedule.
+	g.productUsed = false
+	g.block()
+	// The phase schedule: one call per phase, uniform literal args.
+	for _, p := range m.phases {
+		m.callPhase(p)
+	}
+
+	g.w("RESULT = S1 + S3 + T1 + T2 + K9 + K8 + P9")
+	g.loop("I1", "1", "NN", 1, nn, func() {
+		g.w("RESULT = RESULT + QA(I1) + QB(I1) + QC(I1) + WT(I1)")
+		g.w("RESULT = RESULT + KA(I1) + IX(I1) * 0.125")
+	})
+	g.w("END")
+}

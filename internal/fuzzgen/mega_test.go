@@ -1,0 +1,107 @@
+package fuzzgen_test
+
+import (
+	"context"
+	"testing"
+
+	"polaris/internal/core"
+	"polaris/internal/fuzzgen"
+	"polaris/internal/parser"
+)
+
+// TestMegaDeterministic: same seed, same megaprogram, at every scale.
+// The corpus is checked in as seeds, not files; this is the property
+// that makes that storage scheme sound.
+func TestMegaDeterministic(t *testing.T) {
+	for _, lines := range []int{1000, 10000, 40000} {
+		a := fuzzgen.GenerateMega(fuzzgen.MegaConfig{Seed: 7, TargetLines: lines})
+		b := fuzzgen.GenerateMega(fuzzgen.MegaConfig{Seed: 7, TargetLines: lines})
+		if a.Source != b.Source {
+			t.Fatalf("target %d: two generations differ", lines)
+		}
+		if a.Lines < lines*8/10 || a.Lines > lines*12/10 {
+			t.Errorf("target %d: generated %d lines, outside the ±20%% envelope", lines, a.Lines)
+		}
+	}
+}
+
+// TestMegaCorpusPins pins the standing benchmark corpus: each named
+// spec must keep generating exactly the program it generated when the
+// benchmark numbers were first recorded. A changed pin means the
+// corpus drifted and every historical BenchmarkMegaCompile comparison
+// is void — bump the corpus by APPENDING a new spec instead (see
+// MegaCorpus).
+func TestMegaCorpusPins(t *testing.T) {
+	pins := map[string]struct {
+		seed  uint64
+		units int
+		lines int
+	}{
+		"mega10k":  {seed: 1001, units: 283, lines: 9736},
+		"mega50k":  {seed: 1002, units: 1436, lines: 48600},
+		"mega100k": {seed: 1003, units: 2882, lines: 97148},
+	}
+	corpus := fuzzgen.MegaCorpus()
+	if len(corpus) != len(pins) {
+		t.Fatalf("corpus has %d specs, pins cover %d — append pins for new specs", len(corpus), len(pins))
+	}
+	for _, spec := range corpus {
+		pin, ok := pins[spec.Name]
+		if !ok {
+			t.Errorf("spec %s has no pin", spec.Name)
+			continue
+		}
+		if spec.Seed != pin.seed {
+			t.Errorf("%s: seed %d, pinned %d — corpus entries are append-only", spec.Name, spec.Seed, pin.seed)
+		}
+		mp := spec.Generate()
+		if mp.Units != pin.units || mp.Lines != pin.lines {
+			t.Errorf("%s: generated units=%d lines=%d, pinned units=%d lines=%d — the generator changed under the corpus",
+				spec.Name, mp.Units, mp.Lines, pin.units, pin.lines)
+		}
+	}
+}
+
+// TestMegaCorpusCompilePins parses and compiles the 10k corpus entry
+// and pins what the pipeline finds in it: loop population, DOALL
+// yield, inline expansions, and propagated interprocedural constants.
+// These numbers are what make the corpus a meaningful benchmark — a
+// megaprogram the analyses bounce off would measure nothing.
+func TestMegaCorpusCompilePins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a 10k-line program; skipped with -short")
+	}
+	var spec fuzzgen.MegaSpec
+	for _, s := range fuzzgen.MegaCorpus() {
+		if s.Name == "mega10k" {
+			spec = s
+		}
+	}
+	if spec.Name == "" {
+		t.Fatal("mega10k missing from corpus")
+	}
+	mp := spec.Generate()
+	prog, err := parser.ParseProgram(mp.Source)
+	if err != nil {
+		t.Fatalf("corpus entry does not parse: %v", err)
+	}
+	if len(prog.Units) != mp.Units {
+		t.Errorf("parser found %d units, generator reported %d", len(prog.Units), mp.Units)
+	}
+	res, err := core.CompileContext(context.Background(), prog, core.PolarisOptions())
+	if err != nil {
+		t.Fatalf("corpus entry does not compile: %v", err)
+	}
+	if got, want := len(res.Loops), 1382; got != want {
+		t.Errorf("loops analyzed = %d, pinned %d", got, want)
+	}
+	if got, want := res.ParallelLoops(), 923; got != want {
+		t.Errorf("DOALL loops = %d, pinned %d", got, want)
+	}
+	if got, want := res.InlinedCalls, 4; got != want {
+		t.Errorf("inlined calls = %d, pinned %d", got, want)
+	}
+	if got, want := len(res.InterprocConstants), 214; got != want {
+		t.Errorf("interprocedural constants = %d, pinned %d", got, want)
+	}
+}

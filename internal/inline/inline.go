@@ -39,8 +39,15 @@ type Report struct {
 func ExpandAll(prog *ir.Program, top *ir.ProgramUnit, opt Options) *Report {
 	rep := &Report{Skipped: map[string]string{}}
 	tpl := newTemplates(prog)
+	// Resolve callees through a one-pass name index: Program.Unit is a
+	// linear scan, and a megaprogram has hundreds of units and call
+	// sites — the repeated scans were quadratic in program size.
+	units := make(map[string]*ir.ProgramUnit, len(prog.Units))
+	for _, u := range prog.Units {
+		units[u.Name] = u
+	}
 	for pass := 0; pass < opt.MaxPasses; pass++ {
-		if !expandOnce(prog, top, tpl, opt, rep) {
+		if !expandOnce(units, top, tpl, opt, rep) {
 			break
 		}
 	}
@@ -49,18 +56,22 @@ func ExpandAll(prog *ir.Program, top *ir.ProgramUnit, opt Options) *Report {
 
 // expandOnce expands every currently-present eligible call; returns
 // whether anything was expanded.
-func expandOnce(prog *ir.Program, top *ir.ProgramUnit, tpl *templates, opt Options, rep *Report) bool {
+func expandOnce(units map[string]*ir.ProgramUnit, top *ir.ProgramUnit, tpl *templates, opt Options, rep *Report) bool {
 	expanded := false
+	// The size guard needs the running statement count; counting from
+	// scratch per call site is quadratic on programs with many calls,
+	// so count once and maintain the total incrementally.
+	count := ir.CountStmts(top.Body)
 	var walk func(b *ir.Block)
 	walk = func(b *ir.Block) {
 		for i := 0; i < len(b.Stmts); i++ {
 			switch x := b.Stmts[i].(type) {
 			case *ir.CallStmt:
-				callee := prog.Unit(x.Name)
+				callee := units[x.Name]
 				if callee == nil || callee.Kind != ir.UnitSubroutine {
 					continue
 				}
-				if ir.CountStmts(top.Body) > opt.MaxStmts {
+				if count > opt.MaxStmts {
 					rep.Skipped[x.Name] = "size limit reached"
 					continue
 				}
@@ -71,6 +82,7 @@ func expandOnce(prog *ir.Program, top *ir.ProgramUnit, tpl *templates, opt Optio
 				}
 				b.Remove(i)
 				b.Insert(i, stmts...)
+				count += countStmtList(stmts) - 1
 				i += len(stmts) - 1
 				rep.Expanded++
 				expanded = true
@@ -88,15 +100,38 @@ func expandOnce(prog *ir.Program, top *ir.ProgramUnit, tpl *templates, opt Optio
 	return expanded
 }
 
+// countStmtList counts statements including nested bodies.
+func countStmtList(stmts []ir.Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		n++
+		switch x := s.(type) {
+		case *ir.DoStmt:
+			n += ir.CountStmts(x.Body)
+		case *ir.IfStmt:
+			n += ir.CountStmts(x.Then)
+			if x.Else != nil {
+				n += ir.CountStmts(x.Else)
+			}
+		}
+	}
+	return n
+}
+
 // templates caches per-callee validated bodies (the site-independent
 // half of the paper's scheme).
 type templates struct {
 	prog  *ir.Program
 	cache map[string]*ir.ProgramUnit
+	// failed caches validation rejections: a callee the splice cannot
+	// express is re-encountered at every call site on every expansion
+	// pass, and re-walking its body each time is quadratic on programs
+	// with many refused callees.
+	failed map[string]error
 }
 
 func newTemplates(prog *ir.Program) *templates {
-	return &templates{prog: prog, cache: map[string]*ir.ProgramUnit{}}
+	return &templates{prog: prog, cache: map[string]*ir.ProgramUnit{}, failed: map[string]error{}}
 }
 
 // template returns a validated master copy of the callee.
@@ -104,7 +139,11 @@ func (t *templates) template(callee *ir.ProgramUnit) (*ir.ProgramUnit, error) {
 	if u, ok := t.cache[callee.Name]; ok {
 		return u, nil
 	}
+	if err, ok := t.failed[callee.Name]; ok {
+		return nil, err
+	}
 	if err := validateCallee(callee); err != nil {
+		t.failed[callee.Name] = err
 		return nil, err
 	}
 	u := callee.Clone()
@@ -120,6 +159,15 @@ func (t *templates) template(callee *ir.ProgramUnit) (*ir.ProgramUnit, error) {
 
 // validateCallee rejects constructs the splice cannot express.
 func validateCallee(u *ir.ProgramUnit) error {
+	// COMMON members alias storage shared with the caller; the local
+	// renaming below would sever that aliasing (the callee's writes
+	// would land in fresh caller locals instead of the shared block),
+	// so COMMON callees are analyzed intraprocedurally instead.
+	for _, name := range u.Symbols.Names() {
+		if sym := u.Symbols.Lookup(name); sym != nil && sym.Common != "" {
+			return fmt.Errorf("%s uses COMMON /%s/", u.Name, sym.Common)
+		}
+	}
 	var err error
 	ir.WalkStmts(u.Body, func(s ir.Stmt) bool {
 		switch s.(type) {

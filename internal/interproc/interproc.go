@@ -36,11 +36,16 @@ func Propagate(prog *ir.Program) *Report {
 
 func propagateOnce(prog *ir.Program, rep *Report) bool {
 	changed := false
+	// One walk over the whole program collects every callee's sites:
+	// the old per-callee scan re-walked all units for each of the U
+	// subroutines, O(U^2) unit walks on a megaprogram's hundreds of
+	// units.
+	sitesByName := callSiteIndex(prog)
 	for _, callee := range prog.Units {
 		if callee.Kind != ir.UnitSubroutine || len(callee.Formals) == 0 {
 			continue
 		}
-		sites := callSites(prog, callee.Name)
+		sites := sitesByName[callee.Name]
 		if len(sites) == 0 {
 			continue
 		}
@@ -74,14 +79,14 @@ func propagateOnce(prog *ir.Program, rep *Report) bool {
 	return changed
 }
 
-// callSites collects every CALL to name across the program. A nil
-// result (distinct from empty) signals an unknown caller context.
-func callSites(prog *ir.Program, name string) []*ir.CallStmt {
-	var out []*ir.CallStmt
+// callSiteIndex collects every CALL in the program, grouped by callee
+// name, in one walk.
+func callSiteIndex(prog *ir.Program) map[string][]*ir.CallStmt {
+	out := map[string][]*ir.CallStmt{}
 	for _, u := range prog.Units {
 		ir.WalkStmts(u.Body, func(s ir.Stmt) bool {
-			if c, ok := s.(*ir.CallStmt); ok && c.Name == name {
-				out = append(out, c)
+			if c, ok := s.(*ir.CallStmt); ok {
+				out[c.Name] = append(out[c.Name], c)
 			}
 			return true
 		})

@@ -375,6 +375,46 @@ func (o *Observer) LoopDecisions(label, loop string) []Decision {
 	return out
 }
 
+// ReplayTo forwards everything this observer has recorded to dst, in
+// recording order within each record kind: decisions first, then spans,
+// then runs, then counter totals. The unit-parallel pipeline gives each
+// unit a detached capture (NewCapture(nil)) and replays the captures in
+// unit order after the pass barrier, which reconstructs the exact
+// serial-schedule stream because a per-unit analysis pass emits only
+// Decision records and counters — cross-kind interleaving never occurs
+// inside one capture. dst may be nil (no-op), as may the receiver.
+func (o *Observer) ReplayTo(dst *Observer) {
+	if o == nil || dst == nil {
+		return
+	}
+	o.mu.Lock()
+	decisions := append([]Decision(nil), o.decisions...)
+	spans := append([]Span(nil), o.spans...)
+	runs := append([]RunMetrics(nil), o.runs...)
+	counters := make(map[string]int64, len(o.counters))
+	for k, v := range o.counters {
+		counters[k] = v
+	}
+	o.mu.Unlock()
+	for _, d := range decisions {
+		dst.Decision(d)
+	}
+	for _, s := range spans {
+		dst.Span(s)
+	}
+	for _, r := range runs {
+		dst.Run(r)
+	}
+	names := make([]string, 0, len(counters))
+	for k := range counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		dst.Count(k, counters[k])
+	}
+}
+
 // SortLoopMetrics orders metrics by (label, loop) for stable output.
 func SortLoopMetrics(ms []LoopMetric) {
 	sort.Slice(ms, func(i, j int) bool {

@@ -1,0 +1,149 @@
+package passes
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// unitPanicError carries a panic recovered on a ForEach worker
+// goroutine back to the pass manager, which promotes it to a
+// panic-grade *Error. Without the capture the panic would unwind a
+// worker goroutine where runPass's recover cannot see it and kill the
+// whole process.
+type unitPanicError struct {
+	val   any
+	stack string
+}
+
+func (e *unitPanicError) Error() string { return fmt.Sprintf("panic: %v", e.val) }
+
+// ForEach runs fn(sub, i) for i in [0, n) across the context's unit
+// worker pool and reports the error a serial schedule would have
+// reported. Semantics:
+//
+//   - With Workers() == 1 or n <= 1 the indices run inline in order
+//     (zero goroutines, identical to the pre-parallel pipeline).
+//   - Each invocation receives a sub-Context sharing the pass's
+//     Program and mutation-counter sink (Count is safe concurrently)
+//     but carrying the pool's cancellation context, so fn's own
+//     c.Err() polling cooperates with both caller cancellation and
+//     sibling failure.
+//   - On the first genuine failure the pool cancels remaining work:
+//     indices not yet started are skipped and running siblings drain.
+//     Cancellation errors those siblings surface are discarded —
+//     serially they would have completed — and the lowest-index
+//     genuine error is returned. Caller-level cancellation (the parent
+//     context) wins over ordinary errors, matching cooperating serial
+//     passes; a captured panic wins even over cancellation, matching
+//     the pass manager's "a panic is never a cancellation" contract.
+//   - A panic inside fn is recovered on the worker, wrapped, and
+//     re-reported by the pass manager as a pass panic with the worker
+//     stack — identical crash-safety to the serial schedule. A panic
+//     is never discarded as a cancellation.
+//
+// fn must confine its writes to per-index slots (or the shared sink);
+// ForEach provides the happens-before edge between every fn return and
+// ForEach's own return.
+func (c *Context) ForEach(n int, fn func(sub *Context, i int) error) error {
+	workers := c.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := c.Err(); err != nil {
+				return err
+			}
+			if err := fn(c, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	parent := c.Context()
+	poolCtx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		panicErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if isUnitPanic(err) && panicErr == nil {
+			panicErr = err
+		}
+		// An error that merely reflects the pool's own cancellation is
+		// not recorded in the serial-order slot: serially that unit
+		// would have run to completion, and the genuine error that
+		// triggered the cancellation is the one to report.
+		// Parent-context cancellation is handled after the barrier;
+		// worker panics always count.
+		internal := errors.Is(err, context.Canceled) && parent.Err() == nil && !isUnitPanic(err)
+		if !internal && i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				err := func() (err error) {
+					defer func() {
+						if v := recover(); v != nil {
+							err = &unitPanicError{val: v, stack: string(debug.Stack())}
+						}
+					}()
+					sub := &Context{ctx: poolCtx, Program: c.Program, sink: c.sink, workers: 1}
+					return fn(sub, i)
+				}()
+				if err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-poolCtx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if err := parent.Err(); err != nil {
+		// A panic is a pipeline bug, never a cancellation (the pass
+		// manager's contract): surface it even when the caller has
+		// since canceled.
+		if panicErr != nil {
+			return panicErr
+		}
+		return err
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return panicErr
+}
+
+func isUnitPanic(err error) bool {
+	var up *unitPanicError
+	return errors.As(err, &up)
+}

@@ -1,0 +1,222 @@
+package passes
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"polaris/internal/ir"
+)
+
+func poolContext(ctx context.Context, workers int) *Context {
+	return &Context{ctx: ctx, sink: &metricSink{}, workers: workers}
+}
+
+// TestForEachRunsAll checks full coverage and counter aggregation: every
+// index runs exactly once and concurrent Count calls sum correctly.
+func TestForEachRunsAll(t *testing.T) {
+	const n = 100
+	c := poolContext(context.Background(), 8)
+	var ran [n]int32
+	err := c.ForEach(n, func(sub *Context, i int) error {
+		atomic.AddInt32(&ran[i], 1)
+		sub.Count("units", 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	for i, v := range ran {
+		if v != 1 {
+			t.Errorf("index %d ran %d times", i, v)
+		}
+	}
+	if got := c.sink.snapshot()["units"]; got != n {
+		t.Errorf("counter = %d, want %d", got, n)
+	}
+}
+
+// TestForEachSerialFastPath checks that one worker means zero
+// goroutines and strict index order.
+func TestForEachSerialFastPath(t *testing.T) {
+	c := poolContext(context.Background(), 1)
+	var order []int
+	err := c.ForEach(10, func(sub *Context, i int) error {
+		order = append(order, i) // no lock: must be single-goroutine
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path ran out of order: %v", order)
+		}
+	}
+}
+
+// TestForEachCancellation cancels the parent context mid-run and
+// requires the typed context error back, promptly, with no goroutine
+// left behind.
+func TestForEachCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := poolContext(ctx, 8)
+	var started atomic.Int32
+	err := c.ForEach(64, func(sub *Context, i int) error {
+		if started.Add(1) == 4 {
+			cancel()
+		}
+		// A cooperating unit polls its sub-context.
+		for j := 0; j < 1000; j++ {
+			if err := sub.Err(); err != nil {
+				return err
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestForEachPoisonedUnit gives one unit a genuine failure: ForEach
+// must report exactly that error (not a cancellation), stop feeding
+// new units, drain running siblings, and leak nothing.
+func TestForEachPoisonedUnit(t *testing.T) {
+	before := runtime.NumGoroutine()
+	poison := errors.New("unit 7 is poisoned")
+	c := poolContext(context.Background(), 8)
+	var ran atomic.Int32
+	err := c.ForEach(256, func(sub *Context, i int) error {
+		ran.Add(1)
+		if i == 7 {
+			return poison
+		}
+		// Siblings cooperate with cancellation; their context errors
+		// must not mask the genuine failure.
+		for j := 0; j < 100; j++ {
+			if err := sub.Err(); err != nil {
+				return err
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		return nil
+	})
+	if !errors.Is(err, poison) {
+		t.Fatalf("err = %v, want the poison error", err)
+	}
+	if n := ran.Load(); n == 256 {
+		t.Errorf("all 256 units ran despite the early failure")
+	}
+	waitGoroutines(t, before)
+}
+
+// TestForEachLowestIndexErrorWins checks serial-equivalent error
+// selection: when several units fail genuinely, the lowest index is
+// reported, as a serial schedule would.
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	c := poolContext(context.Background(), 4)
+	errFor := func(i int) error { return fmt.Errorf("unit %d failed", i) }
+	// Higher indices fail instantly; index 1 fails after a delay. With
+	// 4 workers indices 1..4 start together, so index 3's error lands
+	// first — the report must still name index 1.
+	err := c.ForEach(8, func(sub *Context, i int) error {
+		if i == 1 {
+			time.Sleep(20 * time.Millisecond)
+			return errFor(i)
+		}
+		if i >= 3 {
+			return errFor(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "unit 1 failed" {
+		t.Fatalf("err = %v, want unit 1 failed", err)
+	}
+}
+
+// TestForEachPanicBecomesPipelineError drives a panicking unit through
+// Manager.Run: the worker-goroutine panic must not kill the process,
+// and must surface as the same panic-grade *Error (with a stack) a
+// serial pass panic produces — the crash-safety contract the compile
+// server depends on.
+func TestForEachPanicBecomesPipelineError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := NewManager("panic-test", nil)
+	m.Workers = 8
+	m.Add(Func("exploding", func(c *Context) error {
+		return c.ForEach(32, func(sub *Context, i int) error {
+			if i == 13 {
+				panic("unit 13 exploded")
+			}
+			return nil
+		})
+	}))
+	rep, err := m.Run(context.Background(), &ir.Program{})
+	var perr *Error
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v (%T), want *passes.Error", err, err)
+	}
+	if perr.Pass != "exploding" {
+		t.Errorf("Pass = %q, want exploding", perr.Pass)
+	}
+	if !strings.Contains(perr.Err.Error(), "unit 13 exploded") {
+		t.Errorf("Err = %v, want the panic value", perr.Err)
+	}
+	if perr.Stack == "" {
+		t.Errorf("panic-grade error carries no stack")
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Err == "" {
+		t.Errorf("report missing the failed pass event: %+v", rep.Events)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestForEachPanicBeatsCancellation: a panic recorded while the pool is
+// also being canceled must still surface as the panic, never be
+// swallowed as a context error.
+func TestForEachPanicBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := poolContext(ctx, 4)
+	err := c.ForEach(16, func(sub *Context, i int) error {
+		if i == 0 {
+			cancel()
+			panic("panic during cancellation")
+		}
+		<-sub.Context().Done()
+		return sub.Err()
+	})
+	if !isUnitPanic(err) {
+		t.Fatalf("err = %v, want the captured panic (panics beat cancellation)", err)
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to (near) the
+// baseline, failing the test if worker goroutines leak.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		// Allow slack for unrelated runtime/test goroutines.
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

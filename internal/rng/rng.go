@@ -7,7 +7,6 @@
 package rng
 
 import (
-	"math/big"
 	"sort"
 
 	"polaris/internal/ir"
@@ -352,8 +351,9 @@ func (a *Analyzer) isIntExpr(e ir.Expr) bool {
 // unless a tighter one already exists on that side. Facts that do not
 // decompose are dropped (the prover works from bounds only).
 func AddFactGE(env *symbolic.Env, e *symbolic.Expr) {
-	vars := make([]string, 0, len(e.Vars()))
-	for v := range e.Vars() {
+	set := e.Vars()
+	vars := make([]string, 0, len(set))
+	for v := range set {
 		vars = append(vars, v)
 	}
 	sort.Strings(vars)
@@ -362,22 +362,20 @@ func AddFactGE(env *symbolic.Env, e *symbolic.Expr) {
 		if !ok || len(coeffs) != 2 {
 			continue
 		}
-		c, isConst := coeffs[1].Const()
-		if !isConst {
+		c, isInt := coeffs[1].ConstInt64()
+		if !isInt {
 			continue
 		}
-		one := big.NewRat(1, 1)
-		negOne := big.NewRat(-1, 1)
 		b, _ := env.Lookup(v)
 		switch {
-		case c.Cmp(one) == 0:
+		case c == 1:
 			// v + rest >= 0  =>  v >= -rest
 			lo := symbolic.Neg(coeffs[0])
 			if better(env, lo, b.Lo, true) {
 				b.Lo = lo
 				env.Push(v, b)
 			}
-		case c.Cmp(negOne) == 0:
+		case c == -1:
 			// -v + rest >= 0  =>  v <= rest
 			hi := coeffs[0]
 			if better(env, hi, b.Hi, false) {
@@ -395,13 +393,11 @@ func better(env *symbolic.Env, cand, cur *symbolic.Expr, isLower bool) bool {
 	if cur == nil {
 		return true
 	}
-	cc, okC := cand.Const()
-	uc, okU := cur.Const()
-	if okC && okU {
+	if s, ok := symbolic.ConstCompare(cand, cur); ok {
 		if isLower {
-			return cc.Cmp(uc) > 0
+			return s > 0
 		}
-		return cc.Cmp(uc) < 0
+		return s < 0
 	}
 	return false
 }

@@ -22,8 +22,9 @@ type cacheKey struct {
 }
 
 // optKey fingerprints the technique-selection fields of core.Options.
-// Instrumentation fields (Stats, Trace, TraceLabel, Observer) are
-// deliberately excluded: they do not change the compiled program.
+// Instrumentation and scheduling fields (Stats, Trace, TraceLabel,
+// Observer, UnitWorkers) are deliberately excluded: they do not change
+// the compiled program.
 // TestOptKeyCoversOptions enforces that every future technique field
 // is added here.
 func optKey(o core.Options) string {

@@ -18,6 +18,11 @@ var optKeyInstrumentation = map[string]bool{
 	"Trace":      true,
 	"TraceLabel": true,
 	"Observer":   true,
+	// UnitWorkers only schedules the per-unit passes across a worker
+	// pool; the parallel schedule is observationally identical to the
+	// serial one (verdicts, decisions, and trace are byte-for-byte the
+	// same — see core.forEachUnit), so it must not split the cache.
+	"UnitWorkers": true,
 }
 
 // TestOptKeyCoversOptions fails when core.Options gains a

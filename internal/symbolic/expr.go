@@ -8,7 +8,7 @@
 //
 // Exprs are immutable after construction and cache their canonical
 // fingerprints (term monomial keys, atom keys, the rendered String)
-// plus forward differences on first use. The caches make repeated
+// plus forward differences and negations on first use. The caches make repeated
 // comparisons allocation-free but are not synchronized: values built
 // during one compilation must not be shared across goroutines (each
 // compilation builds its own expressions, so this never arises in
@@ -121,9 +121,27 @@ type Expr struct {
 	str string
 	// fd caches forward differences by variable.
 	fd map[string]*Expr
+	// neg caches the negation (mutually linked: negating an exact
+	// canonical polynomial is an involution).
+	neg *Expr
+	// sub caches substitution results keyed by variable and
+	// replacement fingerprint: the prover substitutes the same loop
+	// bounds into the same subscript expressions for every access pair
+	// and every fresh per-pair environment.
+	sub map[substKey]*Expr
+}
+
+// substKey identifies one substitution: the variable and the canonical
+// fingerprint of the replacement expression.
+type substKey struct {
+	name string
+	repl string
 }
 
 func newExpr() *Expr { return &Expr{terms: map[string]*term{}} }
+
+// newExprCap returns an empty polynomial with room for n terms.
+func newExprCap(n int) *Expr { return &Expr{terms: make(map[string]*term, n)} }
 
 func (e *Expr) addTerm(t *term) {
 	if t.coef.Sign() == 0 {
@@ -138,6 +156,25 @@ func (e *Expr) addTerm(t *term) {
 		return
 	}
 	e.terms[k] = t.clone()
+}
+
+// addOwnedTerm inserts a term the caller owns outright (freshly
+// allocated, reachable from no other Expr), skipping the defensive
+// clone addTerm performs. The term must not be used by the caller
+// afterwards.
+func (e *Expr) addOwnedTerm(t *term) {
+	if t.coef.Sign() == 0 {
+		return
+	}
+	k := t.monoKey()
+	if old, ok := e.terms[k]; ok {
+		old.coef = qvAdd(old.coef, t.coef)
+		if old.coef.Sign() == 0 {
+			delete(e.terms, k)
+		}
+		return
+	}
+	e.terms[k] = t
 }
 
 // Zero returns the zero polynomial.
@@ -191,9 +228,10 @@ func Add(a, b *Expr) *Expr {
 	if len(b.terms) == 0 {
 		return a
 	}
-	e := newExpr()
-	for _, t := range a.terms {
-		e.addTerm(t)
+	e := newExprCap(len(a.terms) + len(b.terms))
+	for k, t := range a.terms {
+		// Keys within one polynomial are distinct: plain insert.
+		e.terms[k] = t.clone()
 	}
 	for _, t := range b.terms {
 		e.addTerm(t)
@@ -202,27 +240,52 @@ func Add(a, b *Expr) *Expr {
 }
 
 // Sub returns a - b.
-func Sub(a, b *Expr) *Expr { return Add(a, Neg(b)) }
-
-// Neg returns -a.
-func Neg(a *Expr) *Expr {
-	e := newExpr()
-	for _, t := range a.terms {
+func Sub(a, b *Expr) *Expr {
+	if len(b.terms) == 0 {
+		return a
+	}
+	if len(a.terms) == 0 {
+		return Neg(b)
+	}
+	e := newExprCap(len(a.terms) + len(b.terms))
+	for k, t := range a.terms {
+		e.terms[k] = t.clone()
+	}
+	for _, t := range b.terms {
 		c := t.clone()
 		c.coef = qvNeg(c.coef)
-		e.addTerm(c)
+		e.addOwnedTerm(c)
 	}
+	return e
+}
+
+// Neg returns -a, memoized: the result links back so Neg(Neg(a))
+// returns a itself. The prover negates the same expressions repeatedly
+// (ProveLE/ProveLT, both monotonicity probes of every elimination
+// step), so the cache turns those into pointer loads.
+func Neg(a *Expr) *Expr {
+	if a.neg != nil {
+		return a.neg
+	}
+	e := newExprCap(len(a.terms))
+	for k, t := range a.terms {
+		c := t.clone()
+		c.coef = qvNeg(c.coef)
+		e.terms[k] = c // negation preserves the monomial key
+	}
+	e.neg = a
+	a.neg = e
 	return e
 }
 
 // scale returns a with every coefficient multiplied by q (sharing the
 // factor slices; q must be nonzero).
 func scale(a *Expr, q qv) *Expr {
-	e := newExpr()
-	for _, t := range a.terms {
+	e := newExprCap(len(a.terms))
+	for k, t := range a.terms {
 		c := t.clone()
 		c.coef = qvMul(c.coef, q)
-		e.addTerm(c)
+		e.terms[k] = c // nonzero q cannot zero or merge terms
 	}
 	return e
 }
@@ -242,10 +305,10 @@ func Mul(a, b *Expr) *Expr {
 		}
 		return scale(a, c)
 	}
-	e := newExpr()
+	e := newExprCap(len(a.terms) * len(b.terms))
 	for _, ta := range a.terms {
 		for _, tb := range b.terms {
-			e.addTerm(mulTerms(ta, tb))
+			e.addOwnedTerm(mulTerms(ta, tb))
 		}
 	}
 	return e
@@ -334,6 +397,28 @@ func (e *Expr) constSign() (int, bool) {
 		return 0, false
 	}
 	return c.Sign(), true
+}
+
+// ConstInt64 returns the value and true when e is a constant integer
+// polynomial fitting int64, without allocating (the small-coefficient
+// fast path of the prover's fact decomposition).
+func (e *Expr) ConstInt64() (int64, bool) {
+	c, ok := e.constQV()
+	if !ok || c.r != nil || c.d != 1 {
+		return 0, false
+	}
+	return c.n, true
+}
+
+// ConstCompare returns sign(a-b) and true when both polynomials are
+// constants, without allocating in the common small-coefficient case.
+func ConstCompare(a, b *Expr) (int, bool) {
+	ca, oka := a.constQV()
+	cb, okb := b.constQV()
+	if !oka || !okb {
+		return 0, false
+	}
+	return qvCmp(ca, cb), true
 }
 
 // Const returns the value and true if e is a constant polynomial.
@@ -460,8 +545,26 @@ func termContainsVar(t *term, name string) bool {
 
 // Subst returns e with every occurrence of the plain variable name
 // replaced by repl, including occurrences inside opaque-atom arguments.
+// Results are memoized per (name, repl) pair: elimination re-runs the
+// same bound substitutions across access pairs and environments.
 func (e *Expr) Subst(name string, repl *Expr) *Expr {
-	out := newExpr()
+	if !e.ContainsVar(name) {
+		return e
+	}
+	key := substKey{name: name, repl: repl.String()}
+	if r, ok := e.sub[key]; ok {
+		return r
+	}
+	out := e.substSlow(name, repl)
+	if e.sub == nil {
+		e.sub = map[substKey]*Expr{}
+	}
+	e.sub[key] = out
+	return out
+}
+
+func (e *Expr) substSlow(name string, repl *Expr) *Expr {
+	out := newExprCap(len(e.terms))
 	for _, t := range e.terms {
 		// Terms not touching name carry over unchanged (the common
 		// case: elimination rewrites one variable of many).
@@ -469,25 +572,41 @@ func (e *Expr) Subst(name string, repl *Expr) *Expr {
 			out.addTerm(t)
 			continue
 		}
-		part := ratTerm(t.coef)
+		// Split the term: factors free of name stay a raw monomial
+		// (rest); only the touched factors expand into polynomials.
+		rest := &term{coef: t.coef}
+		var expanded *Expr
 		for _, f := range t.factors {
 			var base *Expr
 			switch {
 			case f.atom.Args == nil && f.atom.Name == name:
 				base = repl
 			case f.atom.Args == nil:
-				base = Var(f.atom.Name)
+				rest.factors = append(rest.factors, f)
+				continue
 			default:
+				if !atomContainsVar(f.atom, name) {
+					rest.factors = append(rest.factors, f)
+					continue
+				}
 				args := make([]*Expr, len(f.atom.Args))
 				for i, a := range f.atom.Args {
 					args[i] = a.Subst(name, repl)
 				}
 				base = OpaqueAtom(Atom{Name: f.atom.Name, Args: args, Call: f.atom.Call})
 			}
-			part = Mul(part, Pow(base, f.pow))
+			p := Pow(base, f.pow)
+			if expanded == nil {
+				expanded = p
+			} else {
+				expanded = Mul(expanded, p)
+			}
 		}
-		for _, pt := range part.terms {
-			out.addTerm(pt)
+		// termContainsVar guaranteed at least one touched factor.
+		for _, pt := range expanded.terms {
+			// mulTerms yields a fresh term; expanded may be repl
+			// itself (Pow(x, 1) returns x) and is never mutated.
+			out.addOwnedTerm(mulTerms(pt, rest))
 		}
 	}
 	return out
@@ -530,7 +649,7 @@ func (e *Expr) SubstAtom(atomKey string, repl *Expr) *Expr {
 			part = Mul(part, Pow(base, f.pow))
 		}
 		for _, pt := range part.terms {
-			out.addTerm(pt)
+			out.addOwnedTerm(pt)
 		}
 	}
 	return out
@@ -597,9 +716,10 @@ func (e *Expr) CoeffsIn(v string) (coeffs []*Expr, ok bool) {
 				rest.factors = append(rest.factors, f)
 			}
 		}
-		part := newExpr()
-		part.addTerm(rest)
-		coeffs[d] = Add(coeffs[d], part)
+		// rest is freshly built, and distinct terms of e cannot collide
+		// in the same coefficient bucket (same d and same residual
+		// monomial would mean the same monomial of e).
+		coeffs[d].addOwnedTerm(rest)
 	}
 	return coeffs, true
 }

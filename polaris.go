@@ -187,6 +187,7 @@ func Compile(ctx context.Context, p *Program, opts ...Option) (*Result, error) {
 	copt.Trace = cfg.trace
 	copt.TraceLabel = cfg.traceLabel
 	copt.Observer = cfg.observer
+	copt.UnitWorkers = cfg.unitWorkers
 	res, err := core.CompileContext(ctx, p.ir, copt)
 	if err != nil {
 		return nil, err
