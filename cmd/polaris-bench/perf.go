@@ -44,6 +44,9 @@ type perfReport struct {
 	// compile: the memo hit rate is the tentpole's payoff metric.
 	ProverStats symbolic.ProverStats `json:"prover_stats"`
 	MemoHitRate float64              `json:"memo_hit_rate"`
+	// ServeLatency is the compile service's cold / warm-hit latency
+	// profile, quantiles read from the service's own histograms.
+	ServeLatency serveLatency `json:"serve_latency"`
 }
 
 // perfEntry is one benchmark measurement.
@@ -171,6 +174,12 @@ func writePerfJSON(ctx context.Context, path string) error {
 			}
 		}
 	}))
+	sl, err := measureServeLatency(progs)
+	if err != nil {
+		return err
+	}
+	rep.ServeLatency = sl
+
 	pairs := symbolic.BenchComparePairs()
 	rep.Compare = toEntry(testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"polaris/internal/server"
+	"polaris/internal/suite"
+	"polaris/internal/telemetry"
+)
+
+// serveLatency is the BENCH_polaris.json serve_latency row: the
+// compile service's cold and warm-hit latency profile, with quantiles
+// derived from the service's own per-(route, outcome) histograms (the
+// same data GET /metrics exposes), so the ledger tracks exactly what a
+// client of the running service would observe.
+type serveLatency struct {
+	ColdRequests int     `json:"cold_requests"`
+	WarmRequests int     `json:"warm_requests"`
+	ColdP50NS    float64 `json:"cold_p50_ns"`
+	ColdP99NS    float64 `json:"cold_p99_ns"`
+	WarmP50NS    float64 `json:"warm_p50_ns"`
+	WarmP99NS    float64 `json:"warm_p99_ns"`
+}
+
+// measureServeLatency drives an in-process compile service through its
+// HTTP handler: coldRounds comment-distinct variants of every suite
+// program (each a cold compile), then warmRounds repeats of the first
+// variant (each a cache hit), and reads the quantiles back from the
+// server's telemetry registry.
+func measureServeLatency(progs []suite.Program) (serveLatency, error) {
+	srv := server.New(server.Config{})
+	h := srv.Handler()
+	post := func(src string) error {
+		body, err := json.Marshal(map[string]string{"source": src})
+		if err != nil {
+			return err
+		}
+		req := httptest.NewRequest("POST", "/v1/compile", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			return fmt.Errorf("serve latency probe: status %d: %s", w.Code, w.Body.String())
+		}
+		return nil
+	}
+
+	variant := func(r int, p suite.Program) string {
+		return fmt.Sprintf("C serve-latency variant %d\n%s", r, p.Source)
+	}
+	const coldRounds, warmRounds = 4, 16
+	for r := 0; r < coldRounds; r++ {
+		for _, p := range progs {
+			if err := post(variant(r, p)); err != nil {
+				return serveLatency{}, err
+			}
+		}
+	}
+	for r := 0; r < warmRounds; r++ {
+		for _, p := range progs {
+			if err := post(variant(0, p)); err != nil {
+				return serveLatency{}, err
+			}
+		}
+	}
+
+	var out serveLatency
+	for _, ss := range srv.Telemetry().Snapshot() {
+		if ss.Route != "compile" {
+			continue
+		}
+		switch ss.Outcome {
+		case telemetry.OutcomeCold:
+			out.ColdRequests = int(ss.Count)
+			out.ColdP50NS = ss.Quantile(0.50)
+			out.ColdP99NS = ss.Quantile(0.99)
+		case telemetry.OutcomeCacheHit:
+			out.WarmRequests = int(ss.Count)
+			out.WarmP50NS = ss.Quantile(0.50)
+			out.WarmP99NS = ss.Quantile(0.99)
+		}
+	}
+	if out.ColdRequests != coldRounds*len(progs) || out.WarmRequests != warmRounds*len(progs) {
+		return out, fmt.Errorf("serve latency probe: %d cold / %d warm requests recorded, want %d / %d",
+			out.ColdRequests, out.WarmRequests, coldRounds*len(progs), warmRounds*len(progs))
+	}
+	return out, nil
+}

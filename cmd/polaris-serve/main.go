@@ -6,7 +6,8 @@
 //	polaris-serve [-addr :8080] [-workers N] [-queue N]
 //	              [-timeout 10s] [-max-timeout 30s]
 //	              [-cache-entries N] [-cache-bytes N]
-//	              [-drain-timeout 30s]
+//	              [-drain-timeout 30s] [-access-log]
+//	              [-debug-addr localhost:6060]
 //
 // Endpoints:
 //
@@ -16,13 +17,23 @@
 //	POST /v1/explain  {"source": "...", "loop": "MAIN/L30", "verbose": true}
 //	                  → the `polaris explain` surface as JSON
 //	GET  /healthz     → 200 ok (503 while draining)
-//	GET  /metrics     → obsv counters + cache/queue gauges (JSON)
+//	GET  /metrics     → counters, cache/queue gauges, latency histograms
+//	                    (JSON; ?format=prometheus for text exposition)
+//
+// Every request carries a trace ID (X-Request-Id, adopted or
+// generated, echoed on the response and in the JSON body) and resolves
+// to one outcome (cold / cache_hit / coalesced / shed / timeout /
+// canceled / error); with -access-log each request writes one
+// structured JSON line to stdout, joinable on that ID — a coalesced
+// response's leader_id names the request whose line shows outcome
+// "cold". -debug-addr starts an opt-in net/http/pprof listener on a
+// separate mux so profiling is never exposed on the service port.
 //
 // Requests flow through a bounded admission layer (worker pool plus a
-// fixed-depth queue; overflow is shed with 429 + Retry-After) and a
-// per-request deadline that propagates through the pass manager. On
-// SIGTERM or SIGINT the listener stops, in-flight compiles drain, and
-// the process exits 0.
+// fixed-depth queue; overflow is shed with 429 and a Retry-After
+// derived from the observed drain rate) and a per-request deadline
+// that propagates through the pass manager. On SIGTERM or SIGINT the
+// listener stops, in-flight compiles drain, and the process exits 0.
 package main
 
 import (
@@ -31,8 +42,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,9 +64,11 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "compile cache LRU byte cap")
 	maxSource := flag.Int64("max-source-bytes", 1<<20, "request body size cap")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	accessLog := flag.Bool("access-log", false, "write one structured JSON access-log line per request to stdout")
+	debugAddr := flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
@@ -61,7 +76,32 @@ func main() {
 		MaxSourceBytes: *maxSource,
 		CacheEntries:   *cacheEntries,
 		CacheBytes:     *cacheBytes,
-	})
+	}
+	if *accessLog {
+		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stdout, nil))
+	}
+	srv := server.New(cfg)
+
+	if *debugAddr != "" {
+		// pprof on its own mux and listener: the service port never
+		// serves profiling endpoints.
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("polaris-serve: debug listen %s: %v", *debugAddr, err)
+		}
+		log.Printf("polaris-serve: pprof on %s", dl.Addr())
+		go func() {
+			if err := http.Serve(dl, debugMux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("polaris-serve: debug serve: %v", err)
+			}
+		}()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

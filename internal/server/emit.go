@@ -9,6 +9,7 @@ import (
 	"polaris/internal/core"
 	"polaris/internal/obsv"
 	"polaris/internal/suite"
+	"polaris/internal/telemetry"
 )
 
 // EmitRequest is the POST /v1/emit body: the same compilation knobs as
@@ -37,11 +38,15 @@ type EmitRequest struct {
 // EmitResponse is the POST /v1/emit result: the generated source and
 // the per-loop verdicts that drove the lowering (its provenance).
 type EmitResponse struct {
-	Label    string        `json:"label"`
-	Target   string        `json:"target"`
-	Cached   bool          `json:"cached"`
-	Source   string        `json:"source"`
-	Verdicts []LoopVerdict `json:"verdicts"`
+	Label string `json:"label"`
+	// RequestID / Outcome / LeaderID: see CompileResponse.
+	RequestID string        `json:"request_id"`
+	Outcome   string        `json:"outcome"`
+	LeaderID  string        `json:"leader_id,omitempty"`
+	Target    string        `json:"target"`
+	Cached    bool          `json:"cached"`
+	Source    string        `json:"source"`
+	Verdicts  []LoopVerdict `json:"verdicts"`
 }
 
 func (s *Server) handleEmit(w http.ResponseWriter, r *http.Request) {
@@ -69,7 +74,7 @@ func (s *Server) handleEmit(w http.ResponseWriter, r *http.Request) {
 	}
 	release, shed := s.admit(r.Context())
 	if shed {
-		shedResponse(w)
+		s.shedResponse(w)
 		return
 	}
 	if release == nil {
@@ -86,31 +91,34 @@ func (s *Server) handleEmit(w http.ResponseWriter, r *http.Request) {
 		label = "prog"
 	}
 	prog := suite.Program{Name: label, Source: req.Source}
+	reqID := telemetry.RequestID(ctx)
 
 	var res *core.Result
-	cached := false
+	var out suite.CacheOutcome
 	if req.Baseline {
-		bres, err := s.cache.CompileBaseline(ctx, prog, baselineSource(req.Source))
+		bres, bout, err := s.cache.CompileBaselineOutcome(ctx, prog, baselineSource(req.Source))
 		if err != nil {
 			s.obs.Count("server_compile_errors", 1)
 			writeCompileError(w, err)
 			return
 		}
-		res = bres.Result
+		res, out = bres.Result, bout
 	} else {
 		opt.Observer = obsv.NewObserver()
 		opt.TraceLabel = s.reqLabel(label)
-		cres, hit, err := s.cache.CompileCached(ctx, prog, opt, compileSource(req.Source))
+		cres, cout, err := s.cache.CompileOutcome(ctx, prog, opt, compileSource(req.Source))
 		if err != nil {
 			s.obs.Count("server_compile_errors", 1)
 			writeCompileError(w, err)
 			return
 		}
-		res, cached = cres, hit
-		if hit {
+		res, out = cres, cout
+		if out.Kind != telemetry.OutcomeCold {
 			s.obs.Count("server_cache_hits", 1)
 		}
 	}
+	cached := out.Kind != telemetry.OutcomeCold
+	setOutcome(ctx, out.Kind, leaderFor(out, reqID), cached)
 
 	var src string
 	if target == "go" {
@@ -130,10 +138,13 @@ func (s *Server) handleEmit(w http.ResponseWriter, r *http.Request) {
 		src = codegen.EmitFortran(res)
 	}
 	writeJSON(w, http.StatusOK, EmitResponse{
-		Label:    label,
-		Target:   target,
-		Cached:   cached,
-		Source:   src,
-		Verdicts: verdicts(res),
+		Label:     label,
+		RequestID: reqID,
+		Outcome:   out.Kind,
+		LeaderID:  leaderFor(out, reqID),
+		Target:    target,
+		Cached:    cached,
+		Source:    src,
+		Verdicts:  verdicts(res),
 	})
 }

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 
 	"polaris/internal/core"
 	"polaris/internal/obsv"
 	"polaris/internal/parser"
 	"polaris/internal/pfa"
 	"polaris/internal/suite"
+	"polaris/internal/telemetry"
 )
 
 // CompileRequest is the POST /v1/compile body.
@@ -49,7 +52,19 @@ type PassReport struct {
 
 // CompileResponse is the POST /v1/compile result.
 type CompileResponse struct {
-	Label         string          `json:"label"`
+	Label string `json:"label"`
+	// RequestID is this request's trace ID (the X-Request-Id header,
+	// client-supplied or generated); every access-log line and cache
+	// attribution uses the same ID.
+	RequestID string `json:"request_id"`
+	// Outcome tells how the request was satisfied: "cold" (this request
+	// ran the compile), "cache_hit" (completed cache entry), or
+	// "coalesced" (rode another request's in-flight compile).
+	Outcome string `json:"outcome"`
+	// LeaderID names the request that actually performed the compile
+	// when this one did not (coalesced waiters and cache hits); its
+	// response — or access-log line — carries outcome "cold".
+	LeaderID      string          `json:"leader_id,omitempty"`
 	Cached        bool            `json:"cached"`
 	ParallelLoops int             `json:"parallel_loops"`
 	Verdicts      []LoopVerdict   `json:"verdicts"`
@@ -79,6 +94,10 @@ type ExplainRequest struct {
 // ExplainResponse is the POST /v1/explain result.
 type ExplainResponse struct {
 	Label string `json:"label"`
+	// RequestID / Outcome / LeaderID: see CompileResponse.
+	RequestID string `json:"request_id"`
+	Outcome   string `json:"outcome"`
+	LeaderID  string `json:"leader_id,omitempty"`
 	// Lines are the human-readable per-loop verdict lines, indented by
 	// nesting depth, in program order.
 	Lines []string `json:"lines"`
@@ -151,9 +170,11 @@ func writeCompileError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusInternalServerError, "compile: "+err.Error(), "")
 }
 
-// shedResponse rejects an over-queue request with 429 + Retry-After.
-func shedResponse(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
+// shedResponse rejects an over-queue request with 429 + a Retry-After
+// derived from the observed admission-queue drain rate (see
+// retryAfterSeconds).
+func (s *Server) shedResponse(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(time.Now())))
 	writeError(w, http.StatusTooManyRequests, "server at capacity, retry later", "")
 }
 
@@ -174,7 +195,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	release, shed := s.admit(r.Context())
 	if shed {
-		shedResponse(w)
+		s.shedResponse(w)
 		return
 	}
 	if release == nil {
@@ -191,16 +212,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		label = "prog"
 	}
 	prog := suite.Program{Name: label, Source: req.Source}
+	reqID := telemetry.RequestID(ctx)
 
 	if req.Baseline {
-		res, err := s.cache.CompileBaseline(ctx, prog, baselineSource(req.Source))
+		res, out, err := s.cache.CompileBaselineOutcome(ctx, prog, baselineSource(req.Source))
 		if err != nil {
 			s.obs.Count("server_compile_errors", 1)
 			writeCompileError(w, err)
 			return
 		}
+		cached := out.Kind != telemetry.OutcomeCold
+		setOutcome(ctx, out.Kind, leaderFor(out, reqID), cached)
 		writeJSON(w, http.StatusOK, CompileResponse{
 			Label:         label,
+			RequestID:     reqID,
+			Outcome:       out.Kind,
+			LeaderID:      leaderFor(out, reqID),
+			Cached:        cached,
 			ParallelLoops: res.ParallelLoops(),
 			Verdicts:      verdicts(res.Result),
 			CodegenFactor: res.Factor,
@@ -214,23 +242,38 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	reqObs := obsv.NewObserver()
 	opt.Observer = reqObs
 	opt.TraceLabel = s.reqLabel(label)
-	res, cached, err := s.cache.CompileCached(ctx, prog, opt, compileSource(req.Source))
+	res, out, err := s.cache.CompileOutcome(ctx, prog, opt, compileSource(req.Source))
 	if err != nil {
 		s.obs.Count("server_compile_errors", 1)
 		writeCompileError(w, err)
 		return
 	}
+	cached := out.Kind != telemetry.OutcomeCold
 	if cached {
 		s.obs.Count("server_cache_hits", 1)
 	}
+	setOutcome(ctx, out.Kind, leaderFor(out, reqID), cached)
 	writeJSON(w, http.StatusOK, CompileResponse{
 		Label:         label,
+		RequestID:     reqID,
+		Outcome:       out.Kind,
+		LeaderID:      leaderFor(out, reqID),
 		Cached:        cached,
 		ParallelLoops: res.ParallelLoops(),
 		Verdicts:      verdicts(res),
 		Decisions:     relabel(reqObs.Decisions(), label),
 		Report:        passReports(res),
 	})
+}
+
+// leaderFor returns the foreign leader ID to report for a cache
+// outcome: empty when this request was itself the leader (its own ID
+// would be redundant) or when the leader carried no ID.
+func leaderFor(out suite.CacheOutcome, reqID string) string {
+	if out.Kind == telemetry.OutcomeCold || out.LeaderID == reqID {
+		return ""
+	}
+	return out.LeaderID
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -245,7 +288,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	release, shed := s.admit(r.Context())
 	if shed {
-		shedResponse(w)
+		s.shedResponse(w)
 		return
 	}
 	if release == nil {
@@ -262,17 +305,25 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		label = "prog"
 	}
 	prog := suite.Program{Name: label, Source: req.Source}
+	reqID := telemetry.RequestID(ctx)
 	reqObs := obsv.NewObserver()
 	opt := core.PolarisOptions()
 	opt.Observer = reqObs
 	opt.TraceLabel = s.reqLabel(label)
-	if _, _, err := s.cache.CompileCached(ctx, prog, opt, compileSource(req.Source)); err != nil {
+	_, out, err := s.cache.CompileOutcome(ctx, prog, opt, compileSource(req.Source))
+	if err != nil {
 		s.obs.Count("server_compile_errors", 1)
 		writeCompileError(w, err)
 		return
 	}
+	setOutcome(ctx, out.Kind, leaderFor(out, reqID), out.Kind != telemetry.OutcomeCold)
 
-	resp := ExplainResponse{Label: label}
+	resp := ExplainResponse{
+		Label:     label,
+		RequestID: reqID,
+		Outcome:   out.Kind,
+		LeaderID:  leaderFor(out, reqID),
+	}
 	if req.Loop != "" {
 		if line := reqObs.Explain("", req.Loop); line != "" {
 			resp.Lines = []string{line}
@@ -308,48 +359,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write([]byte("ok\n"))
-}
-
-// Metrics is the GET /metrics document: the shared obsv counters plus
-// cache and admission-queue gauges, expvar style.
-type Metrics struct {
-	Counters map[string]int64 `json:"counters"`
-	Cache    struct {
-		Entries   int   `json:"entries"`
-		Bytes     int64 `json:"bytes"`
-		Hits      int64 `json:"hits"`
-		Misses    int64 `json:"misses"`
-		Evictions int64 `json:"evictions"`
-		Retries   int64 `json:"retries"`
-	} `json:"cache"`
-	Queue struct {
-		Workers  int   `json:"workers"`
-		Depth    int   `json:"depth"`
-		Inflight int64 `json:"inflight"`
-		Queued   int64 `json:"queued"`
-		Shed     int64 `json:"shed_total"`
-	} `json:"queue"`
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var m Metrics
-	m.Counters = s.obs.Counters()
-	if m.Counters == nil {
-		m.Counters = map[string]int64{}
-	}
-	cs := s.cache.Stats()
-	m.Cache.Entries = cs.Entries
-	m.Cache.Bytes = cs.Bytes
-	m.Cache.Hits = cs.Hits
-	m.Cache.Misses = cs.Misses
-	m.Cache.Evictions = cs.Evictions
-	m.Cache.Retries = cs.Retries
-	m.Queue.Workers = s.cfg.Workers
-	m.Queue.Depth = s.cfg.QueueDepth
-	m.Queue.Inflight = s.inflight.Load()
-	m.Queue.Queued = s.queued.Load()
-	m.Queue.Shed = s.shed.Load()
-	writeJSON(w, http.StatusOK, m)
 }
 
 // compileSource is the cache-leader compile function for one POSTed

@@ -6,29 +6,43 @@
 //
 // Request flow:
 //
-//	admission (worker pool + fixed-depth queue, overflow shed with 429)
+//	telemetry middleware (request ID, latency histogram, access log)
+//	→ admission (worker pool + fixed-depth queue, overflow shed with 429
+//	  and a drain-rate-derived Retry-After)
 //	→ per-request deadline (propagates through passes.Context)
-//	→ singleflight bounded-LRU compile cache (suite.Cache)
+//	→ singleflight bounded-LRU compile cache (suite.Cache; the request
+//	  ID rides the context so coalesced waiters can name their leader)
 //	→ instrumented pass manager (panics isolated into *core.PipelineError)
 //	→ per-request decision-provenance replay
 //
-// Endpoints: POST /v1/compile, POST /v1/explain, GET /healthz,
-// GET /metrics. SIGTERM handling lives in cmd/polaris-serve: the
-// listener stops, in-flight compiles drain, and the process exits 0.
+// Every request resolves to one outcome — cold, cache_hit, coalesced,
+// shed, timeout, canceled, error (or ok for plain GETs) — recorded in
+// a per-(route, outcome) latency histogram, echoed in the response
+// body, and written as one structured log/slog access line.
+//
+// Endpoints: POST /v1/compile, POST /v1/explain, POST /v1/emit,
+// GET /healthz, GET /metrics (JSON, or Prometheus text exposition with
+// ?format=prometheus). SIGTERM handling lives in cmd/polaris-serve:
+// the listener stops, in-flight compiles drain, and the process exits
+// 0.
 package server
 
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"polaris/internal/core"
 	"polaris/internal/obsv"
 	"polaris/internal/suite"
+	"polaris/internal/telemetry"
 )
 
 // Config sizes the service. Zero fields take the documented defaults.
@@ -50,6 +64,10 @@ type Config struct {
 	// flat under millions of distinct sources.
 	CacheEntries int
 	CacheBytes   int64
+	// AccessLog receives one structured line per request (id, route,
+	// status, outcome, latency, cache status, leader id). Nil disables
+	// access logging.
+	AccessLog *slog.Logger
 }
 
 func (c *Config) applyDefaults() {
@@ -80,16 +98,25 @@ func (c *Config) applyDefaults() {
 // mount Handler on an existing mux); stop with Shutdown, which drains
 // in-flight requests.
 type Server struct {
-	cfg   Config
-	obs   *obsv.Observer // shared expvar-style counters
-	cache *suite.Cache
+	cfg       Config
+	obs       *obsv.Observer // shared expvar-style counters
+	cache     *suite.Cache
+	tel       *telemetry.Registry  // per-(route, outcome) latency histograms
+	queueWait *telemetry.Histogram // admission wait per admitted request
+	accessLog *slog.Logger
 
-	slots    chan struct{} // worker slots (admission)
-	queued   atomic.Int64  // admitted requests: waiting + running
-	inflight atomic.Int64  // requests holding a worker slot
-	shed     atomic.Int64  // requests rejected with 429
-	reqSeq   atomic.Int64  // unique per-request compile labels
-	draining atomic.Bool
+	slots        chan struct{} // worker slots (admission)
+	queued       atomic.Int64  // admitted requests: waiting + running
+	inflight     atomic.Int64  // requests holding a worker slot
+	httpInflight atomic.Int64  // requests inside any handler (all routes)
+	shed         atomic.Int64  // requests rejected with 429
+	reqSeq       atomic.Int64  // unique per-request compile labels
+	draining     atomic.Bool
+
+	// Completion-history ring behind the drain-rate Retry-After hint.
+	drainMu    sync.Mutex
+	drainTimes [drainWindow]time.Time
+	drainIdx   int
 
 	http *http.Server
 	mux  *http.ServeMux
@@ -99,17 +126,23 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:   cfg,
-		obs:   obsv.NewObserver(),
-		cache: suite.NewCache(suite.CacheLimits{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
-		slots: make(chan struct{}, cfg.Workers),
+		cfg:       cfg,
+		obs:       obsv.NewObserver(),
+		cache:     suite.NewCache(suite.CacheLimits{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
+		tel:       telemetry.NewRegistry(),
+		queueWait: &telemetry.Histogram{},
+		accessLog: cfg.AccessLog,
+		slots:     make(chan struct{}, cfg.Workers),
+	}
+	if s.accessLog == nil {
+		s.accessLog = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/compile", s.recovered(s.handleCompile))
-	s.mux.HandleFunc("POST /v1/emit", s.recovered(s.handleEmit))
-	s.mux.HandleFunc("POST /v1/explain", s.recovered(s.handleExplain))
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.recovered(s.handleCompile)))
+	s.mux.HandleFunc("POST /v1/emit", s.instrument("emit", s.recovered(s.handleEmit)))
+	s.mux.HandleFunc("POST /v1/explain", s.instrument("explain", s.recovered(s.handleExplain)))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.http = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -125,6 +158,10 @@ func (s *Server) Observer() *obsv.Observer { return s.obs }
 
 // CacheStats snapshots the shared compile cache.
 func (s *Server) CacheStats() suite.CacheStats { return s.cache.Stats() }
+
+// Telemetry returns the per-(route, outcome) latency histogram
+// registry (for polaris-bench's serve_latency measurement and tests).
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 
 // Serve accepts connections on l until Shutdown. Like http.Server, it
 // returns http.ErrServerClosed after a clean shutdown.
@@ -151,7 +188,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // admit acquires a worker slot, queueing up to QueueDepth requests
 // beyond the pool. It returns a release function on success; a nil
 // release with shed=true means the queue was full (429); a nil release
-// with shed=false means ctx ended while queued.
+// with shed=false means ctx ended while queued. The time spent waiting
+// for a slot feeds the queue-wait histogram, and each release feeds
+// the completion history behind the Retry-After hint.
 func (s *Server) admit(ctx context.Context) (release func(), shed bool) {
 	limit := int64(s.cfg.Workers + s.cfg.QueueDepth)
 	if n := s.queued.Add(1); n > limit {
@@ -160,13 +199,16 @@ func (s *Server) admit(ctx context.Context) (release func(), shed bool) {
 		s.obs.Count("server_shed_total", 1)
 		return nil, true
 	}
+	start := time.Now()
 	select {
 	case s.slots <- struct{}{}:
+		s.queueWait.Record(time.Since(start))
 		s.inflight.Add(1)
 		return func() {
 			s.inflight.Add(-1)
 			<-s.slots
 			s.queued.Add(-1)
+			s.noteCompletion(time.Now())
 		}, false
 	case <-ctx.Done():
 		s.queued.Add(-1)

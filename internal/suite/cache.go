@@ -12,7 +12,23 @@ import (
 	"polaris/internal/ir"
 	"polaris/internal/obsv"
 	"polaris/internal/pfa"
+	"polaris/internal/telemetry"
 )
+
+// CacheOutcome reports how one lookup was satisfied, for request
+// tracing: Kind is telemetry.OutcomeCold when this caller ran the
+// compile (it was the singleflight leader), telemetry.OutcomeCacheHit
+// when a completed entry answered, and telemetry.OutcomeCoalesced when
+// the caller parked on another request's in-flight compilation.
+// LeaderID names the request that did (or is doing) the work — the
+// telemetry request ID carried by the leader's context — so a
+// coalesced response can point at the request whose compile it rode.
+// Empty when the leader's context carried no request ID (library
+// callers outside the server).
+type CacheOutcome struct {
+	Kind     string
+	LeaderID string
+}
 
 // cacheKey identifies one compilation: the content hash of the Fortran
 // source plus a fingerprint of the technique configuration.
@@ -61,6 +77,12 @@ type compiledEntry struct {
 	decisions []obsv.Decision
 	size      int64
 	elem      *list.Element // LRU slot; nil until completed successfully
+	// leaderID is the telemetry request ID of the leader's context,
+	// written while the creating goroutine holds c.mu (before the entry
+	// is visible to anyone else) and immutable afterwards. Waiters and
+	// hits report it so every response can name the request that did
+	// the compile.
+	leaderID string
 
 	mu      sync.Mutex
 	emitted map[string]bool // labels whose provenance is already out
@@ -68,21 +90,23 @@ type compiledEntry struct {
 
 // baselineEntry is the PFA singleflight slot.
 type baselineEntry struct {
-	done chan struct{}
-	res  *pfa.Result
-	err  error
-	size int64
-	elem *list.Element
+	done     chan struct{}
+	res      *pfa.Result
+	err      error
+	size     int64
+	elem     *list.Element
+	leaderID string // see compiledEntry.leaderID
 }
 
 // serialEntry is the serial-execution singleflight slot.
 type serialEntry struct {
-	done   chan struct{}
-	cycles int64
-	sum    float64
-	err    error
-	size   int64
-	elem   *list.Element
+	done     chan struct{}
+	cycles   int64
+	sum      float64
+	err      error
+	size     int64
+	elem     *list.Element
+	leaderID string // see compiledEntry.leaderID
 }
 
 // CacheLimits bounds a Cache. Zero fields mean unlimited; the suite
@@ -278,28 +302,39 @@ func (c *Cache) Compile(ctx context.Context, p Program, opt core.Options, compil
 
 // CompileCached returns the cached compilation of p under opt,
 // compiling on miss, and reports whether the result came from a
-// completed cache entry. Exactly one compilation happens per key; the
-// leader threads a capture observer through the compile so the entry
-// keeps the decision provenance, and every later hit under a
-// not-yet-seen label replays those decisions to opt.Observer relabeled
-// for the hitting compilation. Failed compiles are not cached (the key
-// is released for retry, e.g. after a context cancellation).
+// completed or in-flight cache entry. See CompileOutcome for the full
+// semantics and the finer-grained outcome report.
+func (c *Cache) CompileCached(ctx context.Context, p Program, opt core.Options, compileFn func(context.Context, core.Options) (*core.Result, error)) (*core.Result, bool, error) {
+	res, out, err := c.CompileOutcome(ctx, p, opt, compileFn)
+	return res, err == nil && out.Kind != telemetry.OutcomeCold, err
+}
+
+// CompileOutcome returns the cached compilation of p under opt,
+// compiling on miss, along with how the lookup was satisfied (cold /
+// cache_hit / coalesced, plus the leader's request ID — see
+// CacheOutcome). Exactly one compilation happens per key; the leader
+// threads a capture observer through the compile so the entry keeps
+// the decision provenance, and every later hit under a not-yet-seen
+// label replays those decisions to opt.Observer relabeled for the
+// hitting compilation. Failed compiles are not cached (the key is
+// released for retry, e.g. after a context cancellation).
 //
 // Waiters select on their own ctx while the leader runs; a canceled
 // waiter returns its own ctx.Err() promptly. When the leader fails
 // with a context error but the waiter's context is still live, the
-// waiter retries (typically becoming the new leader) instead of
-// surfacing the dead leader's error.
-func (c *Cache) CompileCached(ctx context.Context, p Program, opt core.Options, compileFn func(context.Context, core.Options) (*core.Result, error)) (*core.Result, bool, error) {
+// waiter retries (typically becoming the new leader, and reporting the
+// outcome of that final attempt) instead of surfacing the dead
+// leader's error.
+func (c *Cache) CompileOutcome(ctx context.Context, p Program, opt core.Options, compileFn func(context.Context, core.Options) (*core.Result, error)) (*core.Result, CacheOutcome, error) {
 	key := cacheKey{src: srcHash(p.Source), opts: optKey(opt)}
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, false, err
+			return nil, CacheOutcome{}, err
 		}
 		c.mu.Lock()
 		e, ok := c.compiled[key]
 		if !ok {
-			e = &compiledEntry{done: make(chan struct{})}
+			e = &compiledEntry{done: make(chan struct{}), leaderID: telemetry.RequestID(ctx)}
 			c.compiled[key] = e
 			c.stats.Misses++
 			c.mu.Unlock()
@@ -325,7 +360,16 @@ func (c *Cache) CompileCached(ctx context.Context, p Program, opt core.Options, 
 			// up and retries must not find the failed leader's slot.
 			close(e.done)
 			c.mu.Unlock()
-			return e.res, false, e.err
+			return e.res, CacheOutcome{Kind: telemetry.OutcomeCold, LeaderID: e.leaderID}, e.err
+		}
+		// Whether the entry is already complete decides hit vs coalesced.
+		// done closes under c.mu, so this observation is consistent with
+		// the lookup.
+		completed := false
+		select {
+		case <-e.done:
+			completed = true
+		default:
 		}
 		c.touchLocked(e.elem)
 		c.stats.Hits++
@@ -333,7 +377,7 @@ func (c *Cache) CompileCached(ctx context.Context, p Program, opt core.Options, 
 		select {
 		case <-e.done:
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			return nil, CacheOutcome{}, ctx.Err()
 		}
 		if e.err != nil {
 			if isCtxErr(e.err) && ctx.Err() == nil {
@@ -345,10 +389,14 @@ func (c *Cache) CompileCached(ctx context.Context, p Program, opt core.Options, 
 				c.mu.Unlock()
 				continue
 			}
-			return nil, false, e.err
+			return nil, CacheOutcome{LeaderID: e.leaderID}, e.err
 		}
 		e.replay(opt.TraceLabel, opt.Observer)
-		return e.res, true, nil
+		kind := telemetry.OutcomeCacheHit
+		if !completed {
+			kind = telemetry.OutcomeCoalesced
+		}
+		return e.res, CacheOutcome{Kind: kind, LeaderID: e.leaderID}, nil
 	}
 }
 
@@ -376,15 +424,22 @@ func (e *compiledEntry) replay(label string, obs *obsv.Observer) {
 // baseline compiler records no decisions). The singleflight wait and
 // dead-leader retry follow the same rules as CompileCached.
 func (c *Cache) CompileBaseline(ctx context.Context, p Program, compileFn func(context.Context) (*pfa.Result, error)) (*pfa.Result, error) {
+	res, _, err := c.CompileBaselineOutcome(ctx, p, compileFn)
+	return res, err
+}
+
+// CompileBaselineOutcome is CompileBaseline with the CacheOutcome
+// report (see CompileOutcome).
+func (c *Cache) CompileBaselineOutcome(ctx context.Context, p Program, compileFn func(context.Context) (*pfa.Result, error)) (*pfa.Result, CacheOutcome, error) {
 	key := srcHash(p.Source)
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, CacheOutcome{}, err
 		}
 		c.mu.Lock()
 		e, ok := c.baseline[key]
 		if !ok {
-			e = &baselineEntry{done: make(chan struct{})}
+			e = &baselineEntry{done: make(chan struct{}), leaderID: telemetry.RequestID(ctx)}
 			c.baseline[key] = e
 			c.stats.Misses++
 			c.mu.Unlock()
@@ -402,7 +457,13 @@ func (c *Cache) CompileBaseline(ctx context.Context, p Program, compileFn func(c
 			}
 			close(e.done)
 			c.mu.Unlock()
-			return e.res, e.err
+			return e.res, CacheOutcome{Kind: telemetry.OutcomeCold, LeaderID: e.leaderID}, e.err
+		}
+		completed := false
+		select {
+		case <-e.done:
+			completed = true
+		default:
 		}
 		c.touchLocked(e.elem)
 		c.stats.Hits++
@@ -410,7 +471,7 @@ func (c *Cache) CompileBaseline(ctx context.Context, p Program, compileFn func(c
 		select {
 		case <-e.done:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, CacheOutcome{}, ctx.Err()
 		}
 		if e.err != nil && isCtxErr(e.err) && ctx.Err() == nil {
 			c.mu.Lock()
@@ -418,7 +479,11 @@ func (c *Cache) CompileBaseline(ctx context.Context, p Program, compileFn func(c
 			c.mu.Unlock()
 			continue
 		}
-		return e.res, e.err
+		kind := telemetry.OutcomeCacheHit
+		if !completed {
+			kind = telemetry.OutcomeCoalesced
+		}
+		return e.res, CacheOutcome{Kind: kind, LeaderID: e.leaderID}, e.err
 	}
 }
 
@@ -430,15 +495,22 @@ func execProgram(res *core.Result) *ir.Program { return res.Program.Clone() }
 // it on miss; concurrent misses run once. Waiting and dead-leader
 // retry follow the same rules as CompileCached.
 func (c *Cache) SerialRun(ctx context.Context, p Program, run func(context.Context) (int64, float64, error)) (int64, float64, error) {
+	cycles, sum, _, err := c.SerialRunOutcome(ctx, p, run)
+	return cycles, sum, err
+}
+
+// SerialRunOutcome is SerialRun with the CacheOutcome report (see
+// CompileOutcome).
+func (c *Cache) SerialRunOutcome(ctx context.Context, p Program, run func(context.Context) (int64, float64, error)) (int64, float64, CacheOutcome, error) {
 	key := srcHash(p.Source)
 	for {
 		if err := ctx.Err(); err != nil {
-			return 0, 0, err
+			return 0, 0, CacheOutcome{}, err
 		}
 		c.mu.Lock()
 		e, ok := c.serial[key]
 		if !ok {
-			e = &serialEntry{done: make(chan struct{})}
+			e = &serialEntry{done: make(chan struct{}), leaderID: telemetry.RequestID(ctx)}
 			c.serial[key] = e
 			c.stats.Misses++
 			c.mu.Unlock()
@@ -456,7 +528,13 @@ func (c *Cache) SerialRun(ctx context.Context, p Program, run func(context.Conte
 			}
 			close(e.done)
 			c.mu.Unlock()
-			return e.cycles, e.sum, e.err
+			return e.cycles, e.sum, CacheOutcome{Kind: telemetry.OutcomeCold, LeaderID: e.leaderID}, e.err
+		}
+		completed := false
+		select {
+		case <-e.done:
+			completed = true
+		default:
 		}
 		c.touchLocked(e.elem)
 		c.stats.Hits++
@@ -464,7 +542,7 @@ func (c *Cache) SerialRun(ctx context.Context, p Program, run func(context.Conte
 		select {
 		case <-e.done:
 		case <-ctx.Done():
-			return 0, 0, ctx.Err()
+			return 0, 0, CacheOutcome{}, ctx.Err()
 		}
 		if e.err != nil && isCtxErr(e.err) && ctx.Err() == nil {
 			c.mu.Lock()
@@ -472,6 +550,10 @@ func (c *Cache) SerialRun(ctx context.Context, p Program, run func(context.Conte
 			c.mu.Unlock()
 			continue
 		}
-		return e.cycles, e.sum, e.err
+		kind := telemetry.OutcomeCacheHit
+		if !completed {
+			kind = telemetry.OutcomeCoalesced
+		}
+		return e.cycles, e.sum, CacheOutcome{Kind: kind, LeaderID: e.leaderID}, e.err
 	}
 }

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numBounds is the number of finite bucket upper bounds; one overflow
+// bucket (+Inf) follows them.
+const numBounds = 20
+
+// boundsNS are the exponential bucket upper bounds in nanoseconds:
+// 100µs · 2^i for i in [0, 20). The span — 100µs to ~52s — covers a
+// warm cache hit (tens of µs land in the first bucket) through the
+// server's 30s deadline cap with factor-2 resolution everywhere
+// between. Shared by every histogram so exposition and tests can rely
+// on one layout.
+var boundsNS = func() [numBounds]int64 {
+	var b [numBounds]int64
+	v := int64(100_000)
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// BucketBoundsNS returns the shared finite bucket upper bounds in
+// nanoseconds (ascending). The implicit final bucket is +Inf.
+func BucketBoundsNS() []int64 {
+	out := make([]int64, numBounds)
+	copy(out[:], boundsNS[:])
+	return out
+}
+
+// Histogram is a fixed-bucket latency histogram with exponential
+// bounds. Record is lock-cheap: a shared read-lock plus three atomic
+// adds, so any number of request goroutines record concurrently
+// without contending. Snapshot takes the write side of the same lock,
+// which momentarily excludes recorders and therefore observes a
+// consistent state: count always equals the sum of bucket counts in
+// any snapshot, never a torn mid-update view.
+type Histogram struct {
+	mu      sync.RWMutex
+	buckets [numBounds + 1]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// bucketIndex returns the bucket for a sample of ns nanoseconds: the
+// first bound ≥ ns, or the overflow bucket.
+func bucketIndex(ns int64) int {
+	for i, b := range boundsNS {
+		if ns <= b {
+			return i
+		}
+	}
+	return numBounds
+}
+
+// Record adds one sample. Negative durations (clock weirdness) clamp
+// to zero rather than corrupting the first bucket's semantics.
+func (h *Histogram) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.mu.RLock()
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	h.mu.RUnlock()
+}
+
+// HistogramSnapshot is a consistent point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// BoundsNS are the finite bucket upper bounds (ns); Buckets has one
+	// more element, the +Inf overflow bucket. Counts are per-bucket
+	// (not cumulative).
+	BoundsNS []int64 `json:"bounds_ns"`
+	Buckets  []int64 `json:"buckets"`
+	Count    int64   `json:"count"`
+	SumNS    int64   `json:"sum_ns"`
+}
+
+// Snapshot returns a consistent copy: it excludes concurrent Record
+// calls for the duration of the copy, so Count == Σ Buckets holds in
+// every snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		BoundsNS: BucketBoundsNS(),
+		Buckets:  make([]int64, numBounds+1),
+	}
+	h.mu.Lock()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	h.mu.Unlock()
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) in nanoseconds by
+// linear interpolation inside the bucket holding the target rank —
+// the standard fixed-bucket estimate (what PromQL's histogram_quantile
+// computes). Samples in the overflow bucket are attributed to its
+// lower bound. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			var lo, hi float64
+			if i > 0 {
+				lo = float64(s.BoundsNS[i-1])
+			}
+			if i < len(s.BoundsNS) {
+				hi = float64(s.BoundsNS[i])
+			} else {
+				// Overflow bucket: no upper bound to interpolate toward.
+				return float64(s.BoundsNS[len(s.BoundsNS)-1])
+			}
+			return lo + (hi-lo)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	return float64(s.BoundsNS[len(s.BoundsNS)-1])
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition helpers (format version 0.0.4). The
+// server composes these into GET /metrics?format=prometheus; they are
+// kept here so the line format (HELP/TYPE preamble, label quoting,
+// seconds-valued histogram buckets) has exactly one implementation.
+
+// SanitizeMetricName maps an arbitrary counter name onto the
+// Prometheus metric-name alphabet [a-zA-Z0-9_:], replacing every other
+// byte with '_' and prefixing names that start with a digit.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WriteHeader emits the # HELP / # TYPE preamble for one family.
+func WriteHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteCounter emits one header-less counter sample.
+func WriteCounter(w io.Writer, name string, value int64) {
+	fmt.Fprintf(w, "%s %d\n", name, value)
+}
+
+// WriteGauge emits one header-less gauge sample.
+func WriteGauge(w io.Writer, name string, value float64) {
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(value))
+}
+
+// formatFloat renders a sample value the way Prometheus expects
+// (shortest round-trip decimal).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// secondsFromNS converts integer nanoseconds to a seconds-valued
+// sample string (Prometheus convention: durations are seconds).
+func secondsFromNS(ns int64) string {
+	return formatFloat(float64(ns) / 1e9)
+}
+
+// WriteHistogram emits one unlabeled histogram family from a snapshot:
+// cumulative buckets ascending in le (seconds), then _sum and _count.
+func WriteHistogram(w io.Writer, name, help string, s HistogramSnapshot) {
+	WriteHeader(w, name, help, "histogram")
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(s.BoundsNS) {
+			le = secondsFromNS(s.BoundsNS[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", name, secondsFromNS(s.SumNS))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+// WriteHistograms emits one histogram family from pre-sorted series
+// snapshots: for each series, cumulative buckets ascending in le
+// (ending at le="+Inf", whose value equals _count), then _sum and
+// _count. Bucket bounds are emitted in seconds.
+func WriteHistograms(w io.Writer, name, help string, series []SeriesSnapshot) {
+	if len(series) == 0 {
+		return
+	}
+	WriteHeader(w, name, help, "histogram")
+	for _, s := range series {
+		labels := fmt.Sprintf(`route=%q,outcome=%q`, escapeLabel(s.Route), escapeLabel(s.Outcome))
+		var cum int64
+		for i, n := range s.Buckets {
+			cum += n
+			le := "+Inf"
+			if i < len(s.BoundsNS) {
+				le = secondsFromNS(s.BoundsNS[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, secondsFromNS(s.SumNS))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count)
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// seriesKey identifies one histogram series.
+type seriesKey struct{ route, outcome string }
+
+// Registry holds the per-(route, outcome) latency histograms of one
+// service instance. Series are created on first observation; the hot
+// path after that is one map read under a read-lock plus a Histogram
+// record.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[seriesKey]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: map[seriesKey]*Histogram{}}
+}
+
+// Observe records one request latency under (route, outcome).
+func (r *Registry) Observe(route, outcome string, d time.Duration) {
+	r.Histogram(route, outcome).Record(d)
+}
+
+// Histogram returns the series for (route, outcome), creating it on
+// first use.
+func (r *Registry) Histogram(route, outcome string) *Histogram {
+	k := seriesKey{route, outcome}
+	r.mu.RLock()
+	h := r.series[k]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	h = r.series[k]
+	if h == nil {
+		h = &Histogram{}
+		r.series[k] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
+// SeriesSnapshot is one (route, outcome) histogram snapshot.
+type SeriesSnapshot struct {
+	Route   string `json:"route"`
+	Outcome string `json:"outcome"`
+	HistogramSnapshot
+}
+
+// Snapshot returns every series, sorted by (route, outcome) so
+// exposition and JSON output are diff-stable across scrapes. Each
+// series snapshot is individually consistent (Count == Σ Buckets);
+// series are copied one after another, so cross-series totals can
+// drift by in-flight requests — callers that need an exact sum
+// quiesce first (tests) or accept scrape-point semantics (Prometheus).
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	r.mu.RLock()
+	keys := make([]seriesKey, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	r.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].outcome < keys[j].outcome
+	})
+	out := make([]SeriesSnapshot, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, SeriesSnapshot{
+			Route:             k.route,
+			Outcome:           k.outcome,
+			HistogramSnapshot: r.Histogram(k.route, k.outcome).Snapshot(),
+		})
+	}
+	return out
+}

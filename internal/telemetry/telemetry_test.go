@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("bare context carries ID %q", got)
+	}
+	ctx = WithRequestID(ctx, "req-1")
+	if got := RequestID(ctx); got != "req-1" {
+		t.Fatalf("RequestID = %q, want req-1", got)
+	}
+	// Empty ID is a no-op, not an empty override.
+	if got := RequestID(WithRequestID(ctx, "")); got != "req-1" {
+		t.Fatalf("empty WithRequestID clobbered ID: %q", got)
+	}
+}
+
+func TestNewRequestIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if len(id) != 16 || !ValidRequestID(id) {
+			t.Fatalf("generated ID %q is not 16 valid hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate generated ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	for _, ok := range []string{"a", "req-42", "A.B_c-9", strings.Repeat("x", 64)} {
+		if !ValidRequestID(ok) {
+			t.Errorf("ValidRequestID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "new\nline", "quote\"", "sémantic", strings.Repeat("x", 65)} {
+		if ValidRequestID(bad) {
+			t.Errorf("ValidRequestID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// One sample per finite bucket: bound value lands inclusively.
+	for _, b := range BucketBoundsNS() {
+		h.Record(time.Duration(b))
+	}
+	h.Record(2 * time.Minute) // overflow
+	s := h.Snapshot()
+	if s.Count != numBounds+1 {
+		t.Fatalf("count = %d, want %d", s.Count, numBounds+1)
+	}
+	var sum int64
+	for i, n := range s.Buckets {
+		if n != 1 {
+			t.Errorf("bucket %d holds %d samples, want 1", i, n)
+		}
+		sum += n
+	}
+	if sum != s.Count {
+		t.Fatalf("Σ buckets = %d, count = %d", sum, s.Count)
+	}
+	// Quantiles are monotone and inside the recorded range.
+	p50 := s.Quantile(0.50)
+	p95 := s.Quantile(0.95)
+	p99 := s.Quantile(0.99)
+	if !(p50 > 0 && p50 <= p95 && p95 <= p99) {
+		t.Errorf("non-monotone quantiles: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+	if max := float64(s.BoundsNS[len(s.BoundsNS)-1]); p99 > max {
+		t.Errorf("p99 %g beyond top bound %g", p99, max)
+	}
+	if s.Quantile(0.0) != 0 {
+		t.Errorf("q=0 should be 0")
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	// 100 samples all in the (100µs, 200µs] bucket.
+	for i := 0; i < 100; i++ {
+		h.Record(150 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.50)
+	lo, hi := 100_000.0, 200_000.0
+	if p50 < lo || p50 > hi {
+		t.Fatalf("p50 = %g outside bucket [%g, %g]", p50, lo, hi)
+	}
+	want := lo + (hi-lo)*0.5
+	if math.Abs(p50-want) > 1 {
+		t.Errorf("p50 = %g, want linear midpoint %g", p50, want)
+	}
+}
+
+// TestHistogramSnapshotConsistentUnderRace hammers Record from many
+// goroutines while snapshotting: every snapshot must satisfy
+// count == Σ buckets (the write-excluding snapshot lock), and the
+// final count must equal the samples recorded.
+func TestHistogramSnapshotConsistentUnderRace(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var sum int64
+			for _, n := range s.Buckets {
+				sum += n
+			}
+			if sum != s.Count {
+				t.Errorf("torn snapshot: Σ buckets %d != count %d", sum, s.Count)
+				return
+			}
+		}
+	}()
+	var rec sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec.Add(1)
+		go func(w int) {
+			defer rec.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(i%2000) * time.Microsecond)
+			}
+		}(w)
+	}
+	rec.Wait()
+	close(stop)
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("explain", "cold", time.Millisecond)
+	r.Observe("compile", "cache_hit", time.Millisecond)
+	r.Observe("compile", "cold", time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("%d series, want 3", len(snap))
+	}
+	order := []string{"compile/cache_hit", "compile/cold", "explain/cold"}
+	for i, s := range snap {
+		if got := s.Route + "/" + s.Outcome; got != order[i] {
+			t.Errorf("series %d = %s, want %s", i, got, order[i])
+		}
+	}
+}
+
+func TestWriteHistogramsExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("compile", "cold", 3*time.Millisecond)
+	r.Observe("compile", "cold", 40*time.Millisecond)
+	var b strings.Builder
+	WriteHistograms(&b, "polaris_request_duration_seconds", "request latency", r.Snapshot())
+	out := b.String()
+	for _, want := range []string{
+		"# HELP polaris_request_duration_seconds request latency",
+		"# TYPE polaris_request_duration_seconds histogram",
+		`polaris_request_duration_seconds_bucket{route="compile",outcome="cold",le="+Inf"} 2`,
+		`polaris_request_duration_seconds_count{route="compile",outcome="cold"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be monotone non-decreasing per series and
+	// end at the count.
+	var prev int64 = -1
+	var last int64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "polaris_request_duration_seconds_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmtSscan(line, &n); err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not monotone: %d after %d in %q", n, prev, line)
+		}
+		prev, last = n, n
+	}
+	if last != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", last)
+	}
+}
+
+// fmtSscan pulls the trailing integer sample value off an exposition
+// line.
+func fmtSscan(line string, n *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	v, err := parseInt(line[i+1:])
+	*n = v
+	return 1, err
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, errNotInt
+		}
+		v = v*10 + int64(s[i]-'0')
+	}
+	return v, nil
+}
+
+var errNotInt = errInvalid("not an integer")
+
+type errInvalid string
+
+func (e errInvalid) Error() string { return string(e) }
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"server_requests_total": "server_requests_total",
+		"cache.hits":            "cache_hits",
+		"9lives":                "_9lives",
+		"a b-c":                 "a_b_c",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
