@@ -36,6 +36,13 @@ type perfReport struct {
 	// the serial unit schedule, so SerialNsPerOp / NsPerOp is the
 	// parallel speedup on this machine.
 	MegaCompile map[string]megaEntry `json:"mega_compile"`
+	// IncrementalCompile is the incremental-recompile benchmark: a
+	// one-unit edit to mega50k compiled against a warm per-unit memo,
+	// with each iteration editing a distinct unit so exactly one unit
+	// recompiles. ColdNsPerOp is the memo-less mega50k compile (the
+	// mega_compile row at the same worker count); Speedup is cold /
+	// incremental — the payoff of recompiling only what changed.
+	IncrementalCompile incrementalEntry `json:"incremental_compile"`
 	// Prover microbenchmarks (see internal/symbolic/benchfix.go).
 	Prove        perfEntry `json:"prove"`
 	ProveColdEnv perfEntry `json:"prove_cold_env"`
@@ -65,6 +72,15 @@ type megaEntry struct {
 	NsPerLine     float64 `json:"ns_per_line"`
 	SerialNsPerOp float64 `json:"serial_ns_per_op"`
 	Speedup       float64 `json:"speedup"`
+}
+
+// incrementalEntry is the incremental-recompile measurement.
+type incrementalEntry struct {
+	perfEntry
+	Units           int     `json:"units"`
+	UnitsRecompiled int     `json:"units_recompiled"`
+	ColdNsPerOp     float64 `json:"cold_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
 }
 
 func toEntry(r testing.BenchmarkResult) perfEntry {
@@ -139,6 +155,12 @@ func writePerfJSON(ctx context.Context, path string) error {
 		rep.MegaCompile[spec.Name] = e
 	}
 
+	inc, err := measureIncremental(ctx, rep.MegaCompile["mega50k"].NsPerOp)
+	if err != nil {
+		return err
+	}
+	rep.IncrementalCompile = inc
+
 	env := symbolic.BenchEnv()
 	queries := symbolic.BenchQueries()
 	rep.Prove = toEntry(testing.Benchmark(func(b *testing.B) {
@@ -203,4 +225,73 @@ func writePerfJSON(ctx context.Context, path string) error {
 		return err
 	}
 	return os.WriteFile(path, out, 0o644)
+}
+
+// measureIncremental times a one-unit edit to mega50k against a warm
+// per-unit memo. Each iteration applies a distinct edit (a unique tag
+// in a unique unit), so every compile is a genuine "developer touched
+// one subroutine" recompile: all other units replay from the memo.
+// Parse time is excluded, matching the mega_compile rows.
+func measureIncremental(ctx context.Context, coldNsPerOp float64) (incrementalEntry, error) {
+	var spec fuzzgen.MegaSpec
+	for _, s := range fuzzgen.MegaCorpus() {
+		if s.Name == "mega50k" {
+			spec = s
+		}
+	}
+	mp := spec.Generate()
+	memo := core.NewUnitMemo(core.MemoLimits{})
+	warm := core.PolarisOptions()
+	warm.UnitMemo = memo
+	warm.TrustedInput = true
+	base, err := parser.ParseProgram(mp.Source)
+	if err != nil {
+		return incrementalEntry{}, fmt.Errorf("mega50k: parse: %w", err)
+	}
+	res, err := core.CompileContext(ctx, base, warm)
+	if err != nil {
+		return incrementalEntry{}, fmt.Errorf("mega50k: warm compile: %w", err)
+	}
+	units := len(res.Program.Units)
+
+	tag := 0
+	e := incrementalEntry{Units: units, ColdNsPerOp: coldNsPerOp}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tag++
+			editedSrc, unit := fuzzgen.EditOneUnit(mp.Source, tag, tag)
+			if unit == "" {
+				b.Fatal("mega50k: EditOneUnit found no unit to edit")
+			}
+			prog, perr := parser.ParseProgram(editedSrc)
+			if perr != nil {
+				b.Fatalf("mega50k edit: parse: %v", perr)
+			}
+			opt := core.PolarisOptions()
+			opt.UnitMemo = memo
+			opt.TrustedInput = true // prog is parsed fresh per iteration
+			// Collect the setup garbage (a fresh ~50k-line parse per
+			// iteration) while the timer is stopped, so the timed
+			// region pays only for its own allocation, not the
+			// setup's deferred GC debt.
+			runtime.GC()
+			b.StartTimer()
+			res, cerr := core.CompileContext(ctx, prog, opt)
+			b.StopTimer()
+			if cerr != nil {
+				b.Fatalf("mega50k edit: %v", cerr)
+			}
+			if res.UnitsRecompiled != 1 {
+				b.Fatalf("mega50k edit recompiled %d units, want exactly 1", res.UnitsRecompiled)
+			}
+			e.UnitsRecompiled = res.UnitsRecompiled
+		}
+	})
+	e.perfEntry = toEntry(r)
+	if e.NsPerOp > 0 {
+		e.Speedup = e.ColdNsPerOp / e.NsPerOp
+	}
+	return e, nil
 }

@@ -1,0 +1,41 @@
+      PROGRAM MAIN
+      REAL A(64), B(64)
+      INTEGER I
+      COMMON /BLK/ A, B
+      DO I = 1, 64
+        A(I) = B(I) + 1.0
+      END DO
+      CALL S1(64)
+      CALL S2(0.5)
+      CALL S3(0.5)
+      END
+
+      SUBROUTINE S1(N)
+      INTEGER N
+      REAL A(64), B(64)
+      INTEGER I
+      COMMON /BLK/ A, B
+      DO I = 1, N
+        A(I) = A(I) * 2.0
+      END DO
+      END
+
+      SUBROUTINE S2(DUMMY)
+      REAL DUMMY
+      REAL A(64), B(64)
+      INTEGER J
+      COMMON /BLK/ A, B
+      DO J = 1, 64
+        B(J) = A(J) + 3.0
+      END DO
+      END
+
+      SUBROUTINE S3(DUMMY)
+      REAL DUMMY
+      REAL A(64), B(64)
+      INTEGER K
+      COMMON /BLK/ A, B
+      DO K = 1, 64
+        B(K) = A(K) + 4.0
+      END DO
+      END

@@ -67,6 +67,28 @@ type Options struct {
 	// byte-for-byte the same, because each unit's records are captured
 	// privately and replayed in unit order at the pass barrier.
 	UnitWorkers int
+	// UnitMemo, when non-nil, enables incremental compilation: per-unit
+	// pass results are memoized in the shared memo keyed by each unit's
+	// post-prologue content hash, and a unit whose hash matches a
+	// completed entry replays its memoized Decision provenance instead
+	// of re-running the per-unit passes (see incremental.go). The memo
+	// is observation-only with respect to compilation output: verdicts,
+	// Decision streams, and emitted code are byte-identical with or
+	// without it — the differential test in incremental_test.go
+	// enforces this, which is why suite.Cache's optKey need not
+	// fingerprint it.
+	UnitMemo *UnitMemo
+	// TrustedInput declares the input program consistent (freshly
+	// parsed — ParseProgram runs the consistency check itself) and
+	// exclusively owned by this compilation: CompileContext then skips
+	// the defensive input check and compiles the program in place
+	// instead of cloning it first. The caller must not use the input
+	// program again after the call and must treat Result.Program as
+	// read-only — the same contract suite.Cache already imposes by
+	// sharing one Result across requests. Like UnitMemo this is
+	// observation-only: verdicts, Decision streams, and emitted code
+	// are byte-identical with or without it.
+	TrustedInput bool
 	// Stats, when non-nil, accumulates dependence-test counts.
 	Stats *deps.Stats
 	// Trace, when non-nil, receives one JSONL event per pass. The
@@ -132,6 +154,12 @@ type Result struct {
 	NormalizedLoops int
 	// InterprocConstants maps CALLEE.FORMAL to the propagated value.
 	InterprocConstants map[string]int64
+	// UnitsReused counts program units served from the incremental
+	// unit memo; UnitsRecompiled counts units that ran through the
+	// per-unit passes. Both are zero when compilation ran without
+	// Options.UnitMemo (their sum equals len(Program.Units) otherwise).
+	UnitsReused     int
+	UnitsRecompiled int
 	// Report is the pass manager's instrumentation: per-pass wall
 	// time and mutation counts, in pipeline order. It is present even
 	// when compilation fails partway (covering the passes that ran).
@@ -150,8 +178,9 @@ func (r *Result) ParallelLoops() int {
 }
 
 // Compile runs the pipeline on a clone of prog (the input is not
-// modified) and returns the annotated program. It is CompileContext
-// with a background context.
+// modified, unless Options.TrustedInput hands over ownership) and
+// returns the annotated program. It is CompileContext with a
+// background context.
 func Compile(prog *ir.Program, opt Options) (*Result, error) {
 	return CompileContext(context.Background(), prog, opt)
 }
@@ -164,10 +193,13 @@ func CompileContext(ctx context.Context, prog *ir.Program, opt Options) (*Result
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := prog.Check(); err != nil {
-		return nil, fmt.Errorf("core: input program inconsistent: %w", err)
+	work := prog
+	if !opt.TrustedInput {
+		if err := prog.Check(); err != nil {
+			return nil, fmt.Errorf("core: input program inconsistent: %w", err)
+		}
+		work = prog.Clone()
 	}
-	work := prog.Clone()
 	unit := work.Main()
 	if unit == nil {
 		return nil, fmt.Errorf("core: no main program unit")
@@ -180,9 +212,24 @@ func CompileContext(ctx context.Context, prog *ir.Program, opt Options) (*Result
 	if m.Workers == 0 {
 		m.Workers = runtime.GOMAXPROCS(0)
 	}
-	m.Add(buildPipeline(work, unit, res, opt)...)
+	var st *incrState
+	if opt.UnitMemo != nil {
+		st = &incrState{memo: opt.UnitMemo, label: opt.TraceLabel}
+	}
+	m.Add(buildPipeline(work, unit, res, opt, st)...)
 	report, err := m.Run(ctx, work)
 	res.Report = report
+	if st != nil {
+		// Publish or abandon this compilation's in-flight memo claims:
+		// on success every dirty unit's final IR and pass records become
+		// a completed entry; on failure the claims are released so
+		// concurrent compilations waiting on them retry.
+		if err != nil {
+			st.abort()
+		} else {
+			st.commit(work)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -233,10 +280,23 @@ func forEachUnit(c *passes.Context, units []*ir.ProgramUnit, obs *obsv.Observer,
 // buildPipeline registers the technique passes selected by opt, in the
 // paper's order. Every pass closure writes its findings into res and
 // reports mutation counts through the pass Context.
-func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Options) []passes.Pass {
+func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Options, st *incrState) []passes.Pass {
 	var ps []passes.Pass
 	obs := opt.Observer
 	label := opt.TraceLabel
+
+	// each dispatches a per-unit pass: the plain unit sweep without a
+	// memo, or the incremental clean/dirty schedule with one. replay
+	// folds a memoized record into the pass's per-index slots for clean
+	// units, mirroring exactly what live fills for dirty ones.
+	each := func(c *passes.Context, pass string,
+		live func(sub *passes.Context, i int, uo *obsv.Observer) error,
+		replay func(i int, rec *unitPassRecord)) error {
+		if st == nil {
+			return forEachUnit(c, work.Units, obs, live)
+		}
+		return st.forEach(c, work.Units, obs, pass, live, replay)
+	}
 
 	// 0. Interprocedural constant propagation (subroutine
 	// specialization; reaches callees the inliner skips).
@@ -244,6 +304,12 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 		ps = append(ps, passes.Func("interproc-constants", func(c *passes.Context) error {
 			irep := interproc.Propagate(work)
 			res.InterprocConstants = irep.Propagated
+			if st != nil {
+				// The edit signatures feed the unit hashes: a mutated
+				// unit's raw-source key must also cover the exact edits
+				// this pass applied to it.
+				st.interSigs = irep.UnitSigs
+			}
 			c.Count("constants_propagated", int64(len(irep.Propagated)))
 			if len(irep.Propagated) > 0 {
 				keys := make([]string, 0, len(irep.Propagated))
@@ -293,6 +359,20 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 		}))
 	}
 
+	// 1½. Unit hashing and memo acquisition (incremental compilation
+	// only). It runs after the whole-program prologue passes have
+	// folded every interprocedural input into each unit's rendered text
+	// and before the first per-unit pass, hashes every unit, and swaps
+	// clean units for clones of their memoized final IR; the per-unit
+	// passes then skip clean units and replay their records. The pass
+	// emits no Decisions of its own, so the stream stays byte-identical
+	// to a from-scratch compile.
+	if st != nil {
+		ps = append(ps, passes.Func("unit-hash", func(c *passes.Context) error {
+			return st.acquirePass(c, work, res, opt)
+		}))
+	}
+
 	// 2. Loop normalization (unit step), per unit. Subsequent passes
 	// rebuild their range analyzers from the rewritten text, so the
 	// per-pass unit sweep is equivalent to the per-unit pass sweep.
@@ -301,11 +381,14 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 	if opt.Normalize {
 		ps = append(ps, passes.Func("normalize", func(c *passes.Context) error {
 			counts := make([]int, len(work.Units))
-			err := forEachUnit(c, work.Units, obs, func(sub *passes.Context, i int, uo *obsv.Observer) error {
+			err := each(c, "normalize", func(sub *passes.Context, i int, uo *obsv.Observer) error {
 				u := work.Units[i]
 				nres := normalize.Run(u, rng.New(u))
 				counts[i] = nres.Normalized
 				sub.Count("loops_normalized", int64(nres.Normalized))
+				if rec := st.dirtyRec(i, "normalize"); rec != nil {
+					rec.counters = map[string]int64{"loops_normalized": int64(nres.Normalized)}
+				}
 				if nres.Normalized > 0 {
 					uo.Decision(obsv.Decision{
 						Label: label, Unit: u.Name, Pass: "normalize",
@@ -313,6 +396,8 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 					})
 				}
 				return nil
+			}, func(i int, rec *unitPassRecord) {
+				counts[i] = int(rec.counters["loops_normalized"])
 			})
 			if err != nil {
 				return err
@@ -332,7 +417,7 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 		ps = append(ps, passes.Func("induction", func(c *passes.Context) error {
 			iopt := induction.Options{SimpleOnly: !opt.Induction}
 			solvedByUnit := make([][]string, len(work.Units))
-			err := forEachUnit(c, work.Units, obs, func(sub *passes.Context, i int, uo *obsv.Observer) error {
+			err := each(c, "induction", func(sub *passes.Context, i int, uo *obsv.Observer) error {
 				u := work.Units[i]
 				ires := induction.RunWith(u, rng.New(u), iopt)
 				var solved []string
@@ -341,6 +426,10 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 					solved = append(solved, s.Name)
 				}
 				sub.Count("variables_substituted", int64(len(ires.Solved)))
+				if rec := st.dirtyRec(i, "induction"); rec != nil {
+					rec.counters = map[string]int64{"variables_substituted": int64(len(ires.Solved))}
+					rec.solved = solvedByUnit[i]
+				}
 				if len(solved) > 0 {
 					uo.Decision(obsv.Decision{
 						Label: label, Unit: u.Name, Pass: "induction",
@@ -349,6 +438,8 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 					})
 				}
 				return nil
+			}, func(i int, rec *unitPassRecord) {
+				solvedByUnit[i] = rec.solved
 			})
 			if err != nil {
 				return err
@@ -366,7 +457,7 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 	ps = append(ps, passes.Func("dependence-analysis", func(c *passes.Context) error {
 		reportsByUnit := make([][]LoopReport, len(work.Units))
 		statsByUnit := make([]deps.Stats, len(work.Units))
-		err := forEachUnit(c, work.Units, obs, func(sub *passes.Context, ui int, uo *obsv.Observer) error {
+		err := each(c, "dependence-analysis", func(sub *passes.Context, ui int, uo *obsv.Observer) error {
 			u := work.Units[ui]
 			assignLoopIDs(u)
 			ranges := rng.New(u)
@@ -375,10 +466,12 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 			// decision records go to the unit observer (the shared one on
 			// the serial path, a private capture on the parallel path) and
 			// dependence-test counts accumulate in a per-unit Stats slot,
-			// summed into opt.Stats at the barrier.
+			// summed into opt.Stats at the barrier. Under a memo the slot
+			// is always filled — the record must carry the counts so a
+			// later Stats-requesting compile can replay them.
 			uopt := opt
 			uopt.Observer = uo
-			if opt.Stats != nil {
+			if opt.Stats != nil || st != nil {
 				uopt.Stats = &statsByUnit[ui]
 			}
 			// Innermost-first, so a loop's LRPD decision can see whether
@@ -399,7 +492,14 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 				reports[i], reports[j] = reports[j], reports[i]
 			}
 			reportsByUnit[ui] = reports
+			if rec := st.dirtyRec(ui, "dependence-analysis"); rec != nil {
+				rec.reports = toMemoReports(reports)
+				rec.stats = statsByUnit[ui]
+			}
 			return nil
+		}, func(ui int, rec *unitPassRecord) {
+			reportsByUnit[ui] = fromMemoReports(rec.reports)
+			statsByUnit[ui] = rec.stats
 		})
 		if err != nil {
 			return err
@@ -444,11 +544,15 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 				reportsFor[lr.Unit] = append(reportsFor[lr.Unit], lr)
 			}
 			counts := make([]int, len(work.Units))
-			err := forEachUnit(c, work.Units, obs, func(sub *passes.Context, ui int, uo *obsv.Observer) error {
+			err := each(c, "strength-reduction", func(sub *passes.Context, ui int, uo *obsv.Observer) error {
 				u := work.Units[ui]
 				sres := strength.Run(u, rng.New(u))
 				counts[ui] = sres.Reduced
 				sub.Count("accumulators_introduced", int64(sres.Reduced))
+				rec := st.dirtyRec(ui, "strength-reduction")
+				if rec != nil {
+					rec.counters = map[string]int64{"accumulators_introduced": int64(sres.Reduced)}
+				}
 				if sres.Reduced > 0 {
 					// Refresh the demoted loops' report entries.
 					for _, lr := range reportsFor[u.Name] {
@@ -457,6 +561,9 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 						}
 						if lr.Parallel != lr.Loop.Par.Parallel {
 							sub.Count("verdict_flips", 1)
+							if rec != nil {
+								rec.counters["verdict_flips"]++
+							}
 							// Supersede the analysis verdict: FinalDecisions
 							// keeps the latest final record per loop.
 							d := obsv.Decision{
@@ -480,6 +587,23 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 					}
 				}
 				return nil
+			}, func(ui int, rec *unitPassRecord) {
+				u := work.Units[ui]
+				counts[ui] = int(rec.counters["accumulators_introduced"])
+				if counts[ui] > 0 {
+					// The memoized clone carries the final Par annotations
+					// (it was captured after this pass ran live on it), so
+					// refreshing from them reproduces exactly what the live
+					// refresh computed; the flip Decisions themselves were
+					// replayed from the record above.
+					for _, lr := range reportsFor[u.Name] {
+						if lr.Loop.Par == nil {
+							continue
+						}
+						lr.Parallel = lr.Loop.Par.Parallel
+						lr.Reason = lr.Loop.Par.Reason
+					}
+				}
 			})
 			if err != nil {
 				return err
@@ -491,10 +615,29 @@ func buildPipeline(work *ir.Program, unit *ir.ProgramUnit, res *Result, opt Opti
 		}))
 	}
 
-	// 6. Final IR consistency check.
+	// 6. Final IR consistency check. On the incremental path only the
+	// units this compilation actually ran are checked: a clean unit is
+	// the very object a previous compilation committed after its own
+	// verify-ir pass, and completed memo entries are immutable, so
+	// re-walking it can only reconfirm what was already verified. (The
+	// per-unit check forgoes the whole-program cross-unit aliasing
+	// sweep; the prologue never introduces sharing between units — the
+	// inliner splices clones — and dirty units come from a fresh parse,
+	// so they cannot alias memoized IR from an earlier compilation.)
 	ps = append(ps, passes.Func("verify-ir", func(c *passes.Context) error {
-		if err := work.Check(); err != nil {
-			return fmt.Errorf("pipeline produced inconsistent IR: %w", err)
+		if st == nil {
+			if err := work.Check(); err != nil {
+				return fmt.Errorf("pipeline produced inconsistent IR: %w", err)
+			}
+			return nil
+		}
+		for i, u := range work.Units {
+			if st.reuse[i] != nil {
+				continue
+			}
+			if err := u.Check(); err != nil {
+				return fmt.Errorf("pipeline produced inconsistent IR: %w", err)
+			}
 		}
 		return nil
 	}))

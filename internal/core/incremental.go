@@ -1,0 +1,613 @@
+// Incremental per-unit compilation: a bounded singleflight memo of
+// per-unit pass results keyed by a content hash of each unit's
+// post-prologue state, plus the replay machinery that lets a recompile
+// re-run only the units whose inputs changed.
+//
+// Unit hashes are computed after the whole-program prologue passes
+// (interprocedural constant propagation and inline expansion) have
+// run, under one of two domain-separated schemes:
+//
+//   - "src": every unit the inliner cannot mutate is hashed over its
+//     raw parse-time source (ir.ProgramUnit.Source), the program's
+//     function-name signature (ir.Program.FuncsSig — global parse
+//     context that decides whether F(I) is a call or an array
+//     reference), and the interproc pass's edit signature for the unit
+//     (interproc.Report.UnitSigs — a deterministic script of exactly
+//     which formals were specialized away inside it and which argument
+//     positions were deleted at its call sites). Same raw source +
+//     same function set ⇒ same parse; same parse + same edit script ⇒
+//     same post-prologue IR. Nothing is rendered.
+//   - "ir": the top unit (the inliner mutates it even when it expands
+//     nothing) and any unit without parse metadata is hashed over its
+//     canonical Fortran rendering, which the prologue has already
+//     folded every interprocedural input into — so any edit that
+//     changes what a downstream unit's analysis would see changes
+//     that unit's rendering, and therefore its hash.
+//
+// Every pass after the prologue (normalize, induction,
+// dependence-analysis, strength-reduction) is strictly unit-scoped
+// (CALL statements are treated conservatively, never followed), which
+// is what makes the per-unit memoization sound; DESIGN.md §12 carries
+// the staleness argument in full.
+//
+// A unit whose hash is found completed in the memo is "clean": the
+// memoized final IR is installed in the program directly — completed
+// entries are immutable and Result.Program is read-only by contract
+// (suite.Cache already shares one Result across requests), so no
+// defensive clone is needed — and each per-unit pass replays the
+// captured Decision provenance and mutation counters instead of
+// re-running, exactly as whole-program cache hits replay theirs.
+// Units whose hash misses are "dirty": they claim an in-flight memo
+// slot, run live (fanned across the unit worker pool), and publish
+// their final IR and records when the pipeline commits.
+package core
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sync"
+
+	"polaris/internal/deps"
+	"polaris/internal/ir"
+	"polaris/internal/obsv"
+	"polaris/internal/passes"
+)
+
+// unitMemoVersion salts every unit hash; bump it whenever the meaning
+// of a memoized record changes (new per-unit pass, changed record
+// layout), so stale entries from an older scheme can never replay.
+const unitMemoVersion = "polaris-unit-memo/v2"
+
+// incrFingerprint fingerprints the technique-selection fields of
+// Options into the unit hash, so two distinct configurations can never
+// alias one memo entry. Instrumentation and scheduling fields (Stats,
+// Trace, TraceLabel, Observer, UnitWorkers, UnitMemo) are deliberately
+// excluded: they do not change the compiled unit.
+// TestUnitFingerprintCoversOptions enforces that every future
+// technique field is added here.
+func incrFingerprint(o Options) string {
+	return fmt.Sprintf("%t%t%t%t%t%t%t%t%t%t%t%t",
+		o.Inline, o.Induction, o.SimpleInduction, o.Reductions,
+		o.HistogramReduction, o.ArrayPrivatization, o.RangeTest,
+		o.Permutation, o.LRPD, o.StrengthReduction, o.Normalize,
+		o.InterprocConstants)
+}
+
+// unitHash keys one program unit under the "ir" scheme: the memo
+// version, the technique fingerprint, and the unit's canonical
+// post-prologue rendering. srcHash is the rendering-free "src" scheme
+// for prologue-untouched units; the scheme tags domain-separate the
+// two, so a key can never alias across schemes. SHA-256 is load-
+// bearing, not ceremony: the memo is shared across compile-service
+// requests, so an attacker-constructed collision would replay one
+// program's unit into another — the hash must be collision-resistant
+// against adversarial input.
+func unitHash(opt Options, u *ir.ProgramUnit) [32]byte {
+	h := sha256.New()
+	io.WriteString(h, unitMemoVersion)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, incrFingerprint(opt))
+	io.WriteString(h, "\x00ir\x00")
+	io.WriteString(h, u.Fortran())
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// srcHash keys a unit the inliner cannot touch by its raw parse-time
+// source, the program's function-name signature (the complete parse
+// context), and the interproc pass's edit signature for the unit (""
+// when the pass left it alone) — per the soundness argument in the
+// package comment.
+func srcHash(opt Options, funcsSig, interSig string, u *ir.ProgramUnit) [32]byte {
+	h := sha256.New()
+	io.WriteString(h, unitMemoVersion)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, incrFingerprint(opt))
+	io.WriteString(h, "\x00src\x00")
+	io.WriteString(h, funcsSig)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, interSig)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, u.Source)
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// unitPassRecord is what one per-unit pass produced for one unit: the
+// Decision provenance (replayed relabeled on reuse, like whole-program
+// cache hits), the pass's mutation counters, and the pass-specific
+// side outputs the driver folds into Result.
+type unitPassRecord struct {
+	decisions []obsv.Decision
+	counters  map[string]int64
+	// solved lists the qualified induction variables (induction pass).
+	solved []string
+	// reports are the unit's loop verdicts as of this pass
+	// (dependence-analysis pass). Their Loop pointers point into the
+	// entry's memoized unit — the same object every reusing compilation
+	// installs — so replay needs no pointer rebinding.
+	reports []LoopReport
+	// stats are the unit's dependence-test counts (dependence-analysis
+	// pass).
+	stats deps.Stats
+}
+
+// emptyRecord stands in when a completed entry somehow lacks a pass's
+// record; replaying it is a no-op. The fingerprint pins the technique
+// set, so a completed entry always carries a record for every enabled
+// per-unit pass and this is defense in depth only.
+var emptyRecord = &unitPassRecord{}
+
+// unitEntry is one memo slot. Like suite.Cache's compiledEntry, the
+// leader fills the immutable payload (unit, recs, size) before done
+// closes; waiters block on done or their own context. In-flight
+// entries are in the map but never on the LRU list, so an entry with
+// waiters attached cannot be evicted and its waiter set never splits.
+// Completed entries are immutable, so a compilation holding one may
+// keep replaying from it even after eviction drops it from the map.
+type unitEntry struct {
+	done chan struct{}
+	key  [32]byte
+
+	// Written by the claiming compilation before done closes;
+	// immutable afterwards.
+	unit   *ir.ProgramUnit
+	recs   map[string]*unitPassRecord
+	size   int64
+	failed bool // the claim was released without a result; retry
+
+	elem *list.Element // LRU slot; nil while in flight
+}
+
+// MemoLimits bounds a UnitMemo. Zero fields mean unlimited.
+type MemoLimits struct {
+	// MaxEntries caps completed entries; MaxBytes caps their summed
+	// size estimate. In-flight entries are exempt (they are pinned
+	// until their compilation commits or aborts).
+	MaxEntries int
+	MaxBytes   int64
+}
+
+// MemoStats is a point-in-time snapshot of a UnitMemo.
+type MemoStats struct {
+	// Entries and Bytes count completed (evictable) entries; in-flight
+	// claims are excluded.
+	Entries int
+	Bytes   int64
+	// Hits counts unit lookups served from a completed entry
+	// (including after waiting on another compilation's in-flight
+	// fill); Misses counts lookups that claimed the slot and ran the
+	// unit's passes.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+}
+
+// UnitMemo is the bounded per-unit memo behind incremental
+// compilation: a singleflight LRU keyed by unit hash, safe for
+// concurrent use by any number of compilations. It lives beside
+// suite.Cache — the whole-program cache answers exact-source repeats,
+// the unit memo answers everything an edit left untouched.
+type UnitMemo struct {
+	lim MemoLimits
+
+	mu      sync.Mutex
+	entries map[[32]byte]*unitEntry
+	lru     *list.List // of *unitEntry, front = least recently used
+	bytes   int64
+	stats   MemoStats
+}
+
+// NewUnitMemo returns an empty memo bounded by lim.
+func NewUnitMemo(lim MemoLimits) *UnitMemo {
+	return &UnitMemo{lim: lim, entries: map[[32]byte]*unitEntry{}, lru: list.New()}
+}
+
+// Stats snapshots the memo gauges and counters.
+func (m *UnitMemo) Stats() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Entries = m.lru.Len()
+	s.Bytes = m.bytes
+	return s
+}
+
+// insertLocked puts a completed entry on the LRU list and evicts past
+// the bound. Called with m.mu held.
+func (m *UnitMemo) insertLocked(e *unitEntry) {
+	e.elem = m.lru.PushBack(e)
+	m.bytes += e.size
+	for m.overLocked() {
+		front := m.lru.Front()
+		if front == nil {
+			return
+		}
+		victim := front.Value.(*unitEntry)
+		m.lru.Remove(front)
+		m.bytes -= victim.size
+		m.stats.Evictions++
+		if m.entries[victim.key] == victim {
+			delete(m.entries, victim.key)
+		}
+	}
+}
+
+func (m *UnitMemo) overLocked() bool {
+	if m.lim.MaxEntries > 0 && m.lru.Len() > m.lim.MaxEntries {
+		return true
+	}
+	if m.lim.MaxBytes > 0 && m.bytes > m.lim.MaxBytes {
+		return true
+	}
+	return false
+}
+
+// acquire resolves every key to either a completed entry (reuse[i]) or
+// a freshly claimed in-flight slot this compilation must fill
+// (pending[i]); at most one of the two is non-nil per index. A nil/nil
+// pair means the unit should run live without memoization (only
+// possible for duplicate keys within one program, a degenerate case).
+//
+// Deadlock freedom is by wait-before-claim: the loop sweeps all keys
+// under the lock, and while any needed slot is in flight it claims
+// nothing and waits on those slots (honoring ctx). Only when no needed
+// slot is in flight does it claim all remaining misses in one atomic
+// batch. A compilation therefore never holds a claim while waiting for
+// another's — no hold-and-wait, so two compilations with overlapping
+// unit sets cannot deadlock on each other.
+func (m *UnitMemo) acquire(ctx context.Context, keys [][32]byte) (reuse, pending []*unitEntry, err error) {
+	reuse = make([]*unitEntry, len(keys))
+	pending = make([]*unitEntry, len(keys))
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		var waits []*unitEntry
+		m.mu.Lock()
+		for i, k := range keys {
+			if reuse[i] != nil || pending[i] != nil {
+				continue
+			}
+			e, ok := m.entries[k]
+			if !ok {
+				continue // claim candidate
+			}
+			select {
+			case <-e.done:
+				// done closes under m.mu, so this observation is
+				// consistent with the map lookup; failed entries are
+				// removed from the map before done closes.
+				m.stats.Hits++
+				if e.elem != nil {
+					m.lru.MoveToBack(e.elem)
+				}
+				reuse[i] = e
+			default:
+				waits = append(waits, e)
+			}
+		}
+		if len(waits) == 0 {
+			claimed := map[[32]byte]*unitEntry{}
+			for i, k := range keys {
+				if reuse[i] != nil || pending[i] != nil {
+					continue
+				}
+				if _, dup := claimed[k]; dup {
+					// A second unit with an identical rendering (same
+					// name included — a degenerate program). Leave it
+					// unmemoized rather than waiting on our own claim.
+					continue
+				}
+				e := &unitEntry{done: make(chan struct{}), key: k}
+				m.entries[k] = e
+				m.stats.Misses++
+				claimed[k] = e
+				pending[i] = e
+			}
+			m.mu.Unlock()
+			return reuse, pending, nil
+		}
+		m.mu.Unlock()
+		for _, e := range waits {
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+		}
+	}
+}
+
+// complete publishes a filled in-flight entry: it joins the LRU and
+// done closes after the maps are consistent.
+func (m *UnitMemo) complete(e *unitEntry) {
+	m.mu.Lock()
+	m.insertLocked(e)
+	close(e.done)
+	m.mu.Unlock()
+}
+
+// release abandons an in-flight claim (pipeline failure or
+// cancellation): the key is freed for retry before done closes, so a
+// woken waiter that re-sweeps finds a claimable miss, never the failed
+// slot.
+func (m *UnitMemo) release(e *unitEntry) {
+	m.mu.Lock()
+	if m.entries[e.key] == e {
+		delete(m.entries, e.key)
+	}
+	e.failed = true
+	close(e.done)
+	m.mu.Unlock()
+}
+
+// entrySize estimates a completed entry's resident size: the retained
+// IR scales with the unit's source text (rendered or raw, whichever
+// keyed it), plus the captured records. The estimate is computed once
+// at commit and is therefore exact for the add-on-insert /
+// subtract-on-evict accounting.
+func entrySize(keyLen int, recs map[string]*unitPassRecord) int64 {
+	s := int64(keyLen)*2 + 512
+	for _, rec := range recs {
+		for _, d := range rec.decisions {
+			s += 128 + int64(len(d.Detail)+len(d.Technique)+len(d.Blocker)+len(d.Loop))
+			for _, ev := range d.Evidence {
+				s += int64(len(ev))
+			}
+		}
+		s += int64(len(rec.solved)+len(rec.reports)) * 64
+	}
+	return s
+}
+
+// incrState is the compile-local incremental slate: the per-unit keys
+// and acquisition results of one pipeline run. It is created by
+// CompileContext when Options.UnitMemo is set and threaded through the
+// pipeline closures.
+type incrState struct {
+	memo  *UnitMemo
+	label string
+
+	// interSigs is the interproc pass's per-unit edit-script signature
+	// map (nil when that pass is disabled; absent key = unit untouched).
+	// It is folded into the "src" hash so a mutated unit's key covers
+	// the exact edits applied to it.
+	interSigs map[string]string
+
+	keys    [][32]byte
+	reuse   []*unitEntry // completed entries (clean units)
+	pending []*unitEntry // claims this compilation must fill (dirty units)
+	recs    []map[string]*unitPassRecord
+	// keyLen caches each unit's hashed-text length (raw source or
+	// rendering) for the commit-time size estimate.
+	keyLen []int
+}
+
+// acquirePass implements the unit-hash pass: hash every unit, resolve
+// the memo, and install each clean unit's memoized final IR in the
+// program. It runs after the whole-program prologue and before the
+// first per-unit pass.
+//
+// Scheme selection per unit: the top unit (the inliner mutates it even
+// when it expands nothing — IDs and splices land there) and any unit
+// without parse metadata (Source or FuncsSig empty — built or merged
+// programmatically) hash under the "ir" scheme over their canonical
+// rendering; every other unit hashes under the "src" scheme over its
+// raw parse-time source plus interproc's edit signature for it,
+// skipping the rendering entirely. On a megaprogram that turns the
+// hash step from O(program rendering) into O(one unit's rendering +
+// raw-byte hashing).
+func (st *incrState) acquirePass(c *passes.Context, work *ir.Program, res *Result, opt Options) error {
+	st.keys = make([][32]byte, len(work.Units))
+	st.keyLen = make([]int, len(work.Units))
+	top := work.Main()
+	for i, u := range work.Units {
+		if u.Source == "" || work.FuncsSig == "" || (opt.Inline && u == top) {
+			rendered := u.Fortran()
+			st.keyLen[i] = len(rendered)
+			h := sha256.New()
+			io.WriteString(h, unitMemoVersion)
+			io.WriteString(h, "\x00")
+			io.WriteString(h, incrFingerprint(opt))
+			io.WriteString(h, "\x00ir\x00")
+			io.WriteString(h, rendered)
+			h.Sum(st.keys[i][:0])
+		} else {
+			st.keyLen[i] = len(u.Source)
+			st.keys[i] = srcHash(opt, work.FuncsSig, st.interSigs[u.Name], u)
+		}
+	}
+	reuse, pending, err := st.memo.acquire(c.Context(), st.keys)
+	if err != nil {
+		return err
+	}
+	st.reuse, st.pending = reuse, pending
+	st.recs = make([]map[string]*unitPassRecord, len(work.Units))
+	for i := range work.Units {
+		if e := reuse[i]; e != nil {
+			// Shared, not cloned: completed entries are immutable, every
+			// pass downstream of this one only reads clean units, and
+			// Result.Program is read-only by contract. Two indices can
+			// never resolve to one entry within a program — a unit's key
+			// covers its name (header line in either scheme) and
+			// duplicate unit names cannot parse or Add.
+			work.Units[i] = e.unit
+			res.UnitsReused++
+		} else {
+			st.recs[i] = map[string]*unitPassRecord{}
+			res.UnitsRecompiled++
+		}
+	}
+	// A clean MAIN was just replaced; keep Result.Unit pointing into
+	// the program being returned.
+	res.Unit = work.Main()
+	c.Count("units_reused", int64(res.UnitsReused))
+	c.Count("units_recompiled", int64(res.UnitsRecompiled))
+	return nil
+}
+
+// record returns the completed entry's record for (unit i, pass), or
+// nil when the unit is dirty and must run live.
+func (st *incrState) record(i int, pass string) *unitPassRecord {
+	e := st.reuse[i]
+	if e == nil {
+		return nil
+	}
+	if rec := e.recs[pass]; rec != nil {
+		return rec
+	}
+	return emptyRecord
+}
+
+// dirtyRec returns the in-progress record for (dirty unit i, pass),
+// creating it. Returns nil on the non-incremental path (nil receiver)
+// and for an unmemoized duplicate-key unit, so pass closures can call
+// it unconditionally.
+func (st *incrState) dirtyRec(i int, pass string) *unitPassRecord {
+	if st == nil || st.recs == nil || st.recs[i] == nil {
+		return nil
+	}
+	rec := st.recs[i][pass]
+	if rec == nil {
+		rec = &unitPassRecord{}
+		st.recs[i][pass] = rec
+	}
+	return rec
+}
+
+// forEach is the incremental analogue of forEachUnit: dirty units run
+// live (fanned across the worker pool, decisions captured for the
+// memo), clean units replay their memoized record. The emitted stream
+// is reconstructed in unit order at the barrier exactly as the
+// non-incremental parallel schedule does, so the Decision stream is
+// byte-identical to a from-scratch compile at any worker count.
+//
+// replay, when non-nil, folds the memoized record's side outputs into
+// the pass's per-index slots (the same slots live fills).
+func (st *incrState) forEach(c *passes.Context, units []*ir.ProgramUnit, obs *obsv.Observer, pass string,
+	live func(sub *passes.Context, i int, uo *obsv.Observer) error,
+	replay func(i int, rec *unitPassRecord)) error {
+	if c.Workers() <= 1 || len(units) <= 1 {
+		for i := range units {
+			if err := c.Err(); err != nil {
+				return err
+			}
+			if rec := st.record(i, pass); rec != nil {
+				st.emit(c, rec, obs, replay, i)
+				continue
+			}
+			capture := obsv.NewCapture(obs)
+			if err := live(c, i, capture); err != nil {
+				return err
+			}
+			if rec := st.dirtyRec(i, pass); rec != nil {
+				rec.decisions = capture.Decisions()
+			}
+		}
+		return nil
+	}
+	var dirty []int
+	for i := range units {
+		if st.record(i, pass) == nil {
+			dirty = append(dirty, i)
+		}
+	}
+	captures := make([]*obsv.Observer, len(units))
+	err := c.ForEachOf(dirty, func(sub *passes.Context, i int) error {
+		captures[i] = obsv.NewCapture(nil)
+		return live(sub, i, captures[i])
+	})
+	if err != nil {
+		return err
+	}
+	for i := range units {
+		if rec := st.record(i, pass); rec != nil {
+			st.emit(c, rec, obs, replay, i)
+			continue
+		}
+		captures[i].ReplayTo(obs)
+		if rec := st.dirtyRec(i, pass); rec != nil {
+			rec.decisions = captures[i].Decisions()
+		}
+	}
+	return nil
+}
+
+// emit replays one memoized record in stream position: decisions are
+// relabeled to this compilation's label (the memo stores them under
+// the label of whichever compilation filled the entry), counters feed
+// the running pass's mutation sink, and the side outputs flow through
+// replay into the pass's per-index slots.
+func (st *incrState) emit(c *passes.Context, rec *unitPassRecord, obs *obsv.Observer,
+	replay func(i int, rec *unitPassRecord), i int) {
+	for _, d := range rec.decisions {
+		d.Label = st.label
+		obs.Decision(d)
+	}
+	for k, v := range rec.counters {
+		c.Count(k, v)
+	}
+	if replay != nil {
+		replay(i, rec)
+	}
+}
+
+// commit publishes every pending claim after a successful pipeline
+// run: the final transformed unit itself becomes the entry's payload —
+// the compilation's Result.Program shares it, read-only from here on,
+// exactly as reusing compilations will — and the entry joins the
+// memo's LRU.
+func (st *incrState) commit(work *ir.Program) {
+	for i, e := range st.pending {
+		if e == nil {
+			continue
+		}
+		e.unit = work.Units[i]
+		e.recs = st.recs[i]
+		e.size = entrySize(st.keyLen[i], e.recs)
+		st.memo.complete(e)
+	}
+}
+
+// abort releases every pending claim after a failed or canceled
+// pipeline run, freeing the keys for waiters to retry.
+func (st *incrState) abort() {
+	for _, e := range st.pending {
+		if e != nil {
+			st.memo.release(e)
+		}
+	}
+}
+
+// toMemoReports snapshots a unit's loop reports for its memo record.
+// The unit itself is the entry's payload at commit, so the Loop
+// pointers stay valid verbatim; the structs are copied (fresh backing
+// array, defensive LRPD copy) because the strength-reduction pass
+// later updates the Parallel/Reason of the compilation's own copies in
+// Result.Loops, and the record must keep the as-of-dependence-analysis
+// values every replay starts from.
+func toMemoReports(reports []LoopReport) []LoopReport {
+	out := make([]LoopReport, len(reports))
+	copy(out, reports)
+	for j := range out {
+		out[j].LRPD = append([]string(nil), out[j].LRPD...)
+	}
+	return out
+}
+
+// fromMemoReports rebuilds a unit's loop reports from its memo record:
+// a struct copy into a fresh slice the downstream passes may update.
+// The Loop pointers point into the memoized unit, which is exactly the
+// object installed in this compilation's program.
+func fromMemoReports(mrs []LoopReport) []LoopReport {
+	out := make([]LoopReport, len(mrs))
+	copy(out, mrs)
+	return out
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"polaris/internal/parser"
+)
+
+// incrInstrumentation lists the Options fields excluded from the unit
+// memo's hash fingerprint: fields that schedule or observe compilation
+// without changing the compiled program. It deliberately mirrors the
+// whole-program cache's allowlist in suite/optkey_test.go (plus
+// UnitMemo itself — where results come from cannot change what they
+// are).
+var incrInstrumentation = map[string]bool{
+	"Stats":       true,
+	"Trace":       true,
+	"TraceLabel":  true,
+	"Observer":    true,
+	"UnitWorkers": true,
+	"UnitMemo":    true,
+	// TrustedInput only skips the defensive input check and clone of a
+	// program the caller owns; the pipeline that then runs is identical,
+	// so it cannot change what a memo entry means.
+	"TrustedInput": true,
+}
+
+// TestUnitFingerprintCoversOptions fails when Options gains a
+// technique-selection field that incrFingerprint does not cover: two
+// distinct technique configurations would then alias one memo entry
+// and incremental compiles would replay results computed under the
+// wrong technique set. Add new technique bools to incrFingerprint
+// (and bump unitMemoVersion), or add genuine instrumentation fields to
+// the allowlist above with a justification.
+func TestUnitFingerprintCoversOptions(t *testing.T) {
+	base := PolarisOptions()
+	baseFP := incrFingerprint(base)
+	rt := reflect.TypeOf(base)
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if incrInstrumentation[f.Name] {
+			continue
+		}
+		if f.Type.Kind() != reflect.Bool {
+			t.Errorf("core.Options.%s: non-bool technique field (%s); teach incrFingerprint to cover it and extend this test",
+				f.Name, f.Type)
+			continue
+		}
+		mut := base
+		fv := reflect.ValueOf(&mut).Elem().Field(i)
+		fv.SetBool(!fv.Bool())
+		if incrFingerprint(mut) == baseFP {
+			t.Errorf("core.Options.%s: toggling the field does not change the unit fingerprint — memo entries would alias technique sets", f.Name)
+		}
+	}
+}
+
+func memoKeys(n int) [][32]byte {
+	keys := make([][32]byte, n)
+	for i := range keys {
+		keys[i][0] = byte(i + 1)
+	}
+	return keys
+}
+
+// TestUnitMemoPinsInFlight drives the memo past its entry bound while
+// a claim is still in flight and requires the claim to survive: an
+// in-flight entry is never on the LRU list, so eviction cannot reach
+// it and every compilation waiting on it wakes against the same entry
+// (no waiter-set split).
+func TestUnitMemoPinsInFlight(t *testing.T) {
+	ctx := context.Background()
+	m := NewUnitMemo(MemoLimits{MaxEntries: 2})
+	keys := memoKeys(6)
+
+	_, pending, err := m.acquire(ctx, keys[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflight := pending[0]
+	if inflight == nil {
+		t.Fatal("first acquire did not claim the slot")
+	}
+
+	// Complete four other entries: far past MaxEntries=2, so the LRU
+	// churns hard while our claim is still open.
+	_, more, err := m.acquire(ctx, keys[1:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range more {
+		e.recs = map[string]*unitPassRecord{}
+		m.complete(e)
+	}
+	st := m.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("completed entries: got %d, want 2 (MaxEntries)", st.Entries)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions: got %d, want 2", st.Evictions)
+	}
+
+	// A second compilation arriving now must wait on the pinned claim
+	// — and wake against the same entry once it completes.
+	woke := make(chan []*unitEntry, 1)
+	go func() {
+		reuse, _, err := m.acquire(ctx, keys[:1])
+		if err != nil {
+			woke <- nil
+			return
+		}
+		woke <- reuse
+	}()
+	// Give the waiter time to park; it must not claim a split slot.
+	time.Sleep(10 * time.Millisecond)
+	inflight.recs = map[string]*unitPassRecord{}
+	m.complete(inflight)
+	select {
+	case reuse := <-woke:
+		if len(reuse) != 1 || reuse[0] != inflight {
+			t.Fatalf("waiter woke against a different entry: got %v, want the pinned in-flight entry", reuse)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke after the pinned entry completed")
+	}
+	if got := m.Stats().Hits; got != 1 {
+		t.Fatalf("hits after waiter reuse: got %d, want 1", got)
+	}
+}
+
+// TestUnitMemoReleaseRetry aborts an in-flight claim and requires the
+// waiter to retry and claim the slot itself, rather than consuming the
+// failed entry.
+func TestUnitMemoReleaseRetry(t *testing.T) {
+	ctx := context.Background()
+	m := NewUnitMemo(MemoLimits{})
+	keys := memoKeys(1)
+
+	_, pending, err := m.acquire(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type got struct {
+		reuse, pending []*unitEntry
+	}
+	woke := make(chan got, 1)
+	go func() {
+		r, p, err := m.acquire(ctx, keys)
+		if err != nil {
+			woke <- got{}
+			return
+		}
+		woke <- got{r, p}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.release(pending[0])
+	select {
+	case g := <-woke:
+		if g.pending[0] == nil {
+			t.Fatalf("waiter did not claim after release: reuse=%v pending=%v", g.reuse[0], g.pending[0])
+		}
+		if g.pending[0] == pending[0] {
+			t.Fatal("waiter claimed the released (failed) entry itself")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke after release")
+	}
+}
+
+// TestUnitMemoAcquireCanceled parks a waiter on an in-flight claim and
+// cancels its context: acquire must return the context error promptly
+// without disturbing the leader's claim.
+func TestUnitMemoAcquireCanceled(t *testing.T) {
+	m := NewUnitMemo(MemoLimits{})
+	keys := memoKeys(1)
+	_, pending, err := m.acquire(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := m.acquire(ctx, keys)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("canceled waiter: got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter never returned")
+	}
+	// The leader's claim is untouched; completing it must still work.
+	pending[0].recs = map[string]*unitPassRecord{}
+	m.complete(pending[0])
+	if got := m.Stats().Entries; got != 1 {
+		t.Fatalf("entries after complete: got %d, want 1", got)
+	}
+}
+
+// TestUnitMemoDuplicateKeys hands acquire a key list with a repeat:
+// the second occurrence must be left unmemoized (nil/nil) instead of
+// deadlocking on the first occurrence's own claim.
+func TestUnitMemoDuplicateKeys(t *testing.T) {
+	m := NewUnitMemo(MemoLimits{})
+	keys := memoKeys(1)
+	keys = append(keys, keys[0])
+	done := make(chan struct{})
+	var reuse, pending []*unitEntry
+	go func() {
+		defer close(done)
+		var err error
+		reuse, pending, err = m.acquire(context.Background(), keys)
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquire deadlocked on a duplicate key")
+	}
+	if pending[0] == nil {
+		t.Fatal("first occurrence was not claimed")
+	}
+	if reuse[1] != nil || pending[1] != nil {
+		t.Fatal("duplicate occurrence was not left unmemoized")
+	}
+}
+
+// TestUnitHashLocality parses a multi-unit program, edits one unit's
+// body, and requires exactly that unit's hash to change: the edit
+// neither feeds a constant into another unit nor inlines differently,
+// so the dirty set of an incremental recompile is exactly one unit.
+func TestUnitHashLocality(t *testing.T) {
+	const base = `      PROGRAM MAIN
+      REAL A(100), B(100)
+      INTEGER I
+      COMMON /BLK/ A, B
+      DO I = 1, 100
+        A(I) = B(I) + 1.0
+      END DO
+      END
+
+      SUBROUTINE S1(N)
+      INTEGER N
+      REAL A(100), B(100)
+      INTEGER I
+      COMMON /BLK/ A, B
+      DO I = 1, 100
+        A(I) = A(I) * 2.0
+      END DO
+      END
+
+      SUBROUTINE S2(DUMMY)
+      REAL DUMMY
+      REAL A(100), B(100)
+      INTEGER J
+      COMMON /BLK/ A, B
+      DO J = 1, 100
+        B(J) = A(J) + B(J)
+      END DO
+      END
+`
+	edited := strings.Replace(base, "A(I) = A(I) * 2.0", "A(I) = A(I) * 3.0", 1)
+	if edited == base {
+		t.Fatal("edit did not apply")
+	}
+	hashes := func(src string) map[string][32]byte {
+		prog, err := parser.ParseProgram(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		out := map[string][32]byte{}
+		for _, u := range prog.Units {
+			out[u.Name] = unitHash(PolarisOptions(), u)
+		}
+		return out
+	}
+	hb, he := hashes(base), hashes(edited)
+	if len(hb) != 3 || len(he) != 3 {
+		t.Fatalf("unit counts: %d and %d, want 3", len(hb), len(he))
+	}
+	for name, h := range hb {
+		changed := he[name] != h
+		if name == "S1" && !changed {
+			t.Errorf("unit %s: hash unchanged by the edit", name)
+		}
+		if name != "S1" && changed {
+			t.Errorf("unit %s: hash changed by an edit to S1", name)
+		}
+	}
+	// And the fingerprint feeds the hash: a different technique set
+	// must never alias the same unit text.
+	prog, err := parser.ParseProgram(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2 := PolarisOptions()
+	opt2.RangeTest = false
+	if unitHash(PolarisOptions(), prog.Units[0]) == unitHash(opt2, prog.Units[0]) {
+		t.Error("unit hash ignores the technique fingerprint")
+	}
+}

@@ -1,0 +1,58 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EditOneUnit returns a copy of src with one statement appended to the
+// body of a single phase subroutine (the P0001, P0002, ... units of a
+// megaprogram), selected by n modulo the phase count, plus the name of
+// the edited unit. The inserted statement is a straight-line update of
+// the T2 COMMON scalar every phase declares via the standard /SCL/
+// block, parameterized by tag so distinct tags yield distinct sources:
+// it changes exactly that unit's text (and hash) without perturbing
+// any loop analysis or any other unit's interprocedural inputs, which
+// makes it the canonical "edit one unit" probe for incremental
+// compilation. Phases are never inlined and take no new constant
+// actuals from the edit, so a recompile against a warm unit memo must
+// find exactly one dirty unit.
+//
+// When src contains no phase subroutines it is returned unchanged with
+// an empty unit name.
+func EditOneUnit(src string, n, tag int) (edited string, unit string) {
+	lines := strings.Split(src, "\n")
+	type phase struct {
+		line int
+		name string
+	}
+	var phases []phase
+	for i, l := range lines {
+		t := strings.TrimSpace(l)
+		if rest, ok := strings.CutPrefix(t, "SUBROUTINE P"); ok {
+			name := "P" + rest
+			if p := strings.IndexByte(name, '('); p > 0 {
+				name = name[:p]
+			}
+			phases = append(phases, phase{line: i, name: name})
+		}
+	}
+	if len(phases) == 0 {
+		return src, ""
+	}
+	p := phases[((n%len(phases))+len(phases))%len(phases)]
+	if tag < 0 {
+		tag = -tag // keep the literal well-formed under the parser subset
+	}
+	for i := p.line + 1; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) == "END" {
+			stmt := fmt.Sprintf("      T2 = T2 + %d.0", tag)
+			out := make([]string, 0, len(lines)+1)
+			out = append(out, lines[:i]...)
+			out = append(out, stmt)
+			out = append(out, lines[i:]...)
+			return strings.Join(out, "\n"), p.name
+		}
+	}
+	return src, ""
+}

@@ -37,6 +37,14 @@ type ProgramUnit struct {
 	// ReturnType is set for functions; the function result is assigned
 	// to the variable named after the function.
 	ReturnType Type
+	// Source is the unit's raw source text as sliced by the parser at
+	// parse time ("" for units built programmatically). It is parse
+	// metadata, NOT an alternate rendering: transformation passes do
+	// not maintain it, so it describes the unit only as long as the
+	// unit is untransformed. Incremental compilation keys untouched
+	// units by it (together with Program.FuncsSig) to skip re-rendering
+	// their IR; use Fortran() for the canonical current-state text.
+	Source string
 }
 
 // NewUnit returns an empty unit of the given kind.
@@ -53,12 +61,21 @@ func (u *ProgramUnit) Clone() *ProgramUnit {
 		Symbols:    u.Symbols.Clone(),
 		Body:       u.Body.Clone(),
 		ReturnType: u.ReturnType,
+		Source:     u.Source,
 	}
 }
 
 // Program is a collection of program units (the paper's Program class).
 type Program struct {
 	Units []*ProgramUnit
+	// FuncsSig identifies the FUNCTION-name set the parser pre-scanned
+	// before parsing any unit ("" for programs built or merged
+	// programmatically). A unit's parse depends on this global set —
+	// F(I) parses as a call when F is a known function and as an array
+	// reference otherwise — so it is part of the parse context a unit's
+	// raw Source must be interpreted under. Like ProgramUnit.Source it
+	// is parse metadata, frozen at parse time.
+	FuncsSig string
 }
 
 // NewProgram returns an empty program.
@@ -67,6 +84,7 @@ func NewProgram() *Program { return &Program{} }
 // Clone deep-copies the program.
 func (p *Program) Clone() *Program {
 	c := NewProgram()
+	c.FuncsSig = p.FuncsSig
 	for _, u := range p.Units {
 		c.Units = append(c.Units, u.Clone())
 	}
@@ -82,8 +100,13 @@ func (p *Program) Add(u *ProgramUnit) {
 	p.Units = append(p.Units, u)
 }
 
-// Merge adds every unit of other into p.
+// Merge adds every unit of other into p. The merged program is no
+// longer the product of a single parse, so its FuncsSig is cleared:
+// the incoming units' Sources were parsed under other's function set,
+// not p's, and keeping either signature would misdescribe half the
+// units.
 func (p *Program) Merge(other *Program) {
+	p.FuncsSig = ""
 	for _, u := range other.Units {
 		p.Add(u)
 	}

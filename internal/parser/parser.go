@@ -11,6 +11,7 @@ package parser
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -70,14 +71,37 @@ func ParseProgram(src string) (*ir.Program, error) {
 		}
 	}
 	prog := ir.NewProgram()
+	// The function-name set is global parse context (it decides whether
+	// F(I) is a call or an array reference in every unit), so it is
+	// recorded on the program beside each unit's raw source slice. The
+	// "f:" prefix keeps the signature non-empty even with no functions,
+	// distinguishing parsed programs from hand-built ones.
+	names := make([]string, 0, len(p.funcs))
+	for name := range p.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	prog.FuncsSig = "f:" + strings.Join(names, ",")
+	lines := strings.SplitAfter(src, "\n")
 	for {
 		p.skipNewlines()
 		if p.at(lexer.EOF) {
 			break
 		}
+		start := p.cur().Line
 		u, err := p.parseUnit()
 		if err != nil {
 			return nil, err
+		}
+		// Slice the unit's raw source from its first to its last
+		// consumed token. The lexer is line-local (the '&' continuation
+		// flag never crosses a unit boundary) and the IR carries no
+		// source positions, so two units with identical slices — under
+		// the same function set — parse to identical IR wherever they
+		// sit in a file. Incremental compilation keys untouched units by
+		// exactly this pair.
+		if end := p.toks[p.pos-1].Line; start >= 1 && start <= end && end <= len(lines) {
+			u.Source = strings.Join(lines[start-1:end], "")
 		}
 		if prog.Unit(u.Name) != nil {
 			// Program.Add panics on duplicates (an IR consistency

@@ -143,6 +143,19 @@ feed:
 	return panicErr
 }
 
+// ForEachOf is ForEach over an explicit index subset: fn(sub, idxs[j])
+// runs for each j across the worker pool with ForEach's scheduling,
+// error-selection, and panic semantics (the lowest-position genuine
+// error wins, in idxs order). It is the dirty-unit schedule of
+// incremental compilation: a pass fans only the units whose memo
+// lookup missed, while clean indices are replayed by the caller at the
+// barrier. An empty idxs returns nil without touching the pool.
+func (c *Context) ForEachOf(idxs []int, fn func(sub *Context, i int) error) error {
+	return c.ForEach(len(idxs), func(sub *Context, j int) error {
+		return fn(sub, idxs[j])
+	})
+}
+
 func isUnitPanic(err error) bool {
 	var up *unitPanicError
 	return errors.As(err, &up)

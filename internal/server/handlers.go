@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -30,6 +32,11 @@ type CompileRequest struct {
 	// TimeoutMS is the per-request compile deadline in milliseconds,
 	// clamped to the server's MaxTimeout; 0 means the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Previous is the program_hash of the source this request edits
+	// (incremental requests only, advisory). The per-unit memo is keyed
+	// by unit content, so reuse works without it; clients send it to
+	// make the edit chain auditable in access logs.
+	Previous string `json:"previous,omitempty"`
 }
 
 // LoopVerdict is one per-loop verdict in a CompileResponse.
@@ -64,11 +71,21 @@ type CompileResponse struct {
 	// LeaderID names the request that actually performed the compile
 	// when this one did not (coalesced waiters and cache hits); its
 	// response — or access-log line — carries outcome "cold".
-	LeaderID      string          `json:"leader_id,omitempty"`
-	Cached        bool            `json:"cached"`
-	ParallelLoops int             `json:"parallel_loops"`
-	Verdicts      []LoopVerdict   `json:"verdicts"`
-	Decisions     []obsv.Decision `json:"decisions,omitempty"`
+	LeaderID      string `json:"leader_id,omitempty"`
+	Cached        bool   `json:"cached"`
+	ParallelLoops int    `json:"parallel_loops"`
+	// Incremental reports whether this request compiled against the
+	// per-unit memo (?incremental=1). ProgramHash is the SHA-256 of the
+	// posted source — clients echo it back as `previous` on their next
+	// edit. UnitsReused / UnitsRecompiled split the program's units by
+	// whether their memoized results were replayed or recomputed; both
+	// are zero for non-incremental and whole-program-cached requests.
+	Incremental     bool            `json:"incremental,omitempty"`
+	ProgramHash     string          `json:"program_hash,omitempty"`
+	UnitsReused     int             `json:"units_reused,omitempty"`
+	UnitsRecompiled int             `json:"units_recompiled,omitempty"`
+	Verdicts        []LoopVerdict   `json:"verdicts"`
+	Decisions       []obsv.Decision `json:"decisions,omitempty"`
 	// Report is the pass manager's instrumentation. For cache hits it
 	// describes the original (cached) compilation. Absent for baseline
 	// compilations.
@@ -193,6 +210,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), "")
 		return
 	}
+	incremental := r.URL.Query().Get("incremental") == "1"
+	if incremental && req.Baseline {
+		writeError(w, http.StatusBadRequest,
+			"incremental compilation does not apply to baseline (PFA) compiles", "")
+		return
+	}
 	release, shed := s.admit(r.Context())
 	if shed {
 		s.shedResponse(w)
@@ -242,6 +265,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	reqObs := obsv.NewObserver()
 	opt.Observer = reqObs
 	opt.TraceLabel = s.reqLabel(label)
+	if incremental {
+		opt.UnitMemo = s.memo
+	}
 	res, out, err := s.cache.CompileOutcome(ctx, prog, opt, compileSource(req.Source))
 	if err != nil {
 		s.obs.Count("server_compile_errors", 1)
@@ -252,18 +278,38 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if cached {
 		s.obs.Count("server_cache_hits", 1)
 	}
-	setOutcome(ctx, out.Kind, leaderFor(out, reqID), cached)
-	writeJSON(w, http.StatusOK, CompileResponse{
-		Label:         label,
-		RequestID:     reqID,
-		Outcome:       out.Kind,
-		LeaderID:      leaderFor(out, reqID),
-		Cached:        cached,
-		ParallelLoops: res.ParallelLoops(),
-		Verdicts:      verdicts(res),
-		Decisions:     relabel(reqObs.Decisions(), label),
-		Report:        passReports(res),
-	})
+	// Unit-reuse counts are meaningful only when this request's own
+	// compile ran against the memo; a whole-program cache hit or a ride
+	// on another request's compile reports the stronger outcome instead.
+	outcome := out.Kind
+	unitsReused, unitsRecompiled := 0, 0
+	if incremental && !cached {
+		unitsReused, unitsRecompiled = res.UnitsReused, res.UnitsRecompiled
+		if unitsReused > 0 {
+			outcome = telemetry.OutcomeIncrementalHit
+			s.obs.Count("server_incremental_hits", 1)
+		}
+	}
+	setOutcome(ctx, outcome, leaderFor(out, reqID), cached)
+	resp := CompileResponse{
+		Label:           label,
+		RequestID:       reqID,
+		Outcome:         outcome,
+		LeaderID:        leaderFor(out, reqID),
+		Cached:          cached,
+		ParallelLoops:   res.ParallelLoops(),
+		Incremental:     incremental,
+		UnitsReused:     unitsReused,
+		UnitsRecompiled: unitsRecompiled,
+		Verdicts:        verdicts(res),
+		Decisions:       relabel(reqObs.Decisions(), label),
+		Report:          passReports(res),
+	}
+	if incremental {
+		sum := sha256.Sum256([]byte(req.Source))
+		resp.ProgramHash = hex.EncodeToString(sum[:])
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // leaderFor returns the foreign leader ID to report for a cache
@@ -370,6 +416,11 @@ func compileSource(src string) func(context.Context, core.Options) (*core.Result
 		if err != nil {
 			return nil, err
 		}
+		// The program was just parsed (ParseProgram checked it) and is
+		// used for nothing else, and cached Results are shared read-only
+		// across requests anyway — so hand over ownership and skip the
+		// driver's defensive re-check and clone.
+		opt.TrustedInput = true
 		return core.CompileContext(ctx, prog, opt)
 	}
 }

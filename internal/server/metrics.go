@@ -23,6 +23,16 @@ type Metrics struct {
 		Retries   int64   `json:"retries"`
 		HitRatio  float64 `json:"hit_ratio"`
 	} `json:"cache"`
+	// UnitMemo is the per-unit incremental memo behind ?incremental=1
+	// compiles (hits/misses count unit-level lookups, not requests).
+	UnitMemo struct {
+		Entries   int     `json:"entries"`
+		Bytes     int64   `json:"bytes"`
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Evictions int64   `json:"evictions"`
+		HitRatio  float64 `json:"hit_ratio"`
+	} `json:"unit_memo"`
 	Queue struct {
 		Workers  int   `json:"workers"`
 		Depth    int   `json:"depth"`
@@ -70,6 +80,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Cache.Evictions = cs.Evictions
 	m.Cache.Retries = cs.Retries
 	m.Cache.HitRatio = hitRatio(cs.Hits, cs.Misses)
+	ms := s.memo.Stats()
+	m.UnitMemo.Entries = ms.Entries
+	m.UnitMemo.Bytes = ms.Bytes
+	m.UnitMemo.Hits = ms.Hits
+	m.UnitMemo.Misses = ms.Misses
+	m.UnitMemo.Evictions = ms.Evictions
+	m.UnitMemo.HitRatio = hitRatio(ms.Hits, ms.Misses)
 	m.Queue.Workers = s.cfg.Workers
 	m.Queue.Depth = s.cfg.QueueDepth
 	m.Queue.Inflight = s.inflight.Load()
@@ -122,6 +139,18 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	telemetry.WriteCounter(w, "polaris_cache_retries_total", cs.Retries)
 	telemetry.WriteHeader(w, "polaris_cache_hit_ratio", "hits / (hits + misses), 0 for an untouched cache.", "gauge")
 	telemetry.WriteGauge(w, "polaris_cache_hit_ratio", hitRatio(cs.Hits, cs.Misses))
+
+	ms := s.memo.Stats()
+	telemetry.WriteHeader(w, "polaris_unit_memo_entries", "Per-unit incremental memo entries resident.", "gauge")
+	telemetry.WriteCounter(w, "polaris_unit_memo_entries", int64(ms.Entries))
+	telemetry.WriteHeader(w, "polaris_unit_memo_bytes", "Per-unit incremental memo bytes resident.", "gauge")
+	telemetry.WriteCounter(w, "polaris_unit_memo_bytes", ms.Bytes)
+	telemetry.WriteHeader(w, "polaris_unit_memo_hits_total", "Unit-level memo lookups replayed from a memoized unit.", "counter")
+	telemetry.WriteCounter(w, "polaris_unit_memo_hits_total", ms.Hits)
+	telemetry.WriteHeader(w, "polaris_unit_memo_misses_total", "Unit-level memo lookups that recompiled the unit.", "counter")
+	telemetry.WriteCounter(w, "polaris_unit_memo_misses_total", ms.Misses)
+	telemetry.WriteHeader(w, "polaris_unit_memo_evictions_total", "Per-unit incremental memo LRU evictions.", "counter")
+	telemetry.WriteCounter(w, "polaris_unit_memo_evictions_total", ms.Evictions)
 
 	telemetry.WriteHeader(w, "polaris_queue_workers", "Configured compile worker slots.", "gauge")
 	telemetry.WriteCounter(w, "polaris_queue_workers", int64(s.cfg.Workers))

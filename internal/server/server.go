@@ -64,6 +64,12 @@ type Config struct {
 	// flat under millions of distinct sources.
 	CacheEntries int
 	CacheBytes   int64
+	// UnitMemoEntries / UnitMemoBytes bound the per-unit incremental
+	// memo shared by ?incremental=1 compiles (defaults: 4096 entries,
+	// 64 MiB). The memo is keyed by unit-source hash, so edits that
+	// touch one unit of a large program recompile only that unit.
+	UnitMemoEntries int
+	UnitMemoBytes   int64
 	// AccessLog receives one structured line per request (id, route,
 	// status, outcome, latency, cache status, leader id). Nil disables
 	// access logging.
@@ -92,6 +98,12 @@ func (c *Config) applyDefaults() {
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 64 << 20
 	}
+	if c.UnitMemoEntries <= 0 {
+		c.UnitMemoEntries = 4096
+	}
+	if c.UnitMemoBytes <= 0 {
+		c.UnitMemoBytes = 64 << 20
+	}
 }
 
 // Server is the compile service. Create with New; serve with Serve (or
@@ -101,6 +113,7 @@ type Server struct {
 	cfg       Config
 	obs       *obsv.Observer // shared expvar-style counters
 	cache     *suite.Cache
+	memo      *core.UnitMemo       // per-unit incremental memo (?incremental=1)
 	tel       *telemetry.Registry  // per-(route, outcome) latency histograms
 	queueWait *telemetry.Histogram // admission wait per admitted request
 	accessLog *slog.Logger
@@ -129,6 +142,7 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		obs:       obsv.NewObserver(),
 		cache:     suite.NewCache(suite.CacheLimits{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
+		memo:      core.NewUnitMemo(core.MemoLimits{MaxEntries: cfg.UnitMemoEntries, MaxBytes: cfg.UnitMemoBytes}),
 		tel:       telemetry.NewRegistry(),
 		queueWait: &telemetry.Histogram{},
 		accessLog: cfg.AccessLog,
@@ -158,6 +172,9 @@ func (s *Server) Observer() *obsv.Observer { return s.obs }
 
 // CacheStats snapshots the shared compile cache.
 func (s *Server) CacheStats() suite.CacheStats { return s.cache.Stats() }
+
+// MemoStats snapshots the per-unit incremental memo.
+func (s *Server) MemoStats() core.MemoStats { return s.memo.Stats() }
 
 // Telemetry returns the per-(route, outcome) latency histogram
 // registry (for polaris-bench's serve_latency measurement and tests).

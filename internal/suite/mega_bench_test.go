@@ -39,6 +39,63 @@ func BenchmarkMegaCompileSerial(b *testing.B) {
 	}
 }
 
+// BenchmarkMegaIncremental measures the incremental recompile: each
+// corpus entry is compiled once to warm a per-unit memo, then every
+// iteration applies a fresh one-unit edit and recompiles against the
+// warm memo — only the edited unit runs the pipeline, the rest replay.
+// Compare against the same entry's BenchmarkMegaCompile row for the
+// edit-one-unit speedup; per-commit trajectories live in
+// BENCH_polaris.json (incremental_compile row, mega50k).
+func BenchmarkMegaIncremental(b *testing.B) {
+	for _, spec := range fuzzgen.MegaCorpus() {
+		b.Run(spec.Name, func(b *testing.B) {
+			mp := spec.Generate()
+			memo := core.NewUnitMemo(core.MemoLimits{})
+			warm := core.PolarisOptions()
+			warm.UnitMemo = memo
+			warm.TrustedInput = true
+			base, err := parser.ParseProgram(mp.Source)
+			if err != nil {
+				b.Fatalf("%s: parse: %v", spec.Name, err)
+			}
+			ctx := context.Background()
+			if _, err := core.CompileContext(ctx, base, warm); err != nil {
+				b.Fatalf("%s: warm compile: %v", spec.Name, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				editedSrc, unit := fuzzgen.EditOneUnit(mp.Source, i+1, i+1)
+				if unit == "" {
+					b.Fatalf("%s: EditOneUnit found no unit", spec.Name)
+				}
+				prog, err := parser.ParseProgram(editedSrc)
+				if err != nil {
+					b.Fatalf("%s: parse edit: %v", spec.Name, err)
+				}
+				opt := core.PolarisOptions()
+				opt.UnitMemo = memo
+				opt.TrustedInput = true // prog is parsed fresh per iteration
+				// Collect the setup garbage (a fresh ~50k-line parse per
+				// iteration) while the timer is stopped, so the timed
+				// region pays only for its own allocation, not the
+				// setup's deferred GC debt.
+				runtime.GC()
+				b.StartTimer()
+				res, err := core.CompileContext(ctx, prog, opt)
+				b.StopTimer()
+				if err != nil {
+					b.Fatalf("%s: %v", spec.Name, err)
+				}
+				if res.UnitsRecompiled != 1 {
+					b.Fatalf("%s: recompiled %d units, want 1", spec.Name, res.UnitsRecompiled)
+				}
+			}
+		})
+	}
+}
+
 func benchMega(b *testing.B, spec fuzzgen.MegaSpec, workers int) {
 	mp := spec.Generate()
 	prog, err := parser.ParseProgram(mp.Source)

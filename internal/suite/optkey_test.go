@@ -23,6 +23,24 @@ var optKeyInstrumentation = map[string]bool{
 	// serial one (verdicts, decisions, and trace are byte-for-byte the
 	// same — see core.forEachUnit), so it must not split the cache.
 	"UnitWorkers": true,
+	// UnitMemo changes where per-unit pass results come from, never
+	// what they are: clean units replay records memoized under a hash
+	// that itself fingerprints every technique bool
+	// (core.incrFingerprint, guarded by
+	// core.TestUnitFingerprintCoversOptions), so two technique
+	// configurations can never alias a memo entry, and the incremental
+	// differential test (core.TestIncrementalDifferential) proves the
+	// compiled output byte-identical with and without a memo. It is
+	// therefore observation-only for the whole-program cache, like
+	// UnitWorkers.
+	"UnitMemo": true,
+	// TrustedInput skips the driver's defensive input re-check and
+	// clone when the caller hands over ownership of a freshly parsed
+	// program; the pass pipeline then runs unchanged on the same IR, so
+	// the compiled output is byte-identical either way (the incremental
+	// differential test compiles with it on one side and off the
+	// other).
+	"TrustedInput": true,
 }
 
 // TestOptKeyCoversOptions fails when core.Options gains a

@@ -108,7 +108,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // computes). Samples in the overflow bucket are attributed to its
 // lower bound. Returns 0 for an empty histogram.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 || q <= 0 {
+	if s.Count == 0 || q <= 0 || len(s.BoundsNS) == 0 {
+		// len(BoundsNS) == 0 guards hand-built snapshots (JSON
+		// round-trips, tests): every exit below indexes the last finite
+		// bound, and interpolating against a missing bound must yield 0,
+		// never a panic or ±Inf.
 		return 0
 	}
 	if q > 1 {

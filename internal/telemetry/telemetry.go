@@ -11,9 +11,11 @@
 // The outcome taxonomy is fixed so dashboards and tests can enumerate
 // it: a request is exactly one of cold (this request ran the compile),
 // cache_hit (served from a completed cache entry), coalesced (waited
-// on another request's in-flight compile), shed (429 at admission),
-// timeout (deadline expired, 504), canceled (client went away, 499),
-// error (any other failure), or ok (non-compile endpoints).
+// on another request's in-flight compile), incremental_hit (an
+// incremental compile that ran but reused memoized units), shed (429
+// at admission), timeout (deadline expired, 504), canceled (client
+// went away, 499), error (any other failure), or ok (non-compile
+// endpoints).
 package telemetry
 
 import (
@@ -30,11 +32,17 @@ const (
 	OutcomeCold      = "cold"
 	OutcomeCacheHit  = "cache_hit"
 	OutcomeCoalesced = "coalesced"
-	OutcomeShed      = "shed"
-	OutcomeTimeout   = "timeout"
-	OutcomeCanceled  = "canceled"
-	OutcomeError     = "error"
-	OutcomeOK        = "ok"
+	// OutcomeIncrementalHit marks an incremental compile
+	// (?incremental=1) that missed the whole-program cache but reused
+	// at least one unit from the per-unit memo — the interesting middle
+	// ground between cold and cache_hit that the incremental feature
+	// exists to create.
+	OutcomeIncrementalHit = "incremental_hit"
+	OutcomeShed           = "shed"
+	OutcomeTimeout        = "timeout"
+	OutcomeCanceled       = "canceled"
+	OutcomeError          = "error"
+	OutcomeOK             = "ok"
 )
 
 type requestIDKey struct{}

@@ -108,6 +108,64 @@ func TestHistogramQuantileInterpolation(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileOverflowBucket records samples above the top
+// finite bound and requires every quantile landing in the +Inf
+// overflow bucket to clamp to the last finite bound: linear
+// interpolation against an infinite upper bound would otherwise leak
+// +Inf/NaN into p99 and the JSON/Prometheus exports.
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	top := float64(BucketBoundsNS()[numBounds-1])
+
+	t.Run("all-overflow", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 50; i++ {
+			h.Record(2 * time.Duration(top)) // ~104s: far past the ~52s top bound
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+			got := s.Quantile(q)
+			if math.IsInf(got, 0) || math.IsNaN(got) {
+				t.Fatalf("q=%g: got %g, want a finite clamp", q, got)
+			}
+			if got != top {
+				t.Errorf("q=%g: got %g, want clamp to last finite bound %g", q, got, top)
+			}
+		}
+	})
+
+	t.Run("mixed", func(t *testing.T) {
+		var h Histogram
+		// 90 fast samples, 10 in overflow: p50 interpolates normally,
+		// p99's rank lands in the overflow bucket and must clamp.
+		for i := 0; i < 90; i++ {
+			h.Record(150 * time.Microsecond)
+		}
+		for i := 0; i < 10; i++ {
+			h.Record(90 * time.Second)
+		}
+		s := h.Snapshot()
+		if p50 := s.Quantile(0.50); p50 <= 0 || p50 > 200_000 {
+			t.Errorf("p50 = %g, want inside the first finite bucket", p50)
+		}
+		p99 := s.Quantile(0.99)
+		if math.IsInf(p99, 0) || math.IsNaN(p99) {
+			t.Fatalf("p99 = %g, want finite", p99)
+		}
+		if p99 != top {
+			t.Errorf("p99 = %g, want clamp to last finite bound %g", p99, top)
+		}
+	})
+
+	t.Run("empty-bounds", func(t *testing.T) {
+		// A hand-built snapshot (JSON round-trip) with no bounds must
+		// yield 0, not panic on BoundsNS[-1].
+		s := HistogramSnapshot{Buckets: []int64{5}, Count: 5}
+		if got := s.Quantile(0.99); got != 0 {
+			t.Errorf("empty-bounds snapshot: got %g, want 0", got)
+		}
+	})
+}
+
 // TestHistogramSnapshotConsistentUnderRace hammers Record from many
 // goroutines while snapshotting: every snapshot must satisfy
 // count == Σ buckets (the write-excluding snapshot lock), and the

@@ -24,6 +24,7 @@ type compileConfig struct {
 	observer    *obsv.Observer
 	processors  int
 	unitWorkers int
+	memo        *UnitMemo
 }
 
 func defaultCompileConfig() compileConfig {
@@ -80,6 +81,44 @@ func WithProcessors(n int) Option {
 // stream are byte-for-byte identical at every worker count.
 func WithUnitWorkers(n int) Option {
 	return func(c *compileConfig) { c.unitWorkers = n }
+}
+
+// UnitMemo is the bounded per-unit memo behind incremental
+// compilation: a singleflight LRU of per-unit pass results keyed by
+// each program unit's post-prologue content hash. Create one with
+// NewUnitMemo, share it across Compile calls (it is safe for
+// concurrent use), and pass it via WithIncremental; recompiles then
+// re-run only the units an edit actually changed, replaying the
+// memoized decision provenance for the rest. The memo never changes
+// what a compilation produces — verdicts, decision streams, and
+// emitted code are byte-identical with or without it.
+type UnitMemo struct {
+	inner *core.UnitMemo
+}
+
+// NewUnitMemo returns an empty unit memo bounded to at most maxEntries
+// completed units and maxBytes of estimated retained size; zero means
+// unlimited for either bound. In-flight fills are pinned and do not
+// count against the bounds until they complete.
+func NewUnitMemo(maxEntries int, maxBytes int64) *UnitMemo {
+	return &UnitMemo{inner: core.NewUnitMemo(core.MemoLimits{MaxEntries: maxEntries, MaxBytes: maxBytes})}
+}
+
+// MemoStats is a point-in-time snapshot of a UnitMemo: resident
+// entries/bytes, unit-level hit and miss counts, and LRU evictions.
+type MemoStats = core.MemoStats
+
+// Stats snapshots the memo's gauges and counters.
+func (m *UnitMemo) Stats() MemoStats { return m.inner.Stats() }
+
+// WithIncremental enables incremental compilation against the shared
+// unit memo m: units whose post-prologue content hash matches a
+// completed memo entry are reused (their pass results and decision
+// records replayed) and only changed units re-run the per-unit passes.
+// Result.UnitsReused / Result.UnitsRecompiled report the split. A nil
+// m compiles normally. Does not apply to baseline compilations.
+func WithIncremental(m *UnitMemo) Option {
+	return func(c *compileConfig) { c.memo = m }
 }
 
 // TechniqueNames returns the canonical names of every selectable

@@ -122,6 +122,12 @@ type Result struct {
 	// counts (nil for baseline compilations, which bypass the Polaris
 	// pipeline).
 	Report *PipelineReport
+	// UnitsReused / UnitsRecompiled report the incremental split when
+	// the compilation ran with WithIncremental: how many program units
+	// were served from the unit memo versus re-run through the per-unit
+	// passes. Both are zero without a memo.
+	UnitsReused     int
+	UnitsRecompiled int
 
 	// processors is the WithProcessors default for Execute.
 	processors int
@@ -129,7 +135,8 @@ type Result struct {
 
 func wrapResult(res *core.Result, factor float64) *Result {
 	out := &Result{inner: res, CodegenFactor: factor,
-		InlinedCalls: res.InlinedCalls, InductionVariables: res.InductionVars}
+		InlinedCalls: res.InlinedCalls, InductionVariables: res.InductionVars,
+		UnitsReused: res.UnitsReused, UnitsRecompiled: res.UnitsRecompiled}
 	for _, lr := range res.Loops {
 		out.Loops = append(out.Loops, LoopInfo{
 			ID: lr.ID, Unit: lr.Unit, Index: lr.Index, Depth: lr.Depth,
@@ -188,6 +195,9 @@ func Compile(ctx context.Context, p *Program, opts ...Option) (*Result, error) {
 	copt.TraceLabel = cfg.traceLabel
 	copt.Observer = cfg.observer
 	copt.UnitWorkers = cfg.unitWorkers
+	if cfg.memo != nil {
+		copt.UnitMemo = cfg.memo.inner
+	}
 	res, err := core.CompileContext(ctx, p.ir, copt)
 	if err != nil {
 		return nil, err
