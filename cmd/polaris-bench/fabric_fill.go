@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+
+	"polaris/internal/core"
+	"polaris/internal/fabric"
+	"polaris/internal/server"
+	"polaris/internal/suite"
+	"polaris/internal/telemetry"
+)
+
+// fabricFill is the BENCH_polaris.json fabric_fill row: a two-node
+// compile fabric's warm peer-fill latency against the same node's
+// local cold-compile latency, quantiles read from the requesting
+// node's own histograms. PeerHitP50NS < LocalColdP50NS is the tier's
+// reason to exist — pulling a finished entry from a warm owner beats
+// recompiling it.
+type fabricFill struct {
+	PeerHitRequests   int     `json:"peer_hit_requests"`
+	LocalColdRequests int     `json:"local_cold_requests"`
+	PeerHitP50NS      float64 `json:"peer_hit_p50_ns"`
+	PeerHitP99NS      float64 `json:"peer_hit_p99_ns"`
+	LocalColdP50NS    float64 `json:"local_cold_p50_ns"`
+	LocalColdP99NS    float64 `json:"local_cold_p99_ns"`
+	// SpeedupP50 is LocalColdP50NS / PeerHitP50NS.
+	SpeedupP50 float64 `json:"speedup_p50"`
+}
+
+// benchSwap lets an httptest server's URL exist before the handler it
+// fronts (the fabric needs peer URLs at construction, and the servers
+// need the fabric).
+type benchSwap struct{ h atomic.Value }
+
+func (b *benchSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// measureFabricFill stands up a two-node fabric (both nodes on real
+// listeners — fills travel over HTTP), routes comment-distinct suite
+// variants through node B, and splits B's latency histogram by how
+// each compile was satisfied: keys B owns are local cold compiles;
+// keys A owns are peer fills from an A warmed in advance.
+func measureFabricFill(progs []suite.Program) (fabricFill, error) {
+	swapA, swapB := &benchSwap{}, &benchSwap{}
+	tsA, tsB := httptest.NewServer(swapA), httptest.NewServer(swapB)
+	defer tsA.Close()
+	defer tsB.Close()
+
+	peers := map[string]string{"a": tsA.URL, "b": tsB.URL}
+	newNode := func(self string) (*server.Server, error) {
+		fab, err := fabric.New(fabric.Config{Self: self, Peers: peers})
+		if err != nil {
+			return nil, err
+		}
+		return server.New(server.Config{Workers: 4, Fabric: fab}), nil
+	}
+	srvA, err := newNode("a")
+	if err != nil {
+		return fabricFill{}, err
+	}
+	srvB, err := newNode("b")
+	if err != nil {
+		return fabricFill{}, err
+	}
+	swapA.h.Store(srvA.Handler())
+	swapB.h.Store(srvB.Handler())
+
+	ring, err := fabric.New(fabric.Config{Self: "a", Peers: peers})
+	if err != nil {
+		return fabricFill{}, err
+	}
+
+	post := func(h http.Handler, src string) error {
+		body, err := json.Marshal(map[string]string{"source": src})
+		if err != nil {
+			return err
+		}
+		req := httptest.NewRequest("POST", "/v1/compile", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			return fmt.Errorf("fabric fill probe: status %d: %s", w.Code, w.Body.String())
+		}
+		return nil
+	}
+
+	// Partition comment-distinct variants by ring owner. Ownership is a
+	// property of the key, so both nodes agree; the split lands near
+	// half and half by ring balance.
+	const rounds = 4
+	var ownedByA, ownedByB []string
+	for r := 0; r < rounds; r++ {
+		for _, p := range progs {
+			src := fmt.Sprintf("C fabric-fill variant %d\n%s", r, p.Source)
+			if owner, _, _ := ring.Owner(suite.RouteKey(src, core.PolarisOptions())); owner == "a" {
+				ownedByA = append(ownedByA, src)
+			} else {
+				ownedByB = append(ownedByB, src)
+			}
+		}
+	}
+
+	// Warm the owner, then fill from it: every A-owned compile on B is
+	// a peer_hit. B-owned sources compile locally cold on B.
+	for _, src := range ownedByA {
+		if err := post(srvA.Handler(), src); err != nil {
+			return fabricFill{}, err
+		}
+	}
+	for _, src := range ownedByA {
+		if err := post(srvB.Handler(), src); err != nil {
+			return fabricFill{}, err
+		}
+	}
+	for _, src := range ownedByB {
+		if err := post(srvB.Handler(), src); err != nil {
+			return fabricFill{}, err
+		}
+	}
+
+	var out fabricFill
+	for _, ss := range srvB.Telemetry().Snapshot() {
+		if ss.Route != "compile" {
+			continue
+		}
+		switch ss.Outcome {
+		case telemetry.OutcomePeerHit:
+			out.PeerHitRequests = int(ss.Count)
+			out.PeerHitP50NS = ss.Quantile(0.50)
+			out.PeerHitP99NS = ss.Quantile(0.99)
+		case telemetry.OutcomeCold:
+			out.LocalColdRequests = int(ss.Count)
+			out.LocalColdP50NS = ss.Quantile(0.50)
+			out.LocalColdP99NS = ss.Quantile(0.99)
+		}
+	}
+	if out.PeerHitRequests != len(ownedByA) || out.LocalColdRequests != len(ownedByB) {
+		return out, fmt.Errorf("fabric fill probe: %d peer_hit / %d cold recorded, want %d / %d",
+			out.PeerHitRequests, out.LocalColdRequests, len(ownedByA), len(ownedByB))
+	}
+	if out.PeerHitRequests == 0 || out.LocalColdRequests == 0 {
+		return out, fmt.Errorf("fabric fill probe: degenerate ring split (%d/%d)",
+			out.PeerHitRequests, out.LocalColdRequests)
+	}
+	if out.PeerHitP50NS > 0 {
+		out.SpeedupP50 = out.LocalColdP50NS / out.PeerHitP50NS
+	}
+	return out, nil
+}

@@ -54,6 +54,9 @@ type perfReport struct {
 	// ServeLatency is the compile service's cold / warm-hit latency
 	// profile, quantiles read from the service's own histograms.
 	ServeLatency serveLatency `json:"serve_latency"`
+	// FabricFill is the two-node peer tier's warm fill latency against
+	// a local cold compile on the same node.
+	FabricFill fabricFill `json:"fabric_fill"`
 }
 
 // perfEntry is one benchmark measurement.
@@ -201,6 +204,12 @@ func writePerfJSON(ctx context.Context, path string) error {
 		return err
 	}
 	rep.ServeLatency = sl
+
+	ff, err := measureFabricFill(progs)
+	if err != nil {
+		return err
+	}
+	rep.FabricFill = ff
 
 	pairs := symbolic.BenchComparePairs()
 	rep.Compare = toEntry(testing.Benchmark(func(b *testing.B) {

@@ -8,6 +8,8 @@
 //	              [-cache-entries N] [-cache-bytes N]
 //	              [-drain-timeout 30s] [-access-log]
 //	              [-debug-addr localhost:6060]
+//	              [-self a -peers a=http://h1:8080,b=http://h2:8080]
+//	              [-fill-timeout 2s]
 //
 // Endpoints:
 //
@@ -34,6 +36,13 @@
 // derived from the observed drain rate) and a per-request deadline
 // that propagates through the pass manager. On SIGTERM or SIGINT the
 // listener stops, in-flight compiles drain, and the process exits 0.
+//
+// With -self and -peers the node joins a compile fabric: cache keys
+// are consistent-hash routed across the named ring, a local miss asks
+// the key's owner for the finished entry (POST /fabric/v1/fill) under
+// the -fill-timeout deadline, and owner death degrades to a local
+// compile. POST /fabric/v1/owner answers which node owns a source's
+// key.
 package main
 
 import (
@@ -48,11 +57,35 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"polaris/internal/fabric"
 	"polaris/internal/server"
 )
+
+// parsePeers turns "a=http://h1:8080,b=http://h2:8080" into a peer
+// map. A name without "=" (or with an empty URL) is allowed — fabric
+// validates that only self may omit its URL.
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, _ := strings.Cut(part, "=")
+		if name == "" {
+			return nil, fmt.Errorf("entry %q has no node name", part)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("node %q listed twice", name)
+		}
+		peers[name] = url
+	}
+	return peers, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -66,6 +99,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 	accessLog := flag.Bool("access-log", false, "write one structured JSON access-log line per request to stdout")
 	debugAddr := flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
+	self := flag.String("self", "", "this node's fabric ring name; empty disables the peer tier")
+	peers := flag.String("peers", "", "fabric ring members as name=url,name=url (self's URL may be omitted)")
+	fillTimeout := flag.Duration("fill-timeout", fabric.DefaultFillTimeout, "per-attempt peer cache-fill deadline")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -76,6 +112,22 @@ func main() {
 		MaxSourceBytes: *maxSource,
 		CacheEntries:   *cacheEntries,
 		CacheBytes:     *cacheBytes,
+	}
+	if *self != "" || *peers != "" {
+		peerMap, err := parsePeers(*peers)
+		if err != nil {
+			log.Fatalf("polaris-serve: -peers: %v", err)
+		}
+		fab, err := fabric.New(fabric.Config{
+			Self:        *self,
+			Peers:       peerMap,
+			FillTimeout: *fillTimeout,
+		})
+		if err != nil {
+			log.Fatalf("polaris-serve: %v", err)
+		}
+		cfg.Fabric = fab
+		log.Printf("polaris-serve: fabric node %q, ring %v", fab.Self(), fab.Nodes())
 	}
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stdout, nil))

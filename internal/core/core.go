@@ -886,6 +886,13 @@ func analyzeLoop(unit *ir.ProgramUnit, ranges *rng.Analyzer, tester *deps.Tester
 	return rep
 }
 
+// AssignLoopIDs stamps a unit's loops exactly as the dependence pass
+// does. Exported for the fabric wire codec: a peer reconstructing a
+// compiled program from its canonical rendering re-stamps the parsed
+// loops and must land on the very IDs the owner's verdicts and
+// decision records carry.
+func AssignLoopIDs(u *ir.ProgramUnit) { assignLoopIDs(u) }
+
 // assignLoopIDs stamps every loop in the unit with its stable identity
 // ("MAIN/L30"): pre-order position numbered like Fortran statement
 // labels. IDs are assigned here — after inlining and normalization, on

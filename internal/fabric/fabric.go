@@ -1,0 +1,201 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FillPath is the peer cache-fill endpoint every fabric node serves.
+const FillPath = "/fabric/v1/fill"
+
+// OwnerPath is the routing-introspection endpoint: POST a source (and
+// optional technique list) and the node answers which peer owns its
+// key. Operational tooling and the two-node CI smoke use it to aim
+// requests at (or away from) an owner deterministically.
+const OwnerPath = "/fabric/v1/owner"
+
+// FillHeader marks fabric-internal requests. An owner never peer-fills
+// while answering a fill — the header breaks any possibility of a
+// routing loop when two nodes' rings disagree during a config rollout.
+const FillHeader = "X-Polaris-Fabric"
+
+// DefaultFillTimeout bounds one peer fill attempt. It is deliberately
+// strict — a fill that is not clearly faster than a local compile is
+// not worth waiting for, and a hung owner must never stall a request
+// beyond this.
+const DefaultFillTimeout = 2 * time.Second
+
+// FillRequest asks a key's owner for the compiled entry. The source
+// rides along so an owner that misses can compile (once, under its own
+// singleflight) and stay warm — after that, every node's miss for this
+// key fills from the owner instead of recompiling.
+type FillRequest struct {
+	Source     string   `json:"source"`
+	Techniques []string `json:"techniques,omitempty"`
+	// TimeoutMS caps the owner-side compile (clamped by the owner).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// FillResponse is the owner's answer: the serialized entry plus how
+// the owner satisfied it (cold = the distributed tier missed and the
+// owner compiled; cache_hit / coalesced = the tier was warm).
+type FillResponse struct {
+	Outcome  string          `json:"outcome"`
+	LeaderID string          `json:"leader_id,omitempty"`
+	Checksum string          `json:"checksum"`
+	Entry    json.RawMessage `json:"entry"`
+}
+
+// OwnerRequest is the OwnerPath body.
+type OwnerRequest struct {
+	Source     string   `json:"source"`
+	Techniques []string `json:"techniques,omitempty"`
+}
+
+// OwnerResponse names the owner of a key.
+type OwnerResponse struct {
+	Key   string `json:"key"`
+	Owner string `json:"owner"`
+	Self  bool   `json:"self"`
+}
+
+// Fabric is one node's view of the peer tier: who it is, where its
+// peers listen, and the ring that assigns every cache key an owner.
+type Fabric struct {
+	self  string
+	peers map[string]string // node name → base URL (self may be absent)
+	ring  *Ring
+	http  *http.Client
+	// fillTimeout bounds one fill attempt end to end.
+	fillTimeout time.Duration
+}
+
+// Config describes one node's fabric membership.
+type Config struct {
+	// Self is this node's name on the ring.
+	Self string
+	// Peers maps node names to base URLs ("http://host:port"). Self
+	// may appear (its URL is ignored); all names join the ring.
+	Peers map[string]string
+	// FillTimeout bounds one peer fill attempt (default
+	// DefaultFillTimeout).
+	FillTimeout time.Duration
+	// Transport overrides the HTTP transport (tests).
+	Transport http.RoundTripper
+}
+
+// New builds a node's fabric. Self always joins the ring, so every
+// node agrees on ownership whether or not the config lists itself as
+// a peer.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("fabric: Self must be set")
+	}
+	nodes := map[string]bool{cfg.Self: true}
+	peers := make(map[string]string, len(cfg.Peers))
+	for name, url := range cfg.Peers {
+		if name == "" || (name != cfg.Self && url == "") {
+			return nil, fmt.Errorf("fabric: peer %q needs both a name and a URL", name)
+		}
+		nodes[name] = true
+		peers[name] = strings.TrimRight(url, "/")
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ft := cfg.FillTimeout
+	if ft <= 0 {
+		ft = DefaultFillTimeout
+	}
+	return &Fabric{
+		self:        cfg.Self,
+		peers:       peers,
+		ring:        NewRing(names),
+		fillTimeout: ft,
+		http: &http.Client{
+			Transport: cfg.Transport,
+			// The per-attempt context deadline governs; this is the
+			// last-resort backstop against a leaked request.
+			Timeout: ft + time.Second,
+		},
+	}, nil
+}
+
+// Self returns this node's ring name.
+func (f *Fabric) Self() string { return f.self }
+
+// Nodes returns every ring member, sorted.
+func (f *Fabric) Nodes() []string { return f.ring.Nodes() }
+
+// FillTimeout returns the per-attempt fill deadline.
+func (f *Fabric) FillTimeout() time.Duration { return f.fillTimeout }
+
+// Owner resolves a route key to its owning node. isSelf reports that
+// this node owns the key (compile locally, authoritative); otherwise
+// url is where to ask, or "" when the owner has no known address (a
+// misconfigured peer list — treat as self-owned).
+func (f *Fabric) Owner(key string) (node, url string, isSelf bool) {
+	node = f.ring.Owner(key)
+	if node == "" || node == f.self {
+		return node, "", true
+	}
+	url, ok := f.peers[node]
+	if !ok || url == "" {
+		return node, "", true
+	}
+	return node, url, false
+}
+
+// Fill asks the owner at baseURL for a key's compiled entry, under the
+// fabric's strict fill deadline (child of ctx, so a dying request
+// never waits on a dying peer). Any transport failure, non-200 status,
+// or undecodable body is an error; the caller compiles locally.
+func (f *Fabric) Fill(ctx context.Context, baseURL string, freq FillRequest) (*FillResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.fillTimeout)
+	defer cancel()
+	body, err := json.Marshal(freq)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+FillPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(FillHeader, "1")
+	resp, err := f.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// The entry for a large program is itself large; bound reads so a
+	// misbehaving peer cannot balloon this node's memory.
+	const maxFillBody = 64 << 20
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxFillBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("fabric: fill read: %w", err)
+	}
+	if len(data) > maxFillBody {
+		return nil, fmt.Errorf("fabric: fill body exceeds %d bytes", maxFillBody)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fabric: owner answered %d: %.200s", resp.StatusCode, data)
+	}
+	var fr FillResponse
+	if err := json.Unmarshal(data, &fr); err != nil {
+		return nil, fmt.Errorf("fabric: fill decode: %w", err)
+	}
+	if len(fr.Entry) == 0 {
+		return nil, fmt.Errorf("fabric: owner returned an empty entry")
+	}
+	return &fr, nil
+}

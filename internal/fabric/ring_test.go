@@ -1,0 +1,82 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingDeterministic: rings built from permuted node lists place
+// every key identically — ownership is a pure function of the node
+// set, which is what lets every fleet member route without consensus.
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	r1 := NewRing(nodes)
+	perm := []string{"d", "a", "e", "c", "b"}
+	r2 := NewRing(perm)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if o1, o2 := r1.Owner(key), r2.Owner(key); o1 != o2 {
+			t.Fatalf("key %q: permuted ring disagrees: %q vs %q", key, o1, o2)
+		}
+	}
+}
+
+// TestRingBalance: with vnodes, no node of a 4-node ring owns a
+// grossly disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3", "n4"})
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for node, n := range counts {
+		share := float64(n) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys (counts %v)", node, 100*share, counts)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 nodes own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingMinimalMovement: removing one node of five moves only the
+// keys it owned; every other key keeps its owner (the property that
+// makes losing a fleet member cheap).
+func TestRingMinimalMovement(t *testing.T) {
+	full := NewRing([]string{"a", "b", "c", "d", "e"})
+	less := NewRing([]string{"a", "b", "d", "e"}) // c removed
+	moved, total := 0, 5000
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < total; i++ {
+		key := fmt.Sprintf("key-%d-%d", i, rng.Int63())
+		was, is := full.Owner(key), less.Owner(key)
+		if was == "c" {
+			if is == "c" {
+				t.Fatalf("removed node still owns %q", key)
+			}
+			continue
+		}
+		if was != is {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d/%d keys not owned by the removed node changed owner", moved, total)
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate shapes.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil).Owner("x"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	one := NewRing([]string{"solo"})
+	for i := 0; i < 100; i++ {
+		if got := one.Owner(fmt.Sprintf("k%d", i)); got != "solo" {
+			t.Fatalf("single-node ring owner = %q", got)
+		}
+	}
+}

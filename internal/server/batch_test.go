@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCompileBatch(t *testing.T) {
+	s := New(Config{Workers: 4})
+	want := referenceCompile(t, saxpySrc)
+
+	w := postJSON(t, s.Handler(), "/v1/compile", []CompileRequest{
+		{Source: saxpySrc, Label: "good"},
+		{Label: "no-source"},
+		{Source: "      PROGRAM BAD\n      DO I = , N\n      END", Label: "syntax"},
+		{Source: saxpySrc, Label: "baseline", Baseline: true},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch with bad items must answer 200, got %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeBody[BatchResponse](t, w)
+	if resp.RequestID == "" {
+		t.Error("batch response missing request_id")
+	}
+	if len(resp.Items) != 4 {
+		t.Fatalf("items = %d, want 4", len(resp.Items))
+	}
+	if resp.Succeeded != 2 || resp.Failed != 2 {
+		// Items 0 and 3 succeed; 1 and 2 carry per-item errors.
+		t.Errorf("succeeded/failed = %d/%d, want 2/2... items: %+v", resp.Succeeded, resp.Failed, resp.Items)
+	}
+
+	good := resp.Items[0]
+	if good.Status != http.StatusOK || good.Result == nil {
+		t.Fatalf("good item: status %d, result %v", good.Status, good.Result)
+	}
+	if !reflect.DeepEqual(good.Result.Verdicts, want.Verdicts) {
+		t.Error("batch item verdicts differ from the single-request compile")
+	}
+	if good.Result.RequestID == "" || good.Result.RequestID == resp.RequestID {
+		t.Errorf("item request_id %q must be set and distinct from the batch's %q",
+			good.Result.RequestID, resp.RequestID)
+	}
+
+	if miss := resp.Items[1]; miss.Status != http.StatusBadRequest || !strings.Contains(miss.Error, "missing source") {
+		t.Errorf("missing-source item: %+v", miss)
+	}
+	if bad := resp.Items[2]; bad.Status != http.StatusBadRequest || !strings.Contains(bad.Error, "parse") {
+		t.Errorf("syntax item: %+v", bad)
+	}
+	if bl := resp.Items[3]; bl.Status != http.StatusOK || bl.Result == nil || bl.Result.CodegenFactor == 0 {
+		t.Errorf("baseline item: %+v", bl)
+	}
+}
+
+func TestCompileBatchLimits(t *testing.T) {
+	s := New(Config{Workers: 2, MaxBatchItems: 2})
+
+	if w := postJSON(t, s.Handler(), "/v1/compile", []CompileRequest{}); w.Code != http.StatusBadRequest {
+		t.Errorf("empty batch: %d, want 400", w.Code)
+	}
+	over := []CompileRequest{{Source: "X"}, {Source: "Y"}, {Source: "Z"}}
+	if w := postJSON(t, s.Handler(), "/v1/compile", over); w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("over-cap batch: %d, want 413", w.Code)
+	}
+
+	// A body that is not valid JSON at all is still a whole-request 400.
+	req := httptest.NewRequest("POST", "/v1/compile", bytes.NewReader([]byte("   [ not json")))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("undecodable batch body: %d, want 400", rec.Code)
+	}
+}
+
+// TestCompileBatchSingleStillWorks pins the body-peek dispatch: an
+// object body (even with leading whitespace) takes the single-request
+// path unchanged.
+func TestCompileBatchSingleStillWorks(t *testing.T) {
+	s := New(Config{Workers: 2})
+	body := []byte("\n\t {\"source\":" + jsonString(saxpySrc) + "}")
+	req := httptest.NewRequest("POST", "/v1/compile", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("single compile with leading whitespace: %d %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeBody[CompileResponse](t, rec)
+	if resp.Outcome != "cold" || len(resp.Verdicts) == 0 {
+		t.Errorf("single path mangled: %+v", resp)
+	}
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

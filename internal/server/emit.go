@@ -72,9 +72,12 @@ func (s *Server) handleEmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), "")
 		return
 	}
-	release, shed := s.admit(r.Context())
+	if s.rejectDraining(w) {
+		return
+	}
+	release, shed := s.admit(r.Context(), "emit", s.tenantFor(r))
 	if shed {
-		s.shedResponse(w)
+		s.shedResponse(w, "emit")
 		return
 	}
 	if release == nil {
@@ -95,6 +98,9 @@ func (s *Server) handleEmit(w http.ResponseWriter, r *http.Request) {
 
 	var res *core.Result
 	var out suite.CacheOutcome
+	outcome := ""
+	leaderID := ""
+	cached := false
 	if req.Baseline {
 		bres, bout, err := s.cache.CompileBaselineOutcome(ctx, prog, baselineSource(req.Source))
 		if err != nil {
@@ -103,22 +109,33 @@ func (s *Server) handleEmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res, out = bres.Result, bout
+		outcome, leaderID = out.Kind, leaderFor(out, reqID)
+		cached = out.Kind != telemetry.OutcomeCold
 	} else {
 		opt.Observer = obsv.NewObserver()
 		opt.TraceLabel = s.reqLabel(label)
-		cres, cout, err := s.cache.CompileOutcome(ctx, prog, opt, compileSource(req.Source))
+		compileFn, pf := s.compileFnFor(req.Source, opt)
+		cres, cout, err := s.cache.CompileOutcome(ctx, prog, opt, compileFn)
 		if err != nil {
 			s.obs.Count("server_compile_errors", 1)
 			writeCompileError(w, err)
 			return
 		}
 		res, out = cres, cout
-		if out.Kind != telemetry.OutcomeCold {
+		cached = out.Kind != telemetry.OutcomeCold
+		if cached {
 			s.obs.Count("server_cache_hits", 1)
 		}
+		outcome, leaderID = out.Kind, leaderFor(out, reqID)
+		if out.Kind == telemetry.OutcomeCold && pf != nil && pf.outcome != "" {
+			outcome = pf.outcome
+			cached = true
+			if pf.leaderID != "" && pf.leaderID != reqID {
+				leaderID = pf.leaderID
+			}
+		}
 	}
-	cached := out.Kind != telemetry.OutcomeCold
-	setOutcome(ctx, out.Kind, leaderFor(out, reqID), cached)
+	setOutcome(ctx, outcome, leaderID, cached)
 
 	var src string
 	if target == "go" {
@@ -140,8 +157,8 @@ func (s *Server) handleEmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, EmitResponse{
 		Label:     label,
 		RequestID: reqID,
-		Outcome:   out.Kind,
-		LeaderID:  leaderFor(out, reqID),
+		Outcome:   outcome,
+		LeaderID:  leaderID,
 		Target:    target,
 		Cached:    cached,
 		Source:    src,

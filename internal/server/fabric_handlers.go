@@ -1,0 +1,228 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"polaris/internal/core"
+	"polaris/internal/fabric"
+	"polaris/internal/obsv"
+	"polaris/internal/suite"
+	"polaris/internal/telemetry"
+)
+
+// peerFill records what the peer tier did for one compile, read back
+// by the handler after the cache settles. Only the singleflight leader
+// writes it, and only before CompileOutcome returns, so no lock is
+// needed.
+type peerFill struct {
+	node     string // owning node's ring name
+	outcome  string // OutcomePeerHit / OutcomePeerMiss when a fill landed
+	leaderID string // the owner-side request that holds the entry
+}
+
+// compileFnFor builds the cache-leader compile function for one posted
+// source. On a single node (or when this node owns the key) that is a
+// plain local compile; when a peer owns it, the leader first asks the
+// owner for the finished entry and compiles locally only if the fill
+// fails — the returned *peerFill reports which happened. The fill runs
+// inside the requester's own singleflight slot, so concurrent local
+// requests for the key coalesce onto one fill attempt, and its strict
+// deadline is a child of the leader's context: a dead or hung owner
+// surfaces as a fill error and a local compile, never as the leader's
+// context error (which would poison coalesced waiters — the
+// distributed edition of the canceled-leader bug).
+func (s *Server) compileFnFor(src string, opt core.Options) (func(context.Context, core.Options) (*core.Result, error), *peerFill) {
+	local := compileSource(src)
+	if s.fabric == nil {
+		return local, nil
+	}
+	key := suite.RouteKey(src, opt)
+	node, ownerURL, isSelf := s.fabric.Owner(key)
+	if isSelf {
+		return local, nil
+	}
+	pf := &peerFill{node: node}
+	freq := fabric.FillRequest{
+		Source:     src,
+		Techniques: core.NamesOf(opt),
+		TimeoutMS:  s.fabric.FillTimeout().Milliseconds(),
+	}
+	fn := func(ctx context.Context, copt core.Options) (*core.Result, error) {
+		fr, err := s.fabric.Fill(ctx, ownerURL, freq)
+		if err == nil {
+			res, decisions, derr := fabric.DecodeEntry(fr.Entry, fr.Checksum, key)
+			if derr == nil {
+				if fr.Outcome == telemetry.OutcomeCold {
+					// The owner compiled it just now: the tier missed, but
+					// this node still skipped the work and the owner is warm
+					// for everyone else.
+					pf.outcome = telemetry.OutcomePeerMiss
+					s.obs.Count("server_peer_misses", 1)
+				} else {
+					pf.outcome = telemetry.OutcomePeerHit
+					s.obs.Count("server_peer_hits", 1)
+				}
+				pf.leaderID = fr.LeaderID
+				return suite.Fill(res, decisions)(ctx, copt)
+			}
+			err = derr
+		}
+		// Degrade to a local compile with whatever deadline budget
+		// remains; the client sees an ordinary cold compile.
+		s.obs.Count("server_peer_errors", 1)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return local(ctx, copt)
+	}
+	return fn, pf
+}
+
+// fillFault returns the scripted owner-side fault for a protocol stage
+// (FaultNone without a hook — production).
+func (s *Server) fillFault(st fabric.Stage) fabric.Fault {
+	if s.fault == nil {
+		return fabric.FaultNone
+	}
+	return s.fault(st)
+}
+
+// injectFault applies a hang/die/500 fault at a stage boundary.
+// Returns true when the response is finished (or the connection is
+// gone). FaultHang parks until the requester gives up — its fill
+// deadline, not this server's mercy, bounds the wait.
+func injectFault(w http.ResponseWriter, r *http.Request, f fabric.Fault) bool {
+	switch f {
+	case fabric.FaultHang:
+		<-r.Context().Done()
+		return true
+	case fabric.FaultDie:
+		panic(http.ErrAbortHandler)
+	case fabric.Fault500:
+		writeError(w, http.StatusInternalServerError, "injected fault", "")
+		return true
+	}
+	return false
+}
+
+// handleFabricFill is the owner side of peer cache-fill: compile the
+// posted source locally (through the same cache, admission, and
+// deadline machinery as a client compile — a missing entry is compiled
+// once and stays warm) and ship the entry with its checksum. This
+// handler never peer-fills in turn, so ring disagreement during a
+// rollout cannot form a routing loop.
+func (s *Server) handleFabricFill(w http.ResponseWriter, r *http.Request) {
+	s.obs.Count("server_fill_requests", 1)
+	if s.rejectDraining(w) {
+		return
+	}
+	var freq fabric.FillRequest
+	if !s.decode(w, r, &freq) {
+		return
+	}
+	if freq.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing source", "")
+		return
+	}
+	opt, err := compileOptions(freq.Techniques)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	if injectFault(w, r, s.fillFault(fabric.StageAccept)) {
+		return
+	}
+	release, shed := s.admit(r.Context(), "fabric_fill", "")
+	if shed {
+		s.shedResponse(w, "fabric_fill")
+		return
+	}
+	if release == nil {
+		writeError(w, 499, "request canceled while queued", "")
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(freq.TimeoutMS))
+	defer cancel()
+
+	key := suite.RouteKey(freq.Source, opt)
+	reqObs := obsv.NewObserver()
+	opt.Observer = reqObs
+	opt.TraceLabel = s.reqLabel("fill")
+	prog := suite.Program{Name: "fill", Source: freq.Source}
+	res, out, err := s.cache.CompileOutcome(ctx, prog, opt, compileSource(freq.Source))
+	if err != nil {
+		s.obs.Count("server_compile_errors", 1)
+		writeCompileError(w, err)
+		return
+	}
+	entry, sum, err := fabric.EncodeEntry(key, res, reqObs.Decisions())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode entry: "+err.Error(), "")
+		return
+	}
+	switch f := s.fillFault(fabric.StageEntry); f {
+	case fabric.FaultCorrupt:
+		// Flip a byte after the checksum was taken: the requester's
+		// end-to-end verification must catch it.
+		entry[len(entry)/3] ^= 0x01
+	case fabric.FaultStale:
+		// Serve a checksum-consistent entry for the wrong key (a lying
+		// owner): the requester's key check must catch it.
+		entry, sum, _ = fabric.EncodeEntry(key+"-stale", res, nil)
+	default:
+		if injectFault(w, r, f) {
+			return
+		}
+	}
+	reqID := telemetry.RequestID(ctx)
+	setOutcome(ctx, out.Kind, leaderFor(out, reqID), out.Kind != telemetry.OutcomeCold)
+	resp := fabric.FillResponse{
+		Outcome:  out.Kind,
+		LeaderID: out.LeaderID,
+		Checksum: sum,
+		Entry:    entry,
+	}
+	if f := s.fillFault(fabric.StageBody); f != fabric.FaultNone {
+		// Death mid-body: commit the headers, stream half the payload,
+		// then hang or abort — the requester is left holding a
+		// truncated JSON stream.
+		buf, _ := json.Marshal(resp)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf[:len(buf)/2])
+		_ = http.NewResponseController(w).Flush()
+		if f == fabric.FaultHang {
+			<-r.Context().Done()
+			return
+		}
+		panic(http.ErrAbortHandler)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFabricOwner answers which ring member owns a source's compile
+// key — routing introspection for operators and for deterministic
+// multi-node smoke tests (aim the cold compile at the owner, assert
+// the peer_hit on everyone else).
+func (s *Server) handleFabricOwner(w http.ResponseWriter, r *http.Request) {
+	var oreq fabric.OwnerRequest
+	if !s.decode(w, r, &oreq) {
+		return
+	}
+	if oreq.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing source", "")
+		return
+	}
+	opt, err := compileOptions(oreq.Techniques)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	key := suite.RouteKey(oreq.Source, opt)
+	node, _, isSelf := s.fabric.Owner(key)
+	writeJSON(w, http.StatusOK, fabric.OwnerResponse{Key: key, Owner: node, Self: isSelf})
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"polaris/internal/core"
+	"polaris/internal/fabric"
+	"polaris/internal/suite"
+)
+
+// handlerSwap lets an httptest server start (fixing its URL) before
+// the polaris server that needs that URL exists.
+type handlerSwap struct{ h atomic.Value }
+
+func (hs *handlerSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	hs.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// fabricPair is a two-node fabric: servers "a" and "b" listening on
+// real sockets, each knowing the other as a peer.
+type fabricPair struct {
+	a, b   *Server
+	fab    *fabric.Fabric // node a's view (ring is identical on both)
+	urlA   string
+	urlB   string
+	closeA func()
+	closeB func()
+}
+
+func newFabricPair(t *testing.T, fillTimeout time.Duration, faultA fabric.FaultFunc) *fabricPair {
+	t.Helper()
+	swapA, swapB := &handlerSwap{}, &handlerSwap{}
+	tsA := httptest.NewServer(swapA)
+	tsB := httptest.NewServer(swapB)
+	peers := map[string]string{"a": tsA.URL, "b": tsB.URL}
+	fabA, err := fabric.New(fabric.Config{Self: "a", Peers: peers, FillTimeout: fillTimeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabB, err := fabric.New(fabric.Config{Self: "b", Peers: peers, FillTimeout: fillTimeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := New(Config{Workers: 4, Fabric: fabA, FabricFault: faultA})
+	sb := New(Config{Workers: 4, Fabric: fabB})
+	swapA.h.Store(sa.Handler())
+	swapB.h.Store(sb.Handler())
+	p := &fabricPair{a: sa, b: sb, fab: fabA, urlA: tsA.URL, urlB: tsB.URL,
+		closeA: tsA.Close, closeB: tsB.Close}
+	t.Cleanup(func() { p.closeA(); p.closeB() })
+	return p
+}
+
+// sourceOwnedBy perturbs a base program with comment lines until its
+// route key lands on the wanted ring node.
+func sourceOwnedBy(t *testing.T, f *fabric.Fabric, owner, base string) string {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		src := fmt.Sprintf("C fabric probe %d\n%s", i, base)
+		node, _, _ := f.Owner(suite.RouteKey(src, core.PolarisOptions()))
+		if node == owner {
+			return src
+		}
+	}
+	t.Fatalf("no probe source hashed onto node %q", owner)
+	return ""
+}
+
+// referenceCompile returns the single-node answer for src: the bytes a
+// fabric node must reproduce exactly.
+func referenceCompile(t *testing.T, src string) CompileResponse {
+	t.Helper()
+	solo := New(Config{Workers: 2})
+	w := postJSON(t, solo.Handler(), "/v1/compile", CompileRequest{Source: src})
+	if w.Code != http.StatusOK {
+		t.Fatalf("reference compile: %d %s", w.Code, w.Body.String())
+	}
+	return decodeBody[CompileResponse](t, w)
+}
+
+// assertSameAnswer proves the fabric-served response carries
+// byte-identical verdicts and decision provenance versus the
+// single-node compile (outcome/IDs/cache fields legitimately differ).
+func assertSameAnswer(t *testing.T, want CompileResponse, got CompileResponse) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Verdicts, got.Verdicts) {
+		t.Errorf("verdicts differ from single-node compile:\n want %+v\n have %+v", want.Verdicts, got.Verdicts)
+	}
+	if !reflect.DeepEqual(want.Decisions, got.Decisions) {
+		t.Errorf("decision provenance differs from single-node compile (%d vs %d records)",
+			len(want.Decisions), len(got.Decisions))
+	}
+	if want.ParallelLoops != got.ParallelLoops {
+		t.Errorf("parallel_loops: want %d, got %d", want.ParallelLoops, got.ParallelLoops)
+	}
+}
+
+func TestFabricPeerFill(t *testing.T) {
+	p := newFabricPair(t, 2*time.Second, nil)
+	src := sourceOwnedBy(t, p.fab, "a", saxpySrc)
+	want := referenceCompile(t, src)
+
+	// Cold everywhere: B misses, asks owner A, A compiles (tier miss) —
+	// B reports peer_miss and still never ran the compile itself.
+	w := postJSON(t, p.b.Handler(), "/v1/compile", CompileRequest{Source: src})
+	if w.Code != http.StatusOK {
+		t.Fatalf("compile on b: %d %s", w.Code, w.Body.String())
+	}
+	resp := decodeBody[CompileResponse](t, w)
+	if resp.Outcome != "peer_miss" {
+		t.Errorf("first fabric compile outcome = %q, want peer_miss", resp.Outcome)
+	}
+	if !resp.Cached {
+		t.Error("peer-filled response not marked cached")
+	}
+	assertSameAnswer(t, want, resp)
+
+	// B's local cache is now warm: the repeat is an ordinary cache_hit.
+	w = postJSON(t, p.b.Handler(), "/v1/compile", CompileRequest{Source: src})
+	resp = decodeBody[CompileResponse](t, w)
+	if resp.Outcome != "cache_hit" {
+		t.Errorf("repeat outcome = %q, want cache_hit", resp.Outcome)
+	}
+	assertSameAnswer(t, want, resp)
+
+	// Warm owner: compile src2 on A first, then B's miss is a peer_hit.
+	src2 := sourceOwnedBy(t, p.fab, "a", tamperLine(saxpySrc))
+	want2 := referenceCompile(t, src2)
+	w = postJSON(t, p.a.Handler(), "/v1/compile", CompileRequest{Source: src2})
+	if out := decodeBody[CompileResponse](t, w).Outcome; out != "cold" {
+		t.Fatalf("owner warm-up outcome = %q, want cold", out)
+	}
+	w = postJSON(t, p.b.Handler(), "/v1/compile", CompileRequest{Source: src2})
+	resp = decodeBody[CompileResponse](t, w)
+	if resp.Outcome != "peer_hit" {
+		t.Errorf("warm-owner outcome = %q, want peer_hit", resp.Outcome)
+	}
+	assertSameAnswer(t, want2, resp)
+
+	// Counters: A served fills, B recorded one miss and one hit.
+	if n := p.a.Observer().Counter("server_fill_requests"); n < 2 {
+		t.Errorf("owner served %d fills, want >= 2", n)
+	}
+	if n := p.b.Observer().Counter("server_peer_misses"); n != 1 {
+		t.Errorf("server_peer_misses = %d, want 1", n)
+	}
+	if n := p.b.Observer().Counter("server_peer_hits"); n != 1 {
+		t.Errorf("server_peer_hits = %d, want 1", n)
+	}
+
+	// /v1/emit rides the same tier: a third source warm on A emits from
+	// B via peer fill, and the generated Go must match the single-node
+	// emission byte for byte.
+	src3 := sourceOwnedBy(t, p.fab, "a", tamperLine(tamperLine(saxpySrc)))
+	postJSON(t, p.a.Handler(), "/v1/compile", CompileRequest{Source: src3})
+	solo := New(Config{Workers: 2})
+	wantEmit := decodeBody[EmitResponse](t, postJSON(t, solo.Handler(), "/v1/emit", EmitRequest{Source: src3}))
+	w = postJSON(t, p.b.Handler(), "/v1/emit", EmitRequest{Source: src3})
+	if w.Code != http.StatusOK {
+		t.Fatalf("emit on b: %d %s", w.Code, w.Body.String())
+	}
+	gotEmit := decodeBody[EmitResponse](t, w)
+	if gotEmit.Outcome != "peer_hit" {
+		t.Errorf("emit outcome = %q, want peer_hit", gotEmit.Outcome)
+	}
+	if gotEmit.Source != wantEmit.Source {
+		t.Error("emitted Go differs between single-node and peer-filled compile")
+	}
+}
+
+// tamperLine prepends a marker comment so successive probes hash to
+// different keys.
+func tamperLine(src string) string { return "C variant\n" + src }
+
+func TestFabricOwnerEndpoint(t *testing.T) {
+	p := newFabricPair(t, time.Second, nil)
+	src := sourceOwnedBy(t, p.fab, "a", saxpySrc)
+
+	wa := postJSON(t, p.a.Handler(), fabric.OwnerPath, fabric.OwnerRequest{Source: src})
+	oa := decodeBody[fabric.OwnerResponse](t, wa)
+	wb := postJSON(t, p.b.Handler(), fabric.OwnerPath, fabric.OwnerRequest{Source: src})
+	ob := decodeBody[fabric.OwnerResponse](t, wb)
+
+	if oa.Owner != "a" || !oa.Self {
+		t.Errorf("node a reports owner=%q self=%v, want a/true", oa.Owner, oa.Self)
+	}
+	if ob.Owner != "a" || ob.Self {
+		t.Errorf("node b reports owner=%q self=%v, want a/false", ob.Owner, ob.Self)
+	}
+	if oa.Key != ob.Key {
+		t.Errorf("nodes disagree on the route key: %q vs %q", oa.Key, ob.Key)
+	}
+}
+
+// TestFabricDeadPeerMatrix kills, hangs, or corrupts the owner at
+// every protocol stage and proves the requester always degrades to a
+// local compile with the exact single-node answer — outcome cold, one
+// peer_error counted, never an error surfaced to the client.
+func TestFabricDeadPeerMatrix(t *testing.T) {
+	cases := []struct {
+		name  string
+		stage fabric.Stage
+		fault fabric.Fault
+	}{
+		{"hang-at-accept", fabric.StageAccept, fabric.FaultHang},
+		{"die-at-accept", fabric.StageAccept, fabric.FaultDie},
+		{"500-at-accept", fabric.StageAccept, fabric.Fault500},
+		{"corrupt-entry", fabric.StageEntry, fabric.FaultCorrupt},
+		{"stale-entry", fabric.StageEntry, fabric.FaultStale},
+		{"die-mid-body", fabric.StageBody, fabric.FaultDie},
+		{"hang-mid-body", fabric.StageBody, fabric.FaultHang},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fault := func(st fabric.Stage) fabric.Fault {
+				if st == tc.stage {
+					return tc.fault
+				}
+				return fabric.FaultNone
+			}
+			p := newFabricPair(t, 300*time.Millisecond, fault)
+			src := sourceOwnedBy(t, p.fab, "a", saxpySrc)
+			want := referenceCompile(t, src)
+
+			w := postJSON(t, p.b.Handler(), "/v1/compile", CompileRequest{Source: src})
+			if w.Code != http.StatusOK {
+				t.Fatalf("compile during owner fault: %d %s", w.Code, w.Body.String())
+			}
+			resp := decodeBody[CompileResponse](t, w)
+			if resp.Outcome != "cold" {
+				t.Errorf("outcome = %q, want cold (local fallback)", resp.Outcome)
+			}
+			assertSameAnswer(t, want, resp)
+			if n := p.b.Observer().Counter("server_peer_errors"); n != 1 {
+				t.Errorf("server_peer_errors = %d, want 1", n)
+			}
+		})
+	}
+}
+
+// TestFabricDeadPeerNoPoisonedWaiters coalesces many concurrent
+// requests onto one singleflight leader whose peer fill hangs: every
+// waiter must get the correct local-fallback answer — the fill's
+// deadline belongs to the fill, never to the leader's context.
+func TestFabricDeadPeerNoPoisonedWaiters(t *testing.T) {
+	fault := func(st fabric.Stage) fabric.Fault {
+		if st == fabric.StageAccept {
+			return fabric.FaultHang
+		}
+		return fabric.FaultNone
+	}
+	p := newFabricPair(t, 300*time.Millisecond, fault)
+	src := sourceOwnedBy(t, p.fab, "a", saxpySrc)
+	want := referenceCompile(t, src)
+
+	const n = 8
+	var wg sync.WaitGroup
+	resps := make([]CompileResponse, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := postJSON(t, p.b.Handler(), "/v1/compile", CompileRequest{Source: src})
+			codes[i] = w.Code
+			if w.Code == http.StatusOK {
+				resps[i] = decodeBody[CompileResponse](t, w)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		switch resps[i].Outcome {
+		case "cold", "coalesced", "cache_hit":
+		default:
+			t.Errorf("request %d: outcome %q", i, resps[i].Outcome)
+		}
+		assertSameAnswer(t, want, resps[i])
+	}
+}

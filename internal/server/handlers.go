@@ -1,13 +1,17 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"polaris/internal/core"
@@ -146,7 +150,12 @@ func writeError(w http.ResponseWriter, status int, msg, pass string) {
 // decode reads a bounded JSON body into v.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
-	dec := json.NewDecoder(r.Body)
+	return s.decodeFrom(w, r.Body, v)
+}
+
+// decodeFrom decodes JSON from an already-bounded reader into v.
+func (s *Server) decodeFrom(w http.ResponseWriter, rd io.Reader, v any) bool {
+	dec := json.NewDecoder(rd)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		status := http.StatusBadRequest
@@ -160,65 +169,89 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// writeCompileError maps a compile failure to an HTTP status: parse
+// compileFailure is one compile's failure, carried as data so the
+// batch handler can report it per item while the single handler maps
+// it onto the whole response.
+type compileFailure struct {
+	status int
+	msg    string
+	pass   string
+}
+
+// compileFailureFrom maps a compile failure to an HTTP status: parse
 // errors are the client's fault (400), deadline expiry is 504, a
 // client-abandoned request is 499 (nginx convention), and a pipeline
 // failure — including a recovered pass panic — is a 500 naming the
 // pass while the process survives.
-func writeCompileError(w http.ResponseWriter, err error) {
+func compileFailureFrom(err error) *compileFailure {
 	var pe *parser.ParseError
 	if errors.As(err, &pe) {
-		writeError(w, http.StatusBadRequest, "parse: "+err.Error(), "")
-		return
+		return &compileFailure{http.StatusBadRequest, "parse: " + err.Error(), ""}
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusGatewayTimeout, "compile deadline exceeded", "")
-		return
+		return &compileFailure{http.StatusGatewayTimeout, "compile deadline exceeded", ""}
 	}
 	if errors.Is(err, context.Canceled) {
-		writeError(w, 499, "request canceled", "")
-		return
+		return &compileFailure{499, "request canceled", ""}
 	}
 	var pipe *core.PipelineError
 	if errors.As(err, &pipe) {
-		writeError(w, http.StatusInternalServerError, "compile: "+pipe.Error(), pipe.Pass)
-		return
+		return &compileFailure{http.StatusInternalServerError, "compile: " + pipe.Error(), pipe.Pass}
 	}
-	writeError(w, http.StatusInternalServerError, "compile: "+err.Error(), "")
+	return &compileFailure{http.StatusInternalServerError, "compile: " + err.Error(), ""}
 }
 
-// shedResponse rejects an over-queue request with 429 + a Retry-After
-// derived from the observed admission-queue drain rate (see
-// retryAfterSeconds).
-func (s *Server) shedResponse(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(time.Now())))
+func writeCompileError(w http.ResponseWriter, err error) {
+	f := compileFailureFrom(err)
+	writeError(w, f.status, f.msg, f.pass)
+}
+
+// rejectDraining refuses new work while the server drains: 503 with
+// Connection: close, so a keep-alive client drops the connection and
+// re-resolves instead of retrying into a process that is going away.
+// (A 429 + Retry-After here would be a lie — it promises capacity that
+// will never exist again.)
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Connection", "close")
+	writeError(w, http.StatusServiceUnavailable, "draining", "")
+	return true
+}
+
+// shedResponse rejects an over-budget request with 429 + a Retry-After
+// derived from the route's observed drain rate (see retryAfterSeconds).
+// A server that is draining answers 503 + Connection: close instead —
+// retrying here is pointless.
+func (s *Server) shedResponse(w http.ResponseWriter, route string) {
+	if s.rejectDraining(w) {
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(route, time.Now())))
 	writeError(w, http.StatusTooManyRequests, "server at capacity, retry later", "")
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.obs.Count("server_requests_total", 1)
-	var req CompileRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	if req.Source == "" {
-		writeError(w, http.StatusBadRequest, "missing source", "")
-		return
-	}
-	opt, err := compileOptions(req.Techniques)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), "")
+	if s.rejectDraining(w) {
 		return
 	}
 	incremental := r.URL.Query().Get("incremental") == "1"
-	if incremental && req.Baseline {
-		writeError(w, http.StatusBadRequest,
-			"incremental compilation does not apply to baseline (PFA) compiles", "")
+	tenant := s.tenantFor(r)
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	br := bufio.NewReader(r.Body)
+	if isBatchBody(br) {
+		s.handleCompileBatch(w, r, br, incremental, tenant)
 		return
 	}
-	release, shed := s.admit(r.Context())
+	var req CompileRequest
+	if !s.decodeFrom(w, br, &req) {
+		return
+	}
+	release, shed := s.admit(r.Context(), "compile", tenant)
 	if shed {
-		s.shedResponse(w)
+		s.shedResponse(w, "compile")
 		return
 	}
 	if release == nil {
@@ -227,7 +260,137 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
+	resp, fail := s.compileOne(r.Context(), req, incremental)
+	if fail != nil {
+		writeError(w, fail.status, fail.msg, fail.pass)
+		return
+	}
+	setOutcome(r.Context(), resp.Outcome, resp.LeaderID, resp.Cached)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// isBatchBody peeks past leading whitespace to decide whether the
+// compile body is a JSON array (batch form) or object (single form).
+func isBatchBody(br *bufio.Reader) bool {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return false
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		_ = br.UnreadByte()
+		return b == '['
+	}
+}
+
+// BatchItem is one element of a batch compile response. Status is the
+// HTTP status this item would have drawn as a lone request; a batch
+// always answers 200 with per-item verdicts — one unparseable source
+// never voids its neighbors.
+type BatchItem struct {
+	Index  int              `json:"index"`
+	Status int              `json:"status"`
+	Error  string           `json:"error,omitempty"`
+	Pass   string           `json:"pass,omitempty"`
+	Result *CompileResponse `json:"result,omitempty"`
+}
+
+// BatchResponse is the POST /v1/compile result for an array body.
+type BatchResponse struct {
+	// RequestID is the batch's trace ID; each item additionally
+	// carries its own (result.request_id) for cache attribution.
+	RequestID string      `json:"request_id"`
+	Items     []BatchItem `json:"items"`
+	Succeeded int         `json:"succeeded"`
+	Failed    int         `json:"failed"`
+}
+
+// handleCompileBatch compiles a JSON array of CompileRequests. Items
+// run concurrently, each admitted (and possibly shed) individually
+// under the same global and per-tenant budgets as lone requests, and
+// each fails individually: the batch itself errors only when the body
+// is not decodable JSON, empty, or over the item cap.
+func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request, body io.Reader, incremental bool, tenant string) {
+	var reqs []CompileRequest
+	if !s.decodeFrom(w, body, &reqs) {
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch", "")
+		return
+	}
+	if len(reqs) > s.cfg.MaxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds the %d-item limit", len(reqs), s.cfg.MaxBatchItems), "")
+		return
+	}
+	s.obs.Count("server_batch_requests", 1)
+	s.obs.Count("server_batch_items", int64(len(reqs)))
+	items := make([]BatchItem, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			item := &items[i]
+			item.Index = i
+			// Each item gets its own request ID and telemetry slate so
+			// concurrent items don't fight over the batch's outcome.
+			ctx := telemetry.WithRequestID(r.Context(), telemetry.NewRequestID())
+			ctx = context.WithValue(ctx, reqInfoKey{}, (*reqInfo)(nil))
+			release, shed := s.admit(ctx, "compile", tenant)
+			if shed {
+				item.Status = http.StatusTooManyRequests
+				item.Error = "server at capacity, retry later"
+				return
+			}
+			if release == nil {
+				item.Status = 499
+				item.Error = "request canceled while queued"
+				return
+			}
+			defer release()
+			resp, fail := s.compileOne(ctx, reqs[i], incremental)
+			if fail != nil {
+				item.Status, item.Error, item.Pass = fail.status, fail.msg, fail.pass
+				return
+			}
+			item.Status = http.StatusOK
+			item.Result = resp
+		}(i)
+	}
+	wg.Wait()
+	resp := BatchResponse{RequestID: telemetry.RequestID(r.Context()), Items: items}
+	for i := range items {
+		if items[i].Status == http.StatusOK {
+			resp.Succeeded++
+		} else {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// compileOne runs one compile request end to end (validation, cache
+// lookup with optional peer fill, provenance replay) and builds its
+// response. The caller has already admitted the request; failures come
+// back as data so both the single and batch handlers can map them.
+func (s *Server) compileOne(ctx context.Context, req CompileRequest, incremental bool) (*CompileResponse, *compileFailure) {
+	if req.Source == "" {
+		return nil, &compileFailure{http.StatusBadRequest, "missing source", ""}
+	}
+	opt, err := compileOptions(req.Techniques)
+	if err != nil {
+		return nil, &compileFailure{http.StatusBadRequest, err.Error(), ""}
+	}
+	if incremental && req.Baseline {
+		return nil, &compileFailure{http.StatusBadRequest,
+			"incremental compilation does not apply to baseline (PFA) compiles", ""}
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.deadline(req.TimeoutMS))
 	defer cancel()
 
 	label := req.Label
@@ -241,12 +404,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		res, out, err := s.cache.CompileBaselineOutcome(ctx, prog, baselineSource(req.Source))
 		if err != nil {
 			s.obs.Count("server_compile_errors", 1)
-			writeCompileError(w, err)
-			return
+			return nil, compileFailureFrom(err)
 		}
 		cached := out.Kind != telemetry.OutcomeCold
-		setOutcome(ctx, out.Kind, leaderFor(out, reqID), cached)
-		writeJSON(w, http.StatusOK, CompileResponse{
+		return &CompileResponse{
 			Label:         label,
 			RequestID:     reqID,
 			Outcome:       out.Kind,
@@ -255,8 +416,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			ParallelLoops: res.ParallelLoops(),
 			Verdicts:      verdicts(res.Result),
 			CodegenFactor: res.Factor,
-		})
-		return
+		}, nil
 	}
 
 	// Each request compiles under a unique internal label with its own
@@ -268,11 +428,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if incremental {
 		opt.UnitMemo = s.memo
 	}
-	res, out, err := s.cache.CompileOutcome(ctx, prog, opt, compileSource(req.Source))
+	compileFn, pf := s.compileFnFor(req.Source, opt)
+	res, out, err := s.cache.CompileOutcome(ctx, prog, opt, compileFn)
 	if err != nil {
 		s.obs.Count("server_compile_errors", 1)
-		writeCompileError(w, err)
-		return
+		return nil, compileFailureFrom(err)
 	}
 	cached := out.Kind != telemetry.OutcomeCold
 	if cached {
@@ -282,6 +442,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// compile ran against the memo; a whole-program cache hit or a ride
 	// on another request's compile reports the stronger outcome instead.
 	outcome := out.Kind
+	leaderID := leaderFor(out, reqID)
 	unitsReused, unitsRecompiled := 0, 0
 	if incremental && !cached {
 		unitsReused, unitsRecompiled = res.UnitsReused, res.UnitsRecompiled
@@ -290,12 +451,21 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			s.obs.Count("server_incremental_hits", 1)
 		}
 	}
-	setOutcome(ctx, outcome, leaderFor(out, reqID), cached)
-	resp := CompileResponse{
+	// A cold outcome whose leader was satisfied by a peer fill reports
+	// the fill's outcome instead: this node skipped the compile, and
+	// the entry's true leader lives on the owner.
+	if out.Kind == telemetry.OutcomeCold && pf != nil && pf.outcome != "" {
+		outcome = pf.outcome
+		cached = true
+		if pf.leaderID != "" && pf.leaderID != reqID {
+			leaderID = pf.leaderID
+		}
+	}
+	resp := &CompileResponse{
 		Label:           label,
 		RequestID:       reqID,
 		Outcome:         outcome,
-		LeaderID:        leaderFor(out, reqID),
+		LeaderID:        leaderID,
 		Cached:          cached,
 		ParallelLoops:   res.ParallelLoops(),
 		Incremental:     incremental,
@@ -309,7 +479,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		sum := sha256.Sum256([]byte(req.Source))
 		resp.ProgramHash = hex.EncodeToString(sum[:])
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // leaderFor returns the foreign leader ID to report for a cache
@@ -332,9 +502,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing source", "")
 		return
 	}
-	release, shed := s.admit(r.Context())
+	if s.rejectDraining(w) {
+		return
+	}
+	release, shed := s.admit(r.Context(), "explain", s.tenantFor(r))
 	if shed {
-		s.shedResponse(w)
+		s.shedResponse(w, "explain")
 		return
 	}
 	if release == nil {

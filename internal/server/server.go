@@ -29,6 +29,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"polaris/internal/core"
+	"polaris/internal/fabric"
 	"polaris/internal/obsv"
 	"polaris/internal/suite"
 	"polaris/internal/telemetry"
@@ -74,6 +76,25 @@ type Config struct {
 	// status, outcome, latency, cache status, leader id). Nil disables
 	// access logging.
 	AccessLog *slog.Logger
+	// Fabric joins this node to a peer tier: compile cache keys are
+	// consistent-hash routed across the ring, and a miss here asks the
+	// key's owner for the finished entry before compiling locally. Nil
+	// means single-node (no peer endpoints are mounted).
+	Fabric *fabric.Fabric
+	// FabricFault scripts owner-side fill faults per protocol stage
+	// (dead-peer tests only; nil in production).
+	FabricFault fabric.FaultFunc
+	// TenantHeader names the request header carrying the tenant token
+	// for per-tenant admission budgets (default "X-Polaris-Tenant").
+	// Requests without the header share only the global budget.
+	TenantHeader string
+	// TenantShare is the fraction of total admission capacity
+	// (Workers+QueueDepth) any single tenant may hold, minimum one slot
+	// (default 0.5). One flooding tenant sheds at its budget while
+	// others keep compiling.
+	TenantShare float64
+	// MaxBatchItems caps the items in one batch compile (default 64).
+	MaxBatchItems int
 }
 
 func (c *Config) applyDefaults() {
@@ -104,6 +125,15 @@ func (c *Config) applyDefaults() {
 	if c.UnitMemoBytes <= 0 {
 		c.UnitMemoBytes = 64 << 20
 	}
+	if c.TenantHeader == "" {
+		c.TenantHeader = "X-Polaris-Tenant"
+	}
+	if c.TenantShare <= 0 || c.TenantShare > 1 {
+		c.TenantShare = 0.5
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 }
 
 // Server is the compile service. Create with New; serve with Serve (or
@@ -126,10 +156,18 @@ type Server struct {
 	reqSeq       atomic.Int64  // unique per-request compile labels
 	draining     atomic.Bool
 
-	// Completion-history ring behind the drain-rate Retry-After hint.
-	drainMu    sync.Mutex
-	drainTimes [drainWindow]time.Time
-	drainIdx   int
+	// Per-tenant admitted-request counts behind the tenant budgets.
+	tenantMu sync.Mutex
+	tenants  map[string]*atomic.Int64
+
+	// Per-route completion-history rings behind the drain-rate
+	// Retry-After hint (a flood of cheap /v1/explain completions must
+	// not deflate the hint handed to shed compile requests).
+	drainMu sync.Mutex
+	drains  map[string]*drainRing
+
+	fabric *fabric.Fabric
+	fault  fabric.FaultFunc
 
 	http *http.Server
 	mux  *http.ServeMux
@@ -147,6 +185,10 @@ func New(cfg Config) *Server {
 		queueWait: &telemetry.Histogram{},
 		accessLog: cfg.AccessLog,
 		slots:     make(chan struct{}, cfg.Workers),
+		tenants:   map[string]*atomic.Int64{},
+		drains:    map[string]*drainRing{},
+		fabric:    cfg.Fabric,
+		fault:     cfg.FabricFault,
 	}
 	if s.accessLog == nil {
 		s.accessLog = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -157,6 +199,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/explain", s.instrument("explain", s.recovered(s.handleExplain)))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	if s.fabric != nil {
+		s.mux.HandleFunc("POST "+fabric.FillPath, s.instrument("fabric_fill", s.recovered(s.handleFabricFill)))
+		s.mux.HandleFunc("POST "+fabric.OwnerPath, s.instrument("fabric_owner", s.recovered(s.handleFabricOwner)))
+	}
 	s.http = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -202,16 +248,60 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.http.Shutdown(ctx)
 }
 
+// tenantCount returns the admitted-request counter for one tenant
+// token, creating it on first sight. Counters are never deleted — the
+// token space is operator-issued, not attacker-controlled.
+func (s *Server) tenantCount(tenant string) *atomic.Int64 {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	c, ok := s.tenants[tenant]
+	if !ok {
+		c = &atomic.Int64{}
+		s.tenants[tenant] = c
+	}
+	return c
+}
+
+// tenantLimit is the per-tenant admission budget: a share of the total
+// capacity, never below one slot (a tenant can always make progress).
+func (s *Server) tenantLimit() int64 {
+	lim := int64(s.cfg.TenantShare * float64(s.cfg.Workers+s.cfg.QueueDepth))
+	if lim < 1 {
+		lim = 1
+	}
+	return lim
+}
+
 // admit acquires a worker slot, queueing up to QueueDepth requests
-// beyond the pool. It returns a release function on success; a nil
-// release with shed=true means the queue was full (429); a nil release
-// with shed=false means ctx ended while queued. The time spent waiting
-// for a slot feeds the queue-wait histogram, and each release feeds
-// the completion history behind the Retry-After hint.
-func (s *Server) admit(ctx context.Context) (release func(), shed bool) {
+// beyond the pool. A non-empty tenant token is additionally charged
+// against that tenant's budget, so one flooding tenant sheds at its
+// share while the rest of the fleet keeps compiling. It returns a
+// release function on success; a nil release with shed=true means a
+// budget was exhausted (429); a nil release with shed=false means ctx
+// ended while queued. The time spent waiting for a slot feeds the
+// queue-wait histogram, and each release feeds the per-route
+// completion history behind the Retry-After hint.
+func (s *Server) admit(ctx context.Context, route, tenant string) (release func(), shed bool) {
+	var tc *atomic.Int64
+	if tenant != "" {
+		tc = s.tenantCount(tenant)
+		if tc.Add(1) > s.tenantLimit() {
+			tc.Add(-1)
+			s.shed.Add(1)
+			s.obs.Count("server_shed_total", 1)
+			s.obs.Count("server_tenant_shed_total", 1)
+			return nil, true
+		}
+	}
+	tenantDone := func() {
+		if tc != nil {
+			tc.Add(-1)
+		}
+	}
 	limit := int64(s.cfg.Workers + s.cfg.QueueDepth)
 	if n := s.queued.Add(1); n > limit {
 		s.queued.Add(-1)
+		tenantDone()
 		s.shed.Add(1)
 		s.obs.Count("server_shed_total", 1)
 		return nil, true
@@ -225,12 +315,19 @@ func (s *Server) admit(ctx context.Context) (release func(), shed bool) {
 			s.inflight.Add(-1)
 			<-s.slots
 			s.queued.Add(-1)
-			s.noteCompletion(time.Now())
+			tenantDone()
+			s.noteCompletion(route, time.Now())
 		}, false
 	case <-ctx.Done():
 		s.queued.Add(-1)
+		tenantDone()
 		return nil, false
 	}
+}
+
+// tenantFor extracts the request's tenant token, if any.
+func (s *Server) tenantFor(r *http.Request) string {
+	return r.Header.Get(s.cfg.TenantHeader)
 }
 
 // deadline resolves a request's compile timeout from its timeout_ms
@@ -257,10 +354,16 @@ func (s *Server) reqLabel(clientLabel string) string {
 // recovered is the last-resort panic boundary: pass panics are already
 // isolated into *core.PipelineError by the pass manager, and this
 // middleware keeps any other handler panic from killing the process.
+// http.ErrAbortHandler passes through — it is the deliberate
+// abort-this-connection signal (fault injection uses it to die
+// mid-body) and net/http handles it.
 func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
+				if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(v)
+				}
 				s.obs.Count("server_panics_total", 1)
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v), "")
 			}

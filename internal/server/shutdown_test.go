@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
@@ -80,7 +81,11 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 			continue
 		}
 		accepted++
-		if codes[i] != http.StatusOK && codes[i] != http.StatusTooManyRequests {
+		// 200: drained to completion; 429: deliberately shed before the
+		// drain; 503: accepted on a kept-alive connection after draining
+		// began and turned away with Connection: close.
+		if codes[i] != http.StatusOK && codes[i] != http.StatusTooManyRequests &&
+			codes[i] != http.StatusServiceUnavailable {
 			t.Errorf("accepted request %d finished with status %d", i, codes[i])
 		}
 	}
@@ -113,6 +118,44 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 				baseline, runtime.NumGoroutine(), buf[:n])
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestDrainingRejects503 pins the shutdown-path shedding contract: a
+// request landing on a draining server (e.g. over an already-open
+// keep-alive connection) is refused with 503 + Connection: close — not
+// 429 + Retry-After, which would promise capacity that will never
+// exist again and keep well-behaved clients retrying into a corpse.
+func TestDrainingRejects503(t *testing.T) {
+	s := New(Config{Workers: 2})
+	s.draining.Store(true)
+
+	for _, route := range []string{"/v1/compile", "/v1/emit", "/v1/explain"} {
+		w := postJSON(t, s.Handler(), route, CompileRequest{Source: saxpySrc})
+		if w.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s while draining: %d, want 503", route, w.Code)
+		}
+		if got := w.Header().Get("Connection"); got != "close" {
+			t.Errorf("%s while draining: Connection = %q, want close", route, got)
+		}
+		if ra := w.Header().Get("Retry-After"); ra != "" {
+			t.Errorf("%s while draining: unexpected Retry-After %q", route, ra)
+		}
+	}
+
+	// shedResponse itself must take the draining branch too: a request
+	// that loses the admission race during shutdown gets the same 503,
+	// not a capacity hint.
+	rec := httptest.NewRecorder()
+	s.shedResponse(rec, "compile")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("shedResponse while draining: %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Connection"); got != "close" {
+		t.Errorf("shedResponse while draining: Connection = %q, want close", got)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "" {
+		t.Errorf("shedResponse while draining: unexpected Retry-After %q", ra)
 	}
 }
 

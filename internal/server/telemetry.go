@@ -138,35 +138,55 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// drainWindow bounds the completion-history ring behind Retry-After.
+// drainWindow bounds each per-route completion-history ring behind
+// Retry-After.
 const drainWindow = 64
 
+// drainRing is one route's completion history. Rings are per route
+// because routes drain at wildly different rates: a burst of cheap
+// /v1/explain completions must not deflate the Retry-After hint handed
+// to a shed compile request (the hint would promise capacity the
+// compile queue does not have).
+type drainRing struct {
+	times [drainWindow]time.Time
+	idx   int
+}
+
 // noteCompletion records one admission-slot release (a request
-// finished with a worker) into the drain-rate history.
-func (s *Server) noteCompletion(at time.Time) {
+// finished with a worker) into the route's drain-rate history.
+func (s *Server) noteCompletion(route string, at time.Time) {
 	s.drainMu.Lock()
-	s.drainTimes[s.drainIdx%drainWindow] = at
-	s.drainIdx++
+	ring, ok := s.drains[route]
+	if !ok {
+		ring = &drainRing{}
+		s.drains[route] = ring
+	}
+	ring.times[ring.idx%drainWindow] = at
+	ring.idx++
 	s.drainMu.Unlock()
 }
 
-// retryAfterSeconds derives the 429 Retry-After hint from the observed
-// admission-queue drain rate: with n recent completions over a span
-// ending now, the queue of depth d drains in roughly d/(n/span)
-// seconds. Clamped to [1, 30]; with no history (a cold server shed
-// before completing anything) it falls back to 1.
-func (s *Server) retryAfterSeconds(now time.Time) int {
+// retryAfterSeconds derives the 429 Retry-After hint from the route's
+// observed admission-queue drain rate: with n recent completions over
+// a span ending now, the queue of depth d drains in roughly d/(n/span)
+// seconds. Clamped to [1, 30]; with no history for the route (a cold
+// server shed before completing anything there) it falls back to 1.
+func (s *Server) retryAfterSeconds(route string, now time.Time) int {
 	s.drainMu.Lock()
-	n := s.drainIdx
-	if n > drainWindow {
-		n = drainWindow
-	}
+	ring := s.drains[route]
+	var n int
 	var oldest time.Time
-	if n > 0 {
-		if s.drainIdx <= drainWindow {
-			oldest = s.drainTimes[0]
-		} else {
-			oldest = s.drainTimes[s.drainIdx%drainWindow]
+	if ring != nil {
+		n = ring.idx
+		if n > drainWindow {
+			n = drainWindow
+		}
+		if n > 0 {
+			if ring.idx <= drainWindow {
+				oldest = ring.times[0]
+			} else {
+				oldest = ring.times[ring.idx%drainWindow]
+			}
 		}
 	}
 	s.drainMu.Unlock()

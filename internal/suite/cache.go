@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,6 +50,34 @@ func optKey(o core.Options) string {
 		o.HistogramReduction, o.ArrayPrivatization, o.RangeTest,
 		o.Permutation, o.LRPD, o.StrengthReduction, o.Normalize,
 		o.InterprocConstants)
+}
+
+// RouteKey renders the cache identity of one compilation — the
+// source content hash plus the technique fingerprint — as a string.
+// It is exactly the key CompileOutcome computes internally, so it
+// doubles as the consistent-hash routing key of the distributed
+// compile fabric: every node hashes an incoming request to the same
+// owner because every node derives the key from the same bytes.
+func RouteKey(src string, opt core.Options) string {
+	h := srcHash(src)
+	return hex.EncodeToString(h[:]) + "|" + optKey(opt)
+}
+
+// Fill returns a compile function that installs an already-materialized
+// compilation — typically one decoded from a peer node's cache — as if
+// it had been compiled by this process. The result is returned as-is,
+// and the captured decision provenance is replayed into the compiling
+// observer under the installing request's label, so the singleflight
+// leader's capture records it and every later cache hit replays it
+// exactly as for a locally compiled entry.
+func Fill(res *core.Result, decisions []obsv.Decision) func(context.Context, core.Options) (*core.Result, error) {
+	return func(_ context.Context, opt core.Options) (*core.Result, error) {
+		for _, d := range decisions {
+			d.Label = opt.TraceLabel
+			opt.Observer.Decision(d)
+		}
+		return res, nil
+	}
 }
 
 // maxReplayLabels bounds the per-entry emitted-label set. The set

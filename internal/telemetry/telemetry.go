@@ -38,7 +38,16 @@ const (
 	// ground between cold and cache_hit that the incremental feature
 	// exists to create.
 	OutcomeIncrementalHit = "incremental_hit"
-	OutcomeShed           = "shed"
+	// OutcomePeerHit / OutcomePeerMiss mark compiles satisfied by a
+	// peer cache-fill from the key's owner on the fabric ring:
+	// peer_hit when the owner's tier was already warm, peer_miss when
+	// the fill made the owner compile it cold (this node still skipped
+	// the work). A failed fill is not an outcome — the request degrades
+	// to a local compile and reports cold; the failure is visible in
+	// the server_peer_errors counter.
+	OutcomePeerHit  = "peer_hit"
+	OutcomePeerMiss = "peer_miss"
+	OutcomeShed     = "shed"
 	OutcomeTimeout        = "timeout"
 	OutcomeCanceled       = "canceled"
 	OutcomeError          = "error"
